@@ -1,0 +1,119 @@
+// helix-bench regenerates the tables and figures of the paper's
+// evaluation (Section 6).
+//
+// Usage:
+//
+//	helix-bench                # everything
+//	helix-bench -only fig7     # one experiment
+//
+// Experiment names: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10
+// fig11a fig11b fig11c fig11d fig12 tlp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"helixrc/internal/harness"
+)
+
+type experiment struct {
+	name string
+	run  func() (string, error)
+}
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e.g. fig7)")
+	cores := flag.Int("cores", 16, "core count for the headline experiments")
+	flag.Parse()
+
+	fig := func(f func(int) (*harness.FigureResult, error)) func() (string, error) {
+		return func() (string, error) {
+			r, err := f(*cores)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}
+	}
+	panel := func(which string) func() (string, error) {
+		return func() (string, error) {
+			r, err := harness.Figure11(which)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}
+	}
+	experiments := []experiment{
+		{"fig1", fig(harness.Figure1)},
+		{"fig2", func() (string, error) {
+			r, err := harness.Figure2()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"fig3", func() (string, error) {
+			r, err := harness.Figure3()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"fig4", func() (string, error) {
+			r, err := harness.Figure4()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"table1", func() (string, error) {
+			rows, err := harness.Table1()
+			if err != nil {
+				return "", err
+			}
+			return harness.FormatTable1(rows), nil
+		}},
+		{"fig7", fig(harness.Figure7)},
+		{"fig8", fig(harness.Figure8)},
+		{"fig9", fig(harness.Figure9)},
+		{"fig10", fig(harness.Figure10)},
+		{"fig11a", panel("cores")},
+		{"fig11b", panel("link")},
+		{"fig11c", panel("signals")},
+		{"fig11d", panel("memory")},
+		{"fig12", func() (string, error) {
+			rows, err := harness.Figure12(*cores)
+			if err != nil {
+				return "", err
+			}
+			return harness.FormatFigure12(rows), nil
+		}},
+		{"tlp", func() (string, error) {
+			r, err := harness.TLP()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+	}
+
+	for _, e := range experiments {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		out, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Printf("==== %s ====\n%s\n", e.name, out)
+	}
+	if *only != "" {
+		return
+	}
+	fmt.Println(strings.Repeat("=", 60))
+	fmt.Println("All experiments complete. See EXPERIMENTS.md for the paper-vs-measured comparison.")
+}

@@ -1,0 +1,84 @@
+// helix-run compiles and simulates one benchmark analogue end to end.
+//
+// Usage:
+//
+//	helix-run -bench 175.vpr -level 3 -cores 16 [-ring=false] [-link 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"helixrc"
+	"helixrc/internal/sim"
+)
+
+func main() {
+	bench := flag.String("bench", "175.vpr", "benchmark name (see -list)")
+	level := flag.Int("level", 3, "compiler generation: 1, 2 or 3")
+	cores := flag.Int("cores", 16, "core count")
+	ring := flag.Bool("ring", true, "enable the ring cache (false = conventional coherence)")
+	link := flag.Int("link", 1, "ring link latency in cycles")
+	sigbw := flag.Int("sigbw", 5, "ring signal bandwidth (0 = unbounded)")
+	nodeKB := flag.Int("nodebytes", 1024, "ring node array bytes (0 = unbounded)")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(helixrc.Workloads(), "\n"))
+		return
+	}
+
+	w, err := helixrc.LoadWorkload(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := helixrc.Compile(w.Prog, w.Entry, helixrc.Options{
+		Level: helixrc.Level(*level), Cores: *cores, TrainArgs: w.TrainArgs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var arch helixrc.Platform
+	if *ring {
+		arch = helixrc.HelixRC(*cores)
+		arch.Ring.LinkLatency = *link
+		arch.Ring.SignalBandwidth = *sigbw
+		arch.Ring.ArrayBytes = *nodeKB
+	} else {
+		arch = helixrc.Conventional(*cores)
+	}
+
+	seq, err := helixrc.Simulate(w.Prog, nil, w.Entry, helixrc.Conventional(*cores), w.RefArgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := helixrc.Simulate(w.Prog, comp, w.Entry, arch, w.RefArgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if seq.RetValue != par.RetValue {
+		fmt.Fprintf(os.Stderr, "FUNCTIONAL MISMATCH: %d != %d\n", par.RetValue, seq.RetValue)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s, %s, %d cores, ring=%v\n", w.Name, helixrc.Level(*level), *cores, *ring)
+	fmt.Printf("parallelized loops: %d (coverage %.1f%%)\n", len(comp.Loops), 100*comp.Coverage)
+	for _, pl := range comp.Loops {
+		fmt.Printf("  %-30s cov %5.1f%%  iter %4.0f instrs  trip %5.0f  segs %d  counted=%v\n",
+			pl.Body.Name, 100*pl.Coverage, pl.AvgIterLen, pl.AvgTripCount, pl.NumSegs, pl.Counted)
+	}
+	fmt.Printf("sequential: %d cycles\n", seq.Cycles)
+	fmt.Printf("parallel:   %d cycles  speedup %.2fx\n", par.Cycles, helixrc.Speedup(seq, par))
+	fmt.Printf("iterations run: %d over %d invocations\n", par.IterationsRun, par.LoopInvocations)
+	o := par.Overheads
+	fmt.Printf("overheads: ")
+	for i, s := range o.Shares() {
+		fmt.Printf("%s %.1f%%  ", sim.ShareNames[i], 100*s)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,49 @@
+// Quickstart: compile one benchmark analogue with HCCv3 and compare
+// sequential execution against HELIX-RC on 16 cores.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"helixrc"
+)
+
+func main() {
+	w, err := helixrc.LoadWorkload("175.vpr")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	comp, err := helixrc.Compile(w.Prog, w.Entry, helixrc.Options{
+		Level:     helixrc.V3,
+		Cores:     16,
+		TrainArgs: w.TrainArgs, // profile on the training input
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HCCv3 parallelized %d loops covering %.1f%% of execution:\n",
+		len(comp.Loops), 100*comp.Coverage)
+	for _, pl := range comp.Loops {
+		fmt.Printf("  %-28s coverage %5.1f%%  avg iteration %4.0f instrs, trip %4.0f, %d segment(s)\n",
+			pl.Body.Name, 100*pl.Coverage, pl.AvgIterLen, pl.AvgTripCount, pl.NumSegs)
+	}
+
+	seq, err := helixrc.Simulate(w.Prog, nil, w.Entry, helixrc.Conventional(16), w.RefArgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := helixrc.Simulate(w.Prog, comp, w.Entry, helixrc.HelixRC(16), w.RefArgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if seq.RetValue != par.RetValue {
+		log.Fatalf("parallel result %d != sequential %d", par.RetValue, seq.RetValue)
+	}
+
+	fmt.Printf("\nsequential: %10d cycles\n", seq.Cycles)
+	fmt.Printf("HELIX-RC:   %10d cycles  (speedup %.2fx on 16 cores)\n",
+		par.Cycles, helixrc.Speedup(seq, par))
+	fmt.Printf("result: %d (identical on both runs)\n", par.RetValue)
+}

@@ -1,0 +1,83 @@
+// sensitivity sweeps the ring cache's architectural parameters over one
+// benchmark, reproducing the Figure 11 methodology on a single workload:
+// core count, link latency, signal bandwidth and node memory size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"helixrc"
+)
+
+func run(name string, mutate func(*helixrc.Platform)) float64 {
+	w, err := helixrc.LoadWorkload(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := helixrc.Compile(w.Prog, w.Entry, helixrc.Options{
+		Level: helixrc.V3, Cores: 16, TrainArgs: w.TrainArgs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch := helixrc.HelixRC(16)
+	if mutate != nil {
+		mutate(&arch)
+	}
+	seq, err := helixrc.Simulate(w.Prog, nil, w.Entry, helixrc.Conventional(arch.Cores), w.RefArgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := helixrc.Simulate(w.Prog, comp, w.Entry, arch, w.RefArgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if seq.RetValue != par.RetValue {
+		log.Fatalf("%s: functional mismatch", name)
+	}
+	return helixrc.Speedup(seq, par)
+}
+
+func main() {
+	const name = "197.parser" // the node-memory-sensitive benchmark
+	fmt.Printf("ring cache sensitivity on %s (16 cores unless noted)\n\n", name)
+
+	fmt.Println("core count (Figure 11a):")
+	for _, n := range []int{2, 4, 8, 16} {
+		n := n
+		s := run(name, func(a *helixrc.Platform) {
+			*a = helixrc.HelixRC(n)
+		})
+		fmt.Printf("  %2d cores: %5.2fx\n", n, s)
+	}
+
+	fmt.Println("\nadjacent-node link latency (Figure 11b):")
+	for _, l := range []int{1, 4, 8, 16, 32} {
+		l := l
+		s := run(name, func(a *helixrc.Platform) { a.Ring.LinkLatency = l })
+		fmt.Printf("  %2d cycles: %5.2fx\n", l, s)
+	}
+
+	fmt.Println("\nsignal bandwidth (Figure 11c):")
+	for _, bw := range []int{0, 4, 2, 1} {
+		bw := bw
+		label := fmt.Sprintf("%d signals/cycle", bw)
+		if bw == 0 {
+			label = "unbounded"
+		}
+		s := run(name, func(a *helixrc.Platform) { a.Ring.SignalBandwidth = bw })
+		fmt.Printf("  %-16s %5.2fx\n", label+":", s)
+	}
+
+	fmt.Println("\nnode memory size (Figure 11d; parser has the largest working set):")
+	for _, bytes := range []int{0, 32768, 1024, 256} {
+		bytes := bytes
+		label := fmt.Sprintf("%dB", bytes)
+		if bytes == 0 {
+			label = "unbounded"
+		}
+		s := run(name, func(a *helixrc.Platform) { a.Ring.ArrayBytes = bytes })
+		fmt.Printf("  %-10s %5.2fx\n", label+":", s)
+	}
+}

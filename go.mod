@@ -1,0 +1,3 @@
+module helixrc
+
+go 1.22

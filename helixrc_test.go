@@ -1,0 +1,97 @@
+package helixrc_test
+
+import (
+	"testing"
+
+	"helixrc"
+)
+
+// TestPublicAPIRoundTrip builds a program against the public facade,
+// compiles it, and verifies the parallel run matches both the interpreter
+// and the sequential simulation.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	p := helixrc.NewProgram("api")
+	ty := p.NewType("data")
+	arr := p.AddGlobal("arr", 512, ty)
+	for i := int64(0); i < 512; i++ {
+		arr.Init = append(arr.Init, i%37)
+	}
+	acc := p.AddGlobal("acc", 1, ty)
+
+	f := p.NewFunction("main", 1)
+	b := helixrc.NewBuilder(p, f)
+	n := f.Params[0]
+	ab := b.GlobalAddr(arr)
+	cb := b.GlobalAddr(acc)
+	i := b.Const(0)
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(head)
+	b.SetBlock(head)
+	c := b.Bin(helixrc.OpCmpLT, helixrc.R(i), helixrc.R(n))
+	b.CondBr(helixrc.R(c), body, exit)
+	b.SetBlock(body)
+	da := b.Add(helixrc.R(ab), helixrc.R(i))
+	v := b.Load(helixrc.R(da), 0, helixrc.MemAttrs{Type: ty, Path: "arr"})
+	cv := b.Load(helixrc.R(cb), 0, helixrc.MemAttrs{Type: ty, Path: "acc"})
+	nv := b.Bin(helixrc.OpXor, helixrc.R(cv), helixrc.R(v))
+	b.Store(helixrc.R(cb), 0, helixrc.R(nv), helixrc.MemAttrs{Type: ty, Path: "acc"})
+	b.BinTo(i, helixrc.OpAdd, helixrc.R(i), helixrc.C(1))
+	b.Br(head)
+	b.SetBlock(exit)
+	fv := b.Load(helixrc.R(cb), 0, helixrc.MemAttrs{Type: ty, Path: "acc"})
+	b.Ret(helixrc.R(fv))
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := helixrc.Interpret(p, f, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp, err := helixrc.Compile(p, f, helixrc.Options{
+		Level: helixrc.V3, Cores: 8, TrainArgs: []int64{512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Loops) == 0 {
+		t.Fatal("hot loop not selected")
+	}
+
+	seq, err := helixrc.Simulate(p, nil, f, helixrc.Conventional(8), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := helixrc.Simulate(p, comp, f, helixrc.HelixRC(8), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.RetValue != want || par.RetValue != want {
+		t.Fatalf("results diverge: interp=%d seq=%d par=%d", want, seq.RetValue, par.RetValue)
+	}
+	if helixrc.Speedup(seq, par) <= 1 {
+		t.Errorf("expected a speedup, got %.2f", helixrc.Speedup(seq, par))
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	names := helixrc.Workloads()
+	if len(names) != 10 {
+		t.Fatalf("suite has %d workloads, want 10", len(names))
+	}
+	for _, n := range names {
+		w, err := helixrc.LoadWorkload(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != n {
+			t.Errorf("name mismatch: %s vs %s", w.Name, n)
+		}
+	}
+	if _, err := helixrc.LoadWorkload("nope"); err == nil {
+		t.Error("unknown workload must error")
+	}
+}

@@ -1,0 +1,180 @@
+package cfg
+
+import (
+	"testing"
+
+	"helixrc/internal/ir"
+)
+
+// buildDiamond builds: entry -> (left | right) -> join -> ret.
+func buildDiamond(t *testing.T) (*ir.Program, *ir.Function) {
+	t.Helper()
+	p := ir.NewProgram("t")
+	f := p.NewFunction("diamond", 1)
+	b := ir.NewBuilder(p, f)
+	left := b.NewBlock("left")
+	right := b.NewBlock("right")
+	join := b.NewBlock("join")
+	b.CondBr(ir.R(f.Params[0]), left, right)
+	b.SetBlock(left)
+	b.Br(join)
+	b.SetBlock(right)
+	b.Br(join)
+	b.SetBlock(join)
+	b.RetVoid()
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p, f
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	_, f := buildDiamond(t)
+	g := New(f)
+	entry, left, right, join := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if g.IDom(entry) != nil {
+		t.Error("entry idom should be nil")
+	}
+	for _, b := range []*ir.Block{left, right, join} {
+		if g.IDom(b) != entry {
+			t.Errorf("idom(%s) = %v, want entry", b.Name, g.IDom(b))
+		}
+	}
+	if !g.Dominates(entry, join) || g.Dominates(left, join) {
+		t.Error("dominance over diamond is wrong")
+	}
+	if len(g.Preds[join.Index]) != 2 {
+		t.Errorf("join should have 2 preds, got %d", len(g.Preds[join.Index]))
+	}
+	if len(g.RPO) != 4 || g.RPO[0] != entry {
+		t.Errorf("RPO malformed: %v", g.RPO)
+	}
+}
+
+// buildNestedLoops builds a classic doubly nested counted loop.
+func buildNestedLoops(t *testing.T) (*ir.Function, *ir.Block, *ir.Block) {
+	t.Helper()
+	p := ir.NewProgram("t")
+	f := p.NewFunction("nest", 1)
+	b := ir.NewBuilder(p, f)
+	n := f.Params[0]
+	i := b.Const(0)
+	oh := b.NewBlock("outer.head")
+	ob := b.NewBlock("outer.body")
+	ih := b.NewBlock("inner.head")
+	ib := b.NewBlock("inner.body")
+	ol := b.NewBlock("outer.latch")
+	exit := b.NewBlock("exit")
+	b.Br(oh)
+	b.SetBlock(oh)
+	c1 := b.Bin(ir.OpCmpLT, ir.R(i), ir.R(n))
+	b.CondBr(ir.R(c1), ob, exit)
+	b.SetBlock(ob)
+	j := b.Const(0)
+	b.Br(ih)
+	b.SetBlock(ih)
+	c2 := b.Bin(ir.OpCmpLT, ir.R(j), ir.R(n))
+	b.CondBr(ir.R(c2), ib, ol)
+	b.SetBlock(ib)
+	b.BinTo(j, ir.OpAdd, ir.R(j), ir.C(1))
+	b.Br(ih)
+	b.SetBlock(ol)
+	b.BinTo(i, ir.OpAdd, ir.R(i), ir.C(1))
+	b.Br(oh)
+	b.SetBlock(exit)
+	b.RetVoid()
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return f, oh, ih
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	f, oh, ih := buildNestedLoops(t)
+	g := New(f)
+	forest := FindLoops(g)
+	if len(forest.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(forest.Loops))
+	}
+	var outer, inner *Loop
+	for _, l := range forest.Loops {
+		switch l.Header {
+		case oh:
+			outer = l
+		case ih:
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("loop headers not identified")
+	}
+	if inner.Parent != outer {
+		t.Errorf("inner.Parent = %v, want outer", inner.Parent)
+	}
+	if outer.Parent != nil {
+		t.Error("outer should be top level")
+	}
+	if outer.Depth() != 1 || inner.Depth() != 2 {
+		t.Errorf("depths: outer=%d inner=%d", outer.Depth(), inner.Depth())
+	}
+	if !outer.Contains(ih) || inner.Contains(oh) {
+		t.Error("containment wrong")
+	}
+	if len(forest.Roots) != 1 || forest.Roots[0] != outer {
+		t.Errorf("roots = %v", forest.Roots)
+	}
+	if got := forest.InnermostLoop(ih); got != inner {
+		t.Errorf("InnermostLoop(inner.head) = %v", got)
+	}
+	if len(outer.Exits) == 0 || len(inner.Exits) == 0 {
+		t.Error("exit edges missing")
+	}
+	for _, e := range inner.Exits {
+		if inner.Contains(e.To) {
+			t.Error("exit edge target inside loop")
+		}
+	}
+	if len(inner.Latches) != 1 {
+		t.Errorf("inner latches = %v", inner.Latches)
+	}
+}
+
+func TestLoopStringAndReachable(t *testing.T) {
+	f, _, _ := buildNestedLoops(t)
+	g := New(f)
+	forest := FindLoops(g)
+	for _, l := range forest.Loops {
+		if l.String() == "" {
+			t.Error("empty loop string")
+		}
+	}
+	for _, b := range f.Blocks {
+		if !g.Reachable(b) {
+			t.Errorf("block %s should be reachable", b.Name)
+		}
+	}
+}
+
+func TestUnreachableBlockHandled(t *testing.T) {
+	p := ir.NewProgram("t")
+	f := p.NewFunction("u", 0)
+	b := ir.NewBuilder(p, f)
+	dead := b.NewBlock("dead")
+	b.RetVoid()
+	b.SetBlock(dead)
+	b.RetVoid()
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	g := New(f)
+	if g.Reachable(dead) {
+		t.Error("dead block should be unreachable")
+	}
+	if len(g.RPO) != 1 {
+		t.Errorf("RPO should contain only entry, got %d blocks", len(g.RPO))
+	}
+	forest := FindLoops(g)
+	if len(forest.Loops) != 0 {
+		t.Errorf("no loops expected, got %d", len(forest.Loops))
+	}
+}

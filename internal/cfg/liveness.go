@@ -1,0 +1,80 @@
+package cfg
+
+import "helixrc/internal/ir"
+
+// Liveness holds per-block live-in/live-out register sets for a function.
+type Liveness struct {
+	Fn      *ir.Function
+	LiveIn  []map[ir.Reg]bool
+	LiveOut []map[ir.Reg]bool
+}
+
+// ComputeLiveness runs the standard backward dataflow. Call instructions
+// use their argument registers; no registers are implicitly live across
+// calls (the IR has no callee-saved convention — frames are private).
+func ComputeLiveness(g *Graph) *Liveness {
+	f := g.Fn
+	n := len(f.Blocks)
+	lv := &Liveness{
+		Fn:      f,
+		LiveIn:  make([]map[ir.Reg]bool, n),
+		LiveOut: make([]map[ir.Reg]bool, n),
+	}
+	use := make([]map[ir.Reg]bool, n)
+	def := make([]map[ir.Reg]bool, n)
+	for _, b := range f.Blocks {
+		u, d := map[ir.Reg]bool{}, map[ir.Reg]bool{}
+		var scratch []ir.Reg
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			scratch = scratch[:0]
+			for _, r := range in.Uses(scratch) {
+				if !d[r] {
+					u[r] = true
+				}
+			}
+			if dr := in.Def(); dr != ir.NoReg {
+				d[dr] = true
+			}
+		}
+		use[b.Index], def[b.Index] = u, d
+		lv.LiveIn[b.Index] = map[ir.Reg]bool{}
+		lv.LiveOut[b.Index] = map[ir.Reg]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		// Iterate in reverse RPO for faster convergence.
+		for i := len(g.RPO) - 1; i >= 0; i-- {
+			b := g.RPO[i]
+			out := lv.LiveOut[b.Index]
+			for _, s := range g.Succs[b.Index] {
+				for r := range lv.LiveIn[s.Index] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.LiveIn[b.Index]
+			for r := range use[b.Index] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range out {
+				if !def[b.Index][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAtHeader returns the registers live on entry to a loop's header —
+// the candidates for loop-carried register dependences.
+func (lv *Liveness) LiveAtHeader(l *Loop) map[ir.Reg]bool {
+	return lv.LiveIn[l.Header.Index]
+}

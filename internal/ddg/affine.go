@@ -1,0 +1,264 @@
+package ddg
+
+import (
+	"helixrc/internal/cfg"
+	"helixrc/internal/ir"
+)
+
+// Affine dependence-distance analysis: the induction-variable-based
+// disjointness reasoning the paper credits to HCCv2's "increased accuracy
+// of induction variable analysis". An access whose address is an affine
+// function of a linear induction variable (a[i], a[2*i+1], ...) provably
+// never collides across iterations with another access of identical
+// induction coefficients and equal constant offset — the bread and butter
+// of DOALL array traffic. Without this, every a[i] = f(i) store would be
+// a self-dependence and no numerical loop would parallelize.
+
+// affineExpr is c + Σ coef[r]*r over symbols that are loop-invariant
+// registers or linear induction variables (valued at iteration start).
+type affineExpr struct {
+	ok   bool
+	c    int64
+	coef map[ir.Reg]int64
+}
+
+func affConst(c int64) affineExpr { return affineExpr{ok: true, c: c} }
+
+func affAdd(a, b affineExpr, scaleB int64) affineExpr {
+	if !a.ok || !b.ok {
+		return affineExpr{}
+	}
+	out := affineExpr{ok: true, c: a.c + scaleB*b.c}
+	if len(a.coef) > 0 || len(b.coef) > 0 {
+		out.coef = map[ir.Reg]int64{}
+		for r, v := range a.coef {
+			out.coef[r] += v
+		}
+		for r, v := range b.coef {
+			out.coef[r] += scaleB * v
+		}
+	}
+	return out
+}
+
+func affScale(a affineExpr, k int64) affineExpr {
+	if !a.ok {
+		return a
+	}
+	out := affineExpr{ok: true, c: a.c * k}
+	if len(a.coef) > 0 {
+		out.coef = map[ir.Reg]int64{}
+		for r, v := range a.coef {
+			out.coef[r] = v * k
+		}
+	}
+	return out
+}
+
+// inductionInfo is a linear induction with constant step.
+type inductionInfo struct {
+	step    int64
+	defBlk  *ir.Block
+	defIdx  int
+	defInst *ir.Instr
+}
+
+// affineCtx holds per-loop state for the analysis.
+type affineCtx struct {
+	g    *cfg.Graph
+	loop *cfg.Loop
+	// ind maps linear induction registers to their constant step.
+	ind map[ir.Reg]inductionInfo
+	// singleDef maps registers to their unique in-loop definition, if any.
+	singleDef map[ir.Reg]defLoc
+	// multiDef marks registers defined more than once in the loop.
+	multiDef map[ir.Reg]bool
+}
+
+type defLoc struct {
+	blk *ir.Block
+	idx int
+	in  *ir.Instr
+}
+
+func newAffineCtx(g *cfg.Graph, loop *cfg.Loop) *affineCtx {
+	ctx := &affineCtx{
+		g: g, loop: loop,
+		ind:       map[ir.Reg]inductionInfo{},
+		singleDef: map[ir.Reg]defLoc{},
+		multiDef:  map[ir.Reg]bool{},
+	}
+	for _, b := range loop.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			d := in.Def()
+			if d == ir.NoReg {
+				continue
+			}
+			if _, seen := ctx.singleDef[d]; seen || ctx.multiDef[d] {
+				ctx.multiDef[d] = true
+				delete(ctx.singleDef, d)
+				continue
+			}
+			ctx.singleDef[d] = defLoc{blk: b, idx: i, in: in}
+		}
+	}
+	// Linear inductions: single def r = r ± const, dominating all latches.
+	for r, dl := range ctx.singleDef {
+		in := dl.in
+		var step int64
+		switch in.Op {
+		case ir.OpAdd:
+			if in.A.IsReg() && in.A.Reg == r && in.B.IsConst() {
+				step = in.B.Imm
+			} else if in.B.IsReg() && in.B.Reg == r && in.A.IsConst() {
+				step = in.A.Imm
+			} else {
+				continue
+			}
+		case ir.OpSub:
+			if in.A.IsReg() && in.A.Reg == r && in.B.IsConst() {
+				step = -in.B.Imm
+			} else {
+				continue
+			}
+		default:
+			continue
+		}
+		domAll := true
+		for _, l := range loop.Latches {
+			if !ctx.g.Dominates(dl.blk, l) {
+				domAll = false
+			}
+		}
+		if domAll && step != 0 {
+			ctx.ind[r] = inductionInfo{step: step, defBlk: dl.blk, defIdx: dl.idx, defInst: in}
+		}
+	}
+	return ctx
+}
+
+// evalAt evaluates operand v as an affine expression, as observed at
+// position (blk, idx). Induction registers are normalized to their value
+// at iteration start: if the induction's update provably executed before
+// the position, the constant absorbs one step; if the ordering is
+// ambiguous, the evaluation fails (conservative).
+func (ctx *affineCtx) evalAt(v ir.Value, blk *ir.Block, idx, depth int) affineExpr {
+	if depth > 12 {
+		return affineExpr{}
+	}
+	switch v.Kind {
+	case ir.KindConst:
+		return affConst(v.Imm)
+	case ir.KindReg:
+		r := v.Reg
+		if ind, isInd := ctx.ind[r]; isInd {
+			e := affineExpr{ok: true, coef: map[ir.Reg]int64{r: 1}}
+			switch {
+			case ind.defBlk == blk:
+				if ind.defIdx < idx {
+					e.c += ind.step
+				}
+			case ctx.g.Dominates(ind.defBlk, blk):
+				e.c += ind.step
+			case ctx.g.Dominates(blk, ind.defBlk):
+				// update is strictly later in the iteration: start value
+			default:
+				return affineExpr{} // ambiguous ordering
+			}
+			return e
+		}
+		if ctx.multiDef[r] {
+			return affineExpr{}
+		}
+		dl, defined := ctx.singleDef[r]
+		if !defined {
+			// Loop invariant: a pure symbol.
+			return affineExpr{ok: true, coef: map[ir.Reg]int64{r: 1}}
+		}
+		// Follow the unique in-loop definition.
+		in := dl.in
+		switch in.Op {
+		case ir.OpConst:
+			return affConst(in.A.Imm)
+		case ir.OpMov:
+			return ctx.evalAt(in.A, dl.blk, dl.idx, depth+1)
+		case ir.OpAdd:
+			return affAdd(ctx.evalAt(in.A, dl.blk, dl.idx, depth+1), ctx.evalAt(in.B, dl.blk, dl.idx, depth+1), 1)
+		case ir.OpSub:
+			return affAdd(ctx.evalAt(in.A, dl.blk, dl.idx, depth+1), ctx.evalAt(in.B, dl.blk, dl.idx, depth+1), -1)
+		case ir.OpMul:
+			a := ctx.evalAt(in.A, dl.blk, dl.idx, depth+1)
+			b := ctx.evalAt(in.B, dl.blk, dl.idx, depth+1)
+			if a.ok && len(a.coef) == 0 {
+				return affScale(b, a.c)
+			}
+			if b.ok && len(b.coef) == 0 {
+				return affScale(a, b.c)
+			}
+			return affineExpr{}
+		case ir.OpShl:
+			a := ctx.evalAt(in.A, dl.blk, dl.idx, depth+1)
+			b := ctx.evalAt(in.B, dl.blk, dl.idx, depth+1)
+			if b.ok && len(b.coef) == 0 && b.c >= 0 && b.c < 62 {
+				return affScale(a, 1<<uint(b.c))
+			}
+			return affineExpr{}
+		default:
+			return affineExpr{}
+		}
+	}
+	return affineExpr{}
+}
+
+// addrExpr returns the affine form of a memory instruction's address.
+func (ctx *affineCtx) addrExpr(li LoopInstr) affineExpr {
+	if li.Fn != nil && li.Block != nil {
+		e := ctx.evalAt(li.In.A, li.Block, li.Index, 0)
+		if e.ok {
+			e.c += li.In.Off
+		}
+		return e
+	}
+	return affineExpr{}
+}
+
+// provablyIndependent reports whether two accesses can never touch the
+// same word in different iterations (loop-carried disjointness). Both
+// expressions must use the same symbols with identical coefficients; the
+// collision equation then reduces to ΔC + K·d = 0 for iteration distance
+// d ≠ 0, where K sums coef·step over induction symbols.
+func (ctx *affineCtx) provablyIndependent(a, b affineExpr) bool {
+	if !a.ok || !b.ok {
+		return false
+	}
+	// Coefficients must match exactly so invariant symbols cancel.
+	if len(a.coef) != len(b.coef) {
+		return false
+	}
+	var k int64
+	hasInd := false
+	for r, ca := range a.coef {
+		cb, ok := b.coef[r]
+		if !ok || ca != cb {
+			return false
+		}
+		if ind, isInd := ctx.ind[r]; isInd {
+			k += ca * ind.step
+			hasInd = true
+		}
+	}
+	dc := a.c - b.c
+	if !hasInd || k == 0 {
+		// Same address every iteration: disjoint only if offsets differ.
+		return dc != 0
+	}
+	if dc == 0 {
+		// Collision only at distance 0: not loop-carried.
+		return true
+	}
+	if dc%k != 0 {
+		return true // no integer iteration distance collides
+	}
+	return false
+}

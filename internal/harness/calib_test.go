@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"testing"
+
+	"helixrc/internal/hcc"
+	"helixrc/internal/sim"
+	"helixrc/internal/workloads"
+)
+
+// TestCalibration prints the headline numbers for every workload so the
+// shapes can be compared against the paper during development.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration table is slow")
+	}
+	for _, name := range workloads.Names() {
+		v3, err := Evaluate(name, hcc.V3, sim.HelixRC(16), true)
+		if err != nil {
+			t.Errorf("%s V3: %v", name, err)
+			continue
+		}
+		w, _ := workloads.Get(name)
+		// HCCv3 code on conventional hardware (Figure 9 C bars).
+		wc, comp, _ := Compile(name, hcc.V3, 16)
+		conv, err := sim.Run(wc.Prog, comp, wc.Entry, sim.Conventional(16), wc.RefArgs...)
+		if err != nil {
+			t.Errorf("%s V3conv: %v", name, err)
+			continue
+		}
+		v2, err := Evaluate(name, hcc.V2, sim.Conventional(16), true)
+		if err != nil {
+			t.Errorf("%s V2: %v", name, err)
+			continue
+		}
+		v1, err := Evaluate(name, hcc.V1, sim.Conventional(16), true)
+		if err != nil {
+			t.Errorf("%s V1: %v", name, err)
+			continue
+		}
+		t.Logf("%-11s RC=%5.2f (paper %4.1f) cov3=%.2f (p %.2f) | v2=%4.2f cov2=%.2f (p %.2f) | v1=%4.2f cov1=%.2f | convC=%3.0f%% | loops=%d seq=%dk",
+			name, v3.Speedup, w.PaperSpeedup, v3.Coverage, w.PaperCoverage[3],
+			v2.Speedup, v2.Coverage, w.PaperCoverage[2],
+			v1.Speedup, v1.Coverage,
+			100*float64(conv.Cycles)/float64(v3.Seq.Cycles),
+			len(v3.Comp.Loops), v3.Seq.Cycles/1000)
+		for _, pl := range v3.Comp.Loops {
+			t.Logf("    loop %s cov=%.2f est=%.1f iterlen=%.0f trip=%.0f segs=%d counted=%v",
+				pl.Loop, pl.Coverage, pl.EstSpeedup, pl.AvgIterLen, pl.AvgTripCount, pl.NumSegs, pl.Counted)
+		}
+		for _, rej := range v3.Comp.Rejected {
+			if rej.Estimate > 0.3 {
+				t.Logf("    rej %s: %s (est %.2f)", rej.Loop, rej.Reason, rej.Estimate)
+			}
+		}
+	}
+}

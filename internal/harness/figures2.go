@@ -1,0 +1,276 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"helixrc/internal/cfg"
+	"helixrc/internal/cpu"
+	"helixrc/internal/ddg"
+	"helixrc/internal/hcc"
+	"helixrc/internal/induction"
+	"helixrc/internal/ir"
+	"helixrc/internal/sim"
+	"helixrc/internal/workloads"
+)
+
+func inductionClassify(pl *hcc.ParallelLoop, g *cfg.Graph, dg *ddg.Graph) map[ir.Reg]induction.Info {
+	return induction.Classify(pl.Fn, g, pl.Loop, dg.CarriedRegs)
+}
+
+// Figure10 sweeps core complexity: 2-way in-order (the default), 2-way
+// and 4-way out-of-order. The second series block reports each core's
+// sequential time normalized to the 4-way OoO core (the paper's lower
+// panel).
+func Figure10(cores int) (*FigureResult, error) {
+	f := &FigureResult{
+		Title: "Figure 10: speedup by core type (upper) and sequential time vs 4-way OoO (lower)",
+		Series: []string{
+			"2-way IO", "2-way OoO", "4-way OoO",
+			"seqIO/seqOoO4", "seqOoO2/seqOoO4",
+		},
+		Notes: "Paper shape: HELIX-RC still speeds up OoO cores; 4-way OoO sequential is ~1.9x faster than in-order; 164.gzip benefits least.",
+	}
+	coreCfgs := []cpu.Config{cpu.InOrder2(), cpu.OoO2(), cpu.OoO4()}
+	for _, name := range workloads.IntNames() {
+		row := SpeedupRow{Name: name}
+		var seqs []*sim.Result
+		for _, cc := range coreCfgs {
+			arch := sim.HelixRC(cores)
+			arch.Core = cc
+			seqArch := sim.Conventional(cores)
+			seqArch.Core = cc
+			seq, err := CachedBaseline(name, seqArch, true)
+			if err != nil {
+				return nil, err
+			}
+			seqs = append(seqs, seq)
+			res, _, err := runOn(name, hcc.V3, arch, true)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, sim.Speedup(seq, res))
+		}
+		row.Values = append(row.Values,
+			float64(seqs[0].Cycles)/float64(seqs[2].Cycles),
+			float64(seqs[1].Cycles)/float64(seqs[2].Cycles))
+		f.Rows = append(f.Rows, row)
+	}
+	f.Geomean = make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		f.Geomean[i] = geomeanColumn(f.Rows, i)
+	}
+	return f, nil
+}
+
+// Figure11 sweeps one architectural parameter of the ring cache at a time
+// over the CINT2000 analogues. which selects the panel: "cores", "link",
+// "signals" or "memory".
+func Figure11(which string) (*FigureResult, error) {
+	type variant struct {
+		label string
+		arch  func() sim.Config
+	}
+	mk := func(mod func(*sim.Config)) func() sim.Config {
+		return func() sim.Config {
+			c := sim.HelixRC(16)
+			mod(&c)
+			return c
+		}
+	}
+	var title string
+	var variants []variant
+	switch which {
+	case "cores":
+		title = "Figure 11a: sensitivity to core count"
+		for _, n := range []int{2, 4, 8, 16} {
+			n := n
+			variants = append(variants, variant{
+				label: fmt.Sprintf("%d cores", n),
+				arch:  func() sim.Config { return sim.HelixRC(n) },
+			})
+		}
+	case "link":
+		title = "Figure 11b: sensitivity to adjacent node link latency"
+		for _, l := range []int{1, 4, 8, 16, 32} {
+			l := l
+			variants = append(variants, variant{
+				label: fmt.Sprintf("%d cycle", l),
+				arch:  mk(func(c *sim.Config) { c.Ring.LinkLatency = l }),
+			})
+		}
+	case "signals":
+		title = "Figure 11c: sensitivity to signal bandwidth"
+		for _, s := range []int{0, 4, 2, 1} { // 0 = unbounded
+			s := s
+			label := fmt.Sprintf("%d signals", s)
+			if s == 0 {
+				label = "unbounded"
+			}
+			variants = append(variants, variant{
+				label: label,
+				arch:  mk(func(c *sim.Config) { c.Ring.SignalBandwidth = s }),
+			})
+		}
+	case "memory":
+		title = "Figure 11d: sensitivity to node memory size"
+		for _, kb := range []int{0, 32768, 1024, 256} { // bytes; 0 = unbounded
+			kb := kb
+			label := fmt.Sprintf("%dB", kb)
+			if kb == 0 {
+				label = "unbounded"
+			}
+			variants = append(variants, variant{
+				label: label,
+				arch:  mk(func(c *sim.Config) { c.Ring.ArrayBytes = kb }),
+			})
+		}
+	default:
+		return nil, fmt.Errorf("harness: unknown Figure 11 panel %q", which)
+	}
+
+	f := &FigureResult{Title: title}
+	for _, v := range variants {
+		f.Series = append(f.Series, v.label)
+	}
+	for _, name := range workloads.IntNames() {
+		row := SpeedupRow{Name: name}
+		for _, v := range variants {
+			arch := v.arch()
+			seq, err := CachedBaseline(name, sim.Conventional(arch.Cores), true)
+			if err != nil {
+				return nil, err
+			}
+			res, _, err := runOn(name, hcc.V3, arch, true)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, sim.Speedup(seq, res))
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	f.Geomean = make([]float64, len(variants))
+	for i := range variants {
+		f.Geomean[i] = geomeanColumn(f.Rows, i)
+	}
+	return f, nil
+}
+
+// Figure12Row is one benchmark's overhead taxonomy plus its speedup.
+type Figure12Row struct {
+	Name    string
+	Shares  []float64 // in sim.ShareNames order
+	Speedup float64
+}
+
+// Figure12 categorizes every overhead cycle that prevents ideal speedup.
+func Figure12(cores int) ([]Figure12Row, error) {
+	var rows []Figure12Row
+	for _, name := range workloads.Names() {
+		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := runOn(name, hcc.V3, sim.HelixRC(cores), true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure12Row{
+			Name:    name,
+			Shares:  res.Overheads.Shares(),
+			Speedup: sim.Speedup(seq, res),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFigure12 renders the overhead table.
+func FormatFigure12(rows []Figure12Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12: breakdown of overheads that prevent ideal speedup\n")
+	fmt.Fprintf(&sb, "%-12s", "benchmark")
+	for _, n := range sim.ShareNames {
+		fmt.Fprintf(&sb, " %13s", n)
+	}
+	fmt.Fprintf(&sb, " %9s\n", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s", r.Name)
+		for _, s := range r.Shares {
+			fmt.Fprintf(&sb, " %12.1f%%", 100*s)
+		}
+		fmt.Fprintf(&sb, " %8.1fx\n", r.Speedup)
+	}
+	sb.WriteString("Paper shape: low trip count dominates vpr/twolf/bzip2/art; dependence waiting weighs on gzip/parser/mcf.\n")
+	return sb.String()
+}
+
+// TLPResult holds the Section 6.2 TLP statistics: thread-level
+// parallelism and sequential-segment size under conservative (HCCv2-
+// style) and aggressive (HCCv3) splitting, measured on the abstract
+// 1-IPC communication-free machine.
+type TLPResult struct {
+	ConservativeTLP float64
+	AggressiveTLP   float64
+	ConservativeSeg float64
+	AggressiveSeg   float64
+}
+
+// Format renders the statistic.
+func (r *TLPResult) Format() string {
+	return fmt.Sprintf(
+		"Section 6.2 TLP: conservative splitting TLP=%.1f (avg %.1f instrs/segment); "+
+			"aggressive splitting TLP=%.1f (avg %.1f instrs/segment)\n"+
+			"Paper shape: TLP 6.4 -> 14.2; instructions per segment 8.5 -> 3.2.\n",
+		r.ConservativeTLP, r.ConservativeSeg, r.AggressiveTLP, r.AggressiveSeg)
+}
+
+// TLP measures thread-level parallelism on the abstract machine for
+// HCCv2-style merged segments vs HCCv3 aggressive splitting, over the
+// CINT2000 analogues.
+func TLP() (*TLPResult, error) {
+	out := &TLPResult{}
+	var consTLP, aggTLP []float64
+	var consSegSum, consSegN, aggSegSum, aggSegN float64
+	for _, name := range workloads.IntNames() {
+		for _, level := range []hcc.Level{hcc.V2, hcc.V3} {
+			w, err := workloads.Get(name) // fresh: V2 on abstract differs from cache key
+			if err != nil {
+				return nil, err
+			}
+			comp, err := hcc.Compile(w.Prog, w.Entry, hcc.Options{
+				Level: level, Cores: 16, TrainArgs: w.TrainArgs,
+				// Selection under the abstract machine: communication-free.
+				SelectLatency: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(w.Prog, comp, w.Entry, sim.Abstract(16), w.RefArgs...)
+			if err != nil {
+				return nil, err
+			}
+			if level == hcc.V2 {
+				consTLP = append(consTLP, res.TLP())
+				if res.SegEntries > 0 {
+					consSegSum += res.AvgSegInstrs()
+					consSegN++
+				}
+			} else {
+				aggTLP = append(aggTLP, res.TLP())
+				if res.SegEntries > 0 {
+					aggSegSum += res.AvgSegInstrs()
+					aggSegN++
+				}
+			}
+		}
+	}
+	out.ConservativeTLP = Geomean(consTLP)
+	out.AggressiveTLP = Geomean(aggTLP)
+	if consSegN > 0 {
+		out.ConservativeSeg = consSegSum / consSegN
+	}
+	if aggSegN > 0 {
+		out.AggressiveSeg = aggSegSum / aggSegN
+	}
+	return out, nil
+}

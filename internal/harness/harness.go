@@ -1,0 +1,99 @@
+// Package harness wires workloads, the HCC compiler and the simulator
+// into the experiments of the paper's evaluation (Section 6). Every table
+// and figure has a generator here; the root bench_test.go and
+// cmd/helix-bench expose them.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"helixrc/internal/hcc"
+	"helixrc/internal/sim"
+	"helixrc/internal/workloads"
+)
+
+// Outcome bundles one compile-and-simulate measurement.
+type Outcome struct {
+	Name     string
+	Level    hcc.Level
+	Comp     *hcc.Compiled
+	Seq      *sim.Result
+	Par      *sim.Result
+	Speedup  float64
+	Coverage float64
+}
+
+// Baseline simulates the unparallelized program.
+func Baseline(name string, arch sim.Config, ref bool) (*sim.Result, error) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(w.Prog, nil, w.Entry, arch, args(w, ref)...)
+}
+
+func args(w *workloads.Workload, ref bool) []int64 {
+	if ref {
+		return w.RefArgs
+	}
+	return w.TrainArgs
+}
+
+// Compile builds a fresh copy of the workload and compiles it at the
+// given level. A fresh copy is required because HCC mutates the program.
+func Compile(name string, level hcc.Level, cores int) (*workloads.Workload, *hcc.Compiled, error) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	comp, err := hcc.Compile(w.Prog, w.Entry, hcc.Options{
+		Level: level, Cores: cores, TrainArgs: w.TrainArgs,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return w, comp, nil
+}
+
+// Evaluate compiles the workload at the level and simulates both the
+// sequential baseline and the parallel run on arch.
+func Evaluate(name string, level hcc.Level, arch sim.Config, ref bool) (*Outcome, error) {
+	w, comp, err := Compile(name, level, arch.Cores)
+	if err != nil {
+		return nil, err
+	}
+	par, err := sim.Run(w.Prog, comp, w.Entry, arch, args(w, ref)...)
+	if err != nil {
+		return nil, fmt.Errorf("%s parallel: %w", name, err)
+	}
+	seq, err := Baseline(name, arch, ref)
+	if err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", name, err)
+	}
+	if seq.RetValue != par.RetValue {
+		return nil, fmt.Errorf("%s: parallel result %d != sequential %d",
+			name, par.RetValue, seq.RetValue)
+	}
+	return &Outcome{
+		Name: name, Level: level, Comp: comp,
+		Seq: seq, Par: par,
+		Speedup:  sim.Speedup(seq, par),
+		Coverage: comp.Coverage,
+	}, nil
+}
+
+// Geomean returns the geometric mean of xs (1.0 for empty input).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	prod := 1.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		prod *= x
+	}
+	return math.Pow(prod, 1/float64(len(xs)))
+}

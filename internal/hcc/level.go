@@ -1,0 +1,127 @@
+// Package hcc implements the HELIX compiler family from the paper: HCCv1,
+// HCCv2 and HCCv3. All three share one pipeline — dependence analysis,
+// predictable-variable recomputation, sequential-segment formation,
+// wait/signal code generation and loop selection — and differ in feature
+// flags:
+//
+//	HCCv1: baseline alias analysis, linear-induction recomputation only,
+//	       a single merged sequential segment per loop, wait on every
+//	       path, analytical loop selection assuming coherence latency.
+//	HCCv2: full alias tier ladder, all predictability classes (scalar
+//	       expansion-style privatization, reductions), still one merged
+//	       segment and every-path waits, analytical selection.
+//	HCCv3: aggressive segment splitting (one segment per disjoint shared
+//	       data cluster), wait elimination (signal-only paths), and
+//	       profiler-based loop selection that emulates the ring cache.
+package hcc
+
+import (
+	"fmt"
+
+	"helixrc/internal/alias"
+)
+
+// Level selects the compiler generation.
+type Level int
+
+// Compiler generations.
+const (
+	V1 Level = iota + 1
+	V2
+	V3
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case V1:
+		return "HCCv1"
+	case V2:
+		return "HCCv2"
+	case V3:
+		return "HCCv3"
+	default:
+		return fmt.Sprintf("HCC(%d)", int(l))
+	}
+}
+
+// AliasTier returns the alias precision the level was engineered with.
+func (l Level) AliasTier() alias.Tier {
+	if l == V1 {
+		return alias.TierBase
+	}
+	return alias.TierLib
+}
+
+// SplitsAggressively reports whether sequential segments are split per
+// shared-data cluster (HCCv3) or merged into one (HCCv1/v2).
+func (l Level) SplitsAggressively() bool { return l >= V3 }
+
+// EliminatesWaits reports whether iterations that forgo a segment signal
+// without waiting (HCCv3's decoupled synchronization).
+func (l Level) EliminatesWaits() bool { return l >= V3 }
+
+// FullPredictability reports whether all four predictable-variable classes
+// are exploited (HCCv2+) or only linear inductions (HCCv1).
+func (l Level) FullPredictability() bool { return l >= V2 }
+
+// ProfilesForSelection reports whether loop selection uses the ring-cache
+// emulating profiler (HCCv3) instead of the analytical model.
+func (l Level) ProfilesForSelection() bool { return l >= V3 }
+
+// Options configures a compilation.
+type Options struct {
+	Level Level
+
+	// Cores is the target core count (the paper's default platform is 16).
+	Cores int
+
+	// SelectLatency is the core-to-core synchronization latency, in
+	// cycles, the loop selector assumes when estimating parallel benefit.
+	// HCCv1/v2 use the coherence round trip of the target machine;
+	// HCCv3's profiler uses the ring-cache neighbor latency.
+	SelectLatency float64
+
+	// TrainArgs are the arguments of the training run used for profiling
+	// and loop selection (the paper uses SPEC training inputs).
+	TrainArgs []int64
+
+	// ProfileBudget bounds profiling instructions (0 = default).
+	ProfileBudget int64
+
+	// MaxLoops caps how many loops are selected (0 = no cap).
+	MaxLoops int
+
+	// MinSpeedup is the estimated-benefit threshold below which a loop is
+	// not worth parallelizing. Defaults to 1.05.
+	MinSpeedup float64
+
+	// CPI approximates the target core's cycles per instruction for the
+	// selection model. Defaults to 1.4 (2-way in-order Atom-like).
+	CPI float64
+}
+
+func (o *Options) fillDefaults() {
+	if o.Level == 0 {
+		o.Level = V3
+	}
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	if o.SelectLatency == 0 {
+		if o.Level.ProfilesForSelection() {
+			o.SelectLatency = 2 // ring-cache neighbor hop
+		} else {
+			// HCCv1/v2 model the coherence transfer of the target machine;
+			// the evaluation platform's optimistic cache-to-cache latency
+			// is 10 cycles (Section 6.1).
+			o.SelectLatency = 10
+		}
+	}
+	if o.MinSpeedup == 0 {
+		o.MinSpeedup = 1.05
+	}
+	if o.CPI == 0 {
+		o.CPI = 1.4
+	}
+}

@@ -1,0 +1,297 @@
+package hcc
+
+import (
+	"sort"
+
+	"helixrc/internal/cfg"
+	"helixrc/internal/ddg"
+	"helixrc/internal/induction"
+	"helixrc/internal/ir"
+)
+
+// segmentation assigns every shared datum of a loop to a sequential
+// segment. Segment 0 is reserved for the loop-control protocol; memory
+// clusters and shared registers occupy 1..N (HCCv3) or are all merged into
+// segment 0 (HCCv1/v2, which minimize synchronization points because each
+// costs a coherence round trip on conventional hardware).
+type segmentation struct {
+	// memberSeg maps original memory-instruction UIDs to segment ids.
+	memberSeg map[int32]int
+	// regSeg maps shared registers to their segment ids.
+	regSeg map[ir.Reg]int
+	// numSegs counts ids in use (including 0).
+	numSegs int
+	// sharedInCallee is set when a shared access lives inside a called
+	// function, which this compiler does not transform (the loop must be
+	// rejected).
+	sharedInCallee bool
+	// clobberCall is set when an external call with memory effects
+	// participates in a dependence (also a rejection reason).
+	clobberCall bool
+}
+
+// buildSegments forms shared-data clusters from the dependence graph and
+// maps them to segments per the compiler level. classes must already
+// reflect the level's predictability support.
+func buildSegments(level Level, dg *ddg.Graph, classes map[ir.Reg]induction.Info) *segmentation {
+	s := &segmentation{
+		memberSeg: map[int32]int{},
+		regSeg:    map[ir.Reg]int{},
+		numSegs:   1,
+	}
+
+	// Locate which UIDs are loop-body instructions vs callee instructions,
+	// and which are extern calls.
+	inBody := map[int32]bool{}
+	isCall := map[int32]bool{}
+	for _, li := range dg.Instrs {
+		if li.Fn == dg.Fn && dg.Loop.Contains(li.Block) {
+			inBody[li.In.UID] = true
+		}
+		if li.In.Op == ir.OpCall && li.In.Extern != nil {
+			isCall[li.In.UID] = true
+		}
+	}
+
+	// Union-find over instructions connected by dependence edges.
+	parent := map[int32]int32{}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	add := func(x int32) {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+	}
+	union := func(a, b int32) {
+		add(a)
+		add(b)
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range dg.MemEdges {
+		if isCall[e.A] || isCall[e.B] {
+			s.clobberCall = true
+			continue
+		}
+		union(e.A, e.B)
+	}
+	if s.clobberCall {
+		return s
+	}
+
+	// Group members by root; reject loops whose shared accesses live in
+	// callees (HCC inlines such code in the real system; we reject).
+	clusters := map[int32][]int32{}
+	for uid := range parent {
+		if !inBody[uid] {
+			s.sharedInCallee = true
+			return s
+		}
+		r := find(uid)
+		clusters[r] = append(clusters[r], uid)
+	}
+	roots := make([]int32, 0, len(clusters))
+	for r := range clusters {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	// Shared registers, in stable order.
+	var sharedRegs []ir.Reg
+	for r, info := range classes {
+		if info.Class == induction.ClassShared {
+			sharedRegs = append(sharedRegs, r)
+		}
+	}
+	sort.Slice(sharedRegs, func(i, j int) bool { return sharedRegs[i] < sharedRegs[j] })
+
+	if level.SplitsAggressively() {
+		for _, r := range roots {
+			id := s.numSegs
+			s.numSegs++
+			for _, uid := range clusters[r] {
+				s.memberSeg[uid] = id
+			}
+		}
+		for _, r := range sharedRegs {
+			s.regSeg[r] = s.numSegs
+			s.numSegs++
+		}
+	} else {
+		// One merged segment: everything shares segment 0 with control.
+		for _, r := range roots {
+			for _, uid := range clusters[r] {
+				s.memberSeg[uid] = 0
+			}
+		}
+		for _, r := range sharedRegs {
+			s.regSeg[r] = 0
+		}
+	}
+	return s
+}
+
+// estimateSpans approximates, on the original loop body, how many
+// dynamic instructions fall on wait→signal paths for each segment: the
+// serialized span the loop selector charges against parallelism. Blocks
+// are weighted by their per-iteration execution frequency (freq), so an
+// inner loop inside a segment multiplies its cost and a conditional
+// segment costs its taken probability. With wait elimination (HCCv3) the
+// wait sits just before the first access, so the span is the region
+// between the accesses; without it the wait is hoisted to a common
+// dominator and the span covers everything that can still reach an
+// access. Returns spans indexed by segment id.
+func estimateSpans(level Level, g *cfg.Graph, loop *cfg.Loop, seg *segmentation, freq func(*ir.Block) float64) (spans, accCounts []float64) {
+	spans = make([]float64, seg.numSegs)
+	accCounts = make([]float64, seg.numSegs)
+	type spanRange struct{ first, last int }
+	accessIn := make([]map[*ir.Block]spanRange, seg.numSegs)
+	for i := range accessIn {
+		accessIn[i] = map[*ir.Block]spanRange{}
+	}
+	note := func(id int, b *ir.Block, idx int) {
+		accCounts[id] += freq(b)
+		if r, ok := accessIn[id][b]; ok {
+			if idx < r.first {
+				r.first = idx
+			}
+			if idx > r.last {
+				r.last = idx
+			}
+			accessIn[id][b] = r
+		} else {
+			accessIn[id][b] = spanRange{first: idx, last: idx}
+		}
+	}
+	for _, b := range loop.Blocks {
+		for i := range b.Instrs {
+			if id, ok := seg.memberSeg[b.Instrs[i].UID]; ok {
+				note(id, b, i)
+			}
+			if d := b.Instrs[i].Def(); d != ir.NoReg {
+				if id, ok := seg.regSeg[d]; ok {
+					note(id, b, i)
+				}
+			}
+			var scratch [4]ir.Reg
+			for _, u := range b.Instrs[i].Uses(scratch[:0]) {
+				if id, ok := seg.regSeg[u]; ok {
+					note(id, b, i)
+				}
+			}
+		}
+	}
+	for id := 0; id < seg.numSegs; id++ {
+		if len(accessIn[id]) == 0 {
+			continue
+		}
+		access := map[*ir.Block]bool{}
+		for b := range accessIn[id] {
+			access[b] = true
+		}
+		reach := canReachWithin(g, loop, access)
+		var from map[*ir.Block]bool
+		if level.EliminatesWaits() {
+			from = reachableFromWithin(g, loop, access)
+		}
+		for _, b := range loop.Blocks {
+			if !reach[b] || (from != nil && !from[b]) {
+				continue
+			}
+			start, end := 0, len(b.Instrs)
+			// The segment cannot start before the block's first access if
+			// the region enters here (no predecessor inside the region).
+			if r, isAcc := accessIn[id][b]; isAcc {
+				entry := true
+				for _, p := range g.Preds[b.Index] {
+					if p != loop.Header || b != loop.Header {
+						if loop.Contains(p) && b != loop.Header && reach[p] && (from == nil || from[p]) {
+							entry = false
+						}
+					}
+				}
+				if entry {
+					start = r.first
+				}
+				// The segment ends at the last access when no successor
+				// stays in the region.
+				exitHere := true
+				for _, s := range g.Succs[b.Index] {
+					if s != loop.Header && loop.Contains(s) && reach[s] && (from == nil || from[s]) {
+						exitHere = false
+					}
+				}
+				if exitHere {
+					end = r.last + 1
+				}
+			}
+			if end > start {
+				spans[id] += float64(end-start) * freq(b)
+			}
+		}
+		// A segment spans at least its own accesses plus sync overhead.
+		if spans[id] == 0 {
+			spans[id] = float64(len(accessIn[id]))
+		}
+	}
+	return spans, accCounts
+}
+
+// reachableFromWithin computes the blocks reachable from any access block
+// without re-entering the header (forward closure within one iteration).
+func reachableFromWithin(g *cfg.Graph, loop *cfg.Loop, access map[*ir.Block]bool) map[*ir.Block]bool {
+	reach := map[*ir.Block]bool{}
+	var work []*ir.Block
+	for b := range access {
+		reach[b] = true
+		work = append(work, b)
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range g.Succs[b.Index] {
+			if s == loop.Header || !loop.Contains(s) || reach[s] {
+				continue
+			}
+			reach[s] = true
+			work = append(work, s)
+		}
+	}
+	return reach
+}
+
+// canReachWithin computes, per loop block, whether an access block is
+// reachable without leaving the iteration (back edges to the header cut).
+func canReachWithin(g *cfg.Graph, loop *cfg.Loop, access map[*ir.Block]bool) map[*ir.Block]bool {
+	reach := map[*ir.Block]bool{}
+	for b := range access {
+		reach[b] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range loop.Blocks {
+			if reach[b] {
+				continue
+			}
+			for _, s := range g.Succs[b.Index] {
+				if s == loop.Header || !loop.Contains(s) {
+					continue
+				}
+				if reach[s] {
+					reach[b] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
+}

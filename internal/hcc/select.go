@@ -1,0 +1,87 @@
+package hcc
+
+import (
+	"math"
+
+	"helixrc/internal/interp"
+)
+
+// estimate models the parallel benefit of a loop, DOACROSS-style. The
+// serialized step between successive iterations is the largest sequential
+// segment span plus the synchronization latency of the target architecture
+// (coherence round trips for HCCv1/v2's analytical model; the ring-cache
+// hop for HCCv3's profiler emulation, per Section 4 of the paper). The
+// loop's throughput is bounded both by that chain and by dividing the
+// iteration's work across the cores.
+func estimate(lp *interp.LoopProfile, spans, accCounts []float64, counted bool, overheadInstrs float64, opts *Options) float64 {
+	iterLen := lp.AvgIterLen()
+	if iterLen <= 0 {
+		return 0
+	}
+	seqCycles := iterLen * opts.CPI
+
+	maxSpan := 0.0
+	nSegs := 0
+	for _, s := range spans {
+		if s > 0 {
+			nSegs++
+		}
+		if s > maxSpan {
+			maxSpan = s
+		}
+	}
+	parIterCycles := seqCycles + overheadInstrs*opts.CPI
+	if nSegs == 0 && counted {
+		// A DOALL loop after recomputation: no synchronization at all.
+		perIter := math.Max(1, parIterCycles/float64(opts.Cores))
+		trip := math.Max(lp.AvgTripCount(), 1)
+		startup := 30 + 2*float64(opts.Cores)
+		return (trip * seqCycles) / (startup + trip*perIter + seqCycles)
+	}
+	if !counted {
+		// The control protocol serializes the prologue check.
+		nSegs++
+		if maxSpan < 4 {
+			maxSpan = 4
+		}
+	}
+
+	// Per-iteration serialized chain: segment work plus synchronization.
+	// On a pull-based conventional machine each synchronization costs a
+	// signal transfer and a data transfer, serialized (the paper's
+	// "coupled communication"); the ring cache overlaps them.
+	var chain float64
+	if opts.Level.ProfilesForSelection() {
+		chain = maxSpan*opts.CPI + opts.SelectLatency
+	} else {
+		// Pull-based coherence: besides the serialized synchronization
+		// round trips, every shared access in the segment is a remote
+		// dirty-line transfer on the critical chain.
+		var accesses float64
+		for _, a := range accCounts {
+			accesses += a
+		}
+		chain = maxSpan*opts.CPI + 2*opts.SelectLatency + accesses*opts.SelectLatency
+	}
+
+	// Each core's copy of the iteration also pays the inserted-code cost
+	// plus sync instruction and stall overhead for every segment.
+	perCoreIter := parIterCycles + float64(nSegs)*2
+	if !opts.Level.ProfilesForSelection() {
+		perCoreIter = parIterCycles + float64(nSegs)*opts.SelectLatency
+	}
+
+	perIter := math.Max(chain, perCoreIter/float64(opts.Cores))
+	trip := lp.AvgTripCount()
+	if trip < 1 {
+		trip = 1
+	}
+	startup := 30 + 2*float64(opts.Cores)
+
+	seqTime := trip * seqCycles
+	parTime := startup + trip*perIter + seqCycles // pipeline fill/drain
+	if parTime <= 0 {
+		return 0
+	}
+	return seqTime / parTime
+}

@@ -1,0 +1,222 @@
+package hcc
+
+import (
+	"testing"
+
+	"helixrc/internal/cfg"
+	"helixrc/internal/interp"
+	"helixrc/internal/ir"
+)
+
+// compileOne compiles the vpr-like test program and returns its loop plan.
+func compileOne(t *testing.T, level Level) (*ir.Program, *ir.Function, *ParallelLoop) {
+	t.Helper()
+	p, f := buildVprLike(t, 400)
+	comp, err := Compile(p, f, Options{Level: level, Cores: 16, TrainArgs: []int64{400}, MinSpeedup: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range comp.Loops {
+		if pl.Fn == f && len(pl.Segments) > 0 {
+			return p, f, pl
+		}
+	}
+	t.Fatal("hot loop not selected")
+	return nil, nil, nil
+}
+
+// TestWaitDominatesEveryAccess checks the structural guarantee the
+// simulator later enforces dynamically: on every path, a segment's wait
+// precedes its first shared access.
+func TestWaitDominatesEveryAccess(t *testing.T) {
+	for _, level := range []Level{V1, V2, V3} {
+		_, _, pl := compileOne(t, level)
+		g := cfg.New(pl.Body)
+		// Collect wait blocks per segment.
+		waitIn := map[int][]*ir.Block{}
+		for _, b := range pl.Body.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpWait {
+					waitIn[b.Instrs[i].Seg] = append(waitIn[b.Instrs[i].Seg], b)
+				}
+			}
+		}
+		for _, b := range pl.Body.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if !in.Op.IsMem() || in.SharedSeg < 0 {
+					continue
+				}
+				// Some wait block of this segment must dominate b, or be b
+				// itself with the wait at a smaller index.
+				ok := false
+				for _, wb := range waitIn[in.SharedSeg] {
+					if wb == b {
+						for wi := range b.Instrs {
+							if b.Instrs[wi].Op == ir.OpWait && b.Instrs[wi].Seg == in.SharedSeg && wi < i {
+								ok = true
+							}
+						}
+					} else if g.Dominates(wb, b) {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("%v: access %q in %s not protected by a wait", level, in.String(), b.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestSignalOnEveryPath interprets the body for every iteration index of a
+// run and counts signals: exactly one per segment per iteration.
+func TestSignalOnEveryPath(t *testing.T) {
+	p, _, pl := compileOne(t, V3)
+	mem := interp.NewMemory(p)
+	// Execute iterations 0..20 directly (counted loop: no ctl protocol).
+	for iter := int64(0); iter <= 20; iter++ {
+		regs := make([]int64, pl.Body.NumRegs)
+		for reg, rule := range pl.Recompute {
+			regs[rule.Shadow] = 0
+			_ = reg
+		}
+		c := interp.NewContextWithRegs(p, mem, pl.Body, regs, iter)
+		counts := map[int]int{}
+		for !c.Done() {
+			in := c.Next()
+			if in.Op == ir.OpSignal {
+				counts[in.Seg]++
+			}
+			c.Step()
+		}
+		for s, n := range counts {
+			if n != 1 {
+				t.Fatalf("iter %d: segment %d signalled %d times", iter, s, n)
+			}
+		}
+		if len(counts) == 0 {
+			t.Fatalf("iter %d: no signals at all", iter)
+		}
+	}
+}
+
+// TestV1SingleMergedSegment verifies the level contract on generated code.
+func TestV1SingleMergedSegment(t *testing.T) {
+	_, _, pl := compileOne(t, V1)
+	for _, b := range pl.Body.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.IsSync() && in.Seg != 0 {
+				t.Fatalf("HCCv1 must merge everything into segment 0, found %s", in.String())
+			}
+		}
+	}
+}
+
+// TestV3WaitsAreLate: under wait elimination, no wait may sit in the
+// body's entry block when the segment's accesses are conditional.
+func TestV3BypassPathSignalsWithoutWait(t *testing.T) {
+	_, _, pl := compileOne(t, V3)
+	// Find a block that contains a signal but no wait and no access: the
+	// bypass path of the conditional cost segment.
+	found := false
+	for _, b := range pl.Body.Blocks {
+		hasSig, hasWait, hasAcc := false, false, false
+		for i := range b.Instrs {
+			switch {
+			case b.Instrs[i].Op == ir.OpSignal:
+				hasSig = true
+			case b.Instrs[i].Op == ir.OpWait:
+				hasWait = true
+			case b.Instrs[i].Op.IsMem() && b.Instrs[i].SharedSeg >= 0:
+				hasAcc = true
+			}
+		}
+		if hasSig && !hasWait && !hasAcc {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a signal-only bypass block (the paper's wait elimination)")
+	}
+}
+
+// TestCountedDetection: a counted for-loop gets no control word; a
+// pointer-chase gets one.
+func TestCountedDetection(t *testing.T) {
+	_, _, pl := compileOne(t, V3)
+	if !pl.Counted {
+		t.Error("counted for-loop misdetected")
+	}
+	if pl.CtlAddr != 0 {
+		t.Error("counted loop should not allocate a control word")
+	}
+}
+
+// TestRecomputePrologueCorrect checks the generated recomputation code:
+// running the body for iteration k must set the induction register to
+// init + k*step before the cloned header executes.
+func TestRecomputePrologueCorrect(t *testing.T) {
+	p, _, pl := compileOne(t, V3)
+	if len(pl.Recompute) == 0 {
+		t.Fatal("no recomputation rules")
+	}
+	mem := interp.NewMemory(p)
+	for reg, rule := range pl.Recompute {
+		if rule.Kind != RecLinear {
+			continue
+		}
+		for _, k := range []int64{0, 1, 7, 33} {
+			regs := make([]int64, pl.Body.NumRegs)
+			const init = 5
+			regs[rule.Shadow] = init
+			c := interp.NewContextWithRegs(p, mem, pl.Body, regs, k)
+			// Step until we leave the entry block.
+			for {
+				_, blk, _ := c.Frame()
+				if blk != pl.Body.Entry() || c.Done() {
+					break
+				}
+				c.Step()
+			}
+			step := rule.Step.Imm // test program uses constant steps
+			want := int64(init) + k*step
+			if rule.Negate {
+				want = int64(init) - k*step
+			}
+			if got := regs[reg]; got != want {
+				t.Fatalf("iter %d: r%d = %d, want %d", k, reg, got, want)
+			}
+		}
+	}
+}
+
+// TestBodyVerifies ensures codegen output passes the IR verifier for all
+// levels and all workload-shaped inputs used in this package.
+func TestBodyVerifies(t *testing.T) {
+	for _, level := range []Level{V1, V2, V3} {
+		p, _, _ := compileOne(t, level)
+		if err := p.Verify(); err != nil {
+			t.Errorf("%v: %v", level, err)
+		}
+	}
+}
+
+// TestSegmentsDisjointData: different segments never tag the same global.
+func TestSegmentsDisjointData(t *testing.T) {
+	_, _, pl := compileOne(t, V3)
+	segOfPath := map[string]int{}
+	for _, b := range pl.Body.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if !in.Op.IsMem() || in.SharedSeg < 0 || in.Path == "" {
+				continue
+			}
+			if prev, ok := segOfPath[in.Path]; ok && prev != in.SharedSeg {
+				t.Errorf("path %q appears in segments %d and %d", in.Path, prev, in.SharedSeg)
+			}
+			segOfPath[in.Path] = in.SharedSeg
+		}
+	}
+}

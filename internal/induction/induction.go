@@ -1,0 +1,402 @@
+// Package induction implements the predictable-variable analysis from
+// Section 2.2 of the HELIX-RC paper. For each loop-carried register it
+// decides whether cores can re-compute the value locally instead of
+// communicating it:
+//
+//	(i)   induction variables with polynomial update up to second order
+//	(ii)  accumulative / maximum / minimum variables
+//	(iii) variables set in the loop but not used until after it
+//	(iv)  variables set on every path of an iteration before being used
+//
+// Anything else stays Shared and must be demoted to a memory slot inside a
+// sequential segment by HCC codegen.
+package induction
+
+import (
+	"math"
+
+	"helixrc/internal/cfg"
+	"helixrc/internal/ir"
+)
+
+// Class is the predictability class of a loop-carried register.
+type Class int
+
+// Classes, from cheapest to handle to most expensive.
+const (
+	// ClassPrivate: set before use on every path — nothing to do (iv).
+	ClassPrivate Class = iota
+	// ClassInduction: linear recurrence r += step (i).
+	ClassInduction
+	// ClassPoly2: second-order recurrence, r += s where s is linear (i).
+	ClassPoly2
+	// ClassAccum: reduction r = r ⊕ x for ⊕ in {+,-,min,max,*} (ii).
+	ClassAccum
+	// ClassLastValue: defined in the loop, used only after it (iii).
+	ClassLastValue
+	// ClassShared: unpredictable — requires core-to-core communication.
+	ClassShared
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassPrivate:
+		return "private"
+	case ClassInduction:
+		return "induction"
+	case ClassPoly2:
+		return "poly2"
+	case ClassAccum:
+		return "accumulator"
+	case ClassLastValue:
+		return "lastvalue"
+	case ClassShared:
+		return "shared"
+	default:
+		return "?"
+	}
+}
+
+// Predictable reports whether the class avoids core-to-core communication.
+func (c Class) Predictable() bool { return c != ClassShared }
+
+// ReduceKind identifies how partial accumulator values combine.
+type ReduceKind int
+
+// Reduction kinds with their identities.
+const (
+	ReduceAdd ReduceKind = iota // identity 0 (covers add and sub)
+	ReduceMul                   // identity 1
+	ReduceMin                   // identity MaxInt64
+	ReduceMax                   // identity MinInt64
+)
+
+// Identity returns the reduction's identity element.
+func (k ReduceKind) Identity() int64 {
+	switch k {
+	case ReduceMul:
+		return 1
+	case ReduceMin:
+		return math.MaxInt64
+	case ReduceMax:
+		return math.MinInt64
+	default:
+		return 0
+	}
+}
+
+// Combine merges two partial values.
+func (k ReduceKind) Combine(a, b int64) int64 {
+	switch k {
+	case ReduceMul:
+		return a * b
+	case ReduceMin:
+		if b < a {
+			return b
+		}
+		return a
+	case ReduceMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+type defSite struct {
+	blk *ir.Block
+	in  *ir.Instr
+}
+
+// Info describes one classified register.
+type Info struct {
+	Reg   ir.Reg
+	Class Class
+
+	// Induction: value(i) = init + Step*i. Step must be a constant or a
+	// loop-invariant register (sampled at loop entry).
+	Step ir.Value
+	// Poly2: value(i) = init + StepInit*i ± Step2*i*(i-1)/2, where
+	// StepInit is the inner induction's initial value register and
+	// Step2Neg carries the inner induction's direction.
+	StepReg  ir.Reg
+	Step2    ir.Value
+	Step2Neg bool
+	// Negate is set when the single update is a subtraction (r -= step).
+	Negate bool
+
+	// Accumulator reduction kind.
+	Reduce ReduceKind
+
+	// DefUIDs lists the UIDs of the instructions defining the register in
+	// the loop (used by the simulator to track last-value updates).
+	DefUIDs []int32
+}
+
+// Classify analyzes the carried registers of a loop. The graph g must be
+// the CFG of fn and carried the loop-carried register set from ddg.
+func Classify(fn *ir.Function, g *cfg.Graph, loop *cfg.Loop, carried []ir.Reg) map[ir.Reg]Info {
+	out := make(map[ir.Reg]Info, len(carried))
+
+	// Gather per-register defs and uses within the loop body.
+	defs := map[ir.Reg][]defSite{}
+	usedInLoop := map[ir.Reg]bool{}
+	for _, b := range loop.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			var scratch [4]ir.Reg
+			for _, r := range in.Uses(scratch[:0]) {
+				usedInLoop[r] = true
+			}
+			if d := in.Def(); d != ir.NoReg {
+				defs[d] = append(defs[d], defSite{blk: b, in: in})
+			}
+		}
+	}
+	invariant := func(v ir.Value) bool {
+		if v.IsConst() {
+			return true
+		}
+		if !v.IsReg() {
+			return false
+		}
+		return len(defs[v.Reg]) == 0
+	}
+	dominatesAllLatches := func(b *ir.Block) bool {
+		for _, l := range loop.Latches {
+			if !g.Dominates(b, l) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// First pass: find linear inductions (needed to spot second-order).
+	linear := map[ir.Reg]Info{}
+	for _, r := range carried {
+		ds := defs[r]
+		if len(ds) != 1 {
+			continue
+		}
+		in := ds[0].in
+		if !dominatesAllLatches(ds[0].blk) {
+			continue // conditional update is not a pure induction
+		}
+		step, neg, ok := recurrenceStep(in, r)
+		if ok && invariant(step) {
+			linear[r] = Info{Reg: r, Class: ClassInduction, Step: step, Negate: neg, DefUIDs: []int32{in.UID}}
+		}
+	}
+
+	for _, r := range carried {
+		if info, ok := linear[r]; ok {
+			out[r] = info
+			continue
+		}
+		ds := defs[r]
+
+		// (i) second order: r += s where s is a linear induction.
+		if len(ds) == 1 && dominatesAllLatches(ds[0].blk) {
+			if step, neg, ok := recurrenceStep(ds[0].in, r); ok && !neg && step.IsReg() {
+				if inner, isLin := linear[step.Reg]; isLin {
+					out[r] = Info{
+						Reg: r, Class: ClassPoly2,
+						StepReg: step.Reg, Step2: inner.Step, Step2Neg: inner.Negate,
+						DefUIDs: []int32{ds[0].in.UID},
+					}
+					continue
+				}
+			}
+		}
+
+		// (ii) accumulator: every def is the same reduction of r itself,
+		// and r is not otherwise used in the loop.
+		if kind, ok := accumulator(loop, defs, r); ok {
+			out[r] = Info{Reg: r, Class: ClassAccum, Reduce: kind, DefUIDs: defUIDs(ds)}
+			continue
+		}
+
+		// (iii) set but not used until after the loop. Checked before the
+		// set-before-use class because a register can satisfy both, and
+		// its live-out value still needs last-writer tracking.
+		if len(ds) > 0 && !usedOutsideOwnDefs(loop, r) {
+			out[r] = Info{Reg: r, Class: ClassLastValue, DefUIDs: defUIDs(ds)}
+			continue
+		}
+
+		// (iv) set before use on every path through the iteration.
+		if setBeforeUse(fn, g, loop, r) {
+			out[r] = Info{Reg: r, Class: ClassPrivate, DefUIDs: defUIDs(ds)}
+			continue
+		}
+
+		out[r] = Info{Reg: r, Class: ClassShared, DefUIDs: defUIDs(ds)}
+	}
+	return out
+}
+
+func defUIDs(ds []defSite) []int32 {
+	out := make([]int32, len(ds))
+	for i, d := range ds {
+		out[i] = d.in.UID
+	}
+	return out
+}
+
+// recurrenceStep matches in as r = r ± step and returns the step operand.
+func recurrenceStep(in *ir.Instr, r ir.Reg) (step ir.Value, negate, ok bool) {
+	if in.Dst != r {
+		return ir.Value{}, false, false
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpFAdd:
+		if in.A.IsReg() && in.A.Reg == r {
+			return in.B, false, true
+		}
+		if in.B.IsReg() && in.B.Reg == r {
+			return in.A, false, true
+		}
+	case ir.OpSub, ir.OpFSub:
+		if in.A.IsReg() && in.A.Reg == r {
+			return in.B, true, true
+		}
+	}
+	return ir.Value{}, false, false
+}
+
+// accumulator reports whether every def of r in the loop is a reduction
+// r = r ⊕ x with a consistent ⊕, and r has no other uses inside the loop.
+func accumulator(loop *cfg.Loop, defs map[ir.Reg][]defSite, r ir.Reg) (ReduceKind, bool) {
+	ds := defs[r]
+	if len(ds) == 0 {
+		return 0, false
+	}
+	var kind ReduceKind
+	defSet := map[*ir.Instr]bool{}
+	for i, d := range ds {
+		k, ok := reduceKindOf(d.in, r)
+		if !ok {
+			return 0, false
+		}
+		if i == 0 {
+			kind = k
+		} else if k != kind {
+			return 0, false
+		}
+		defSet[d.in] = true
+	}
+	// r may only be read by its own reduction updates.
+	for _, b := range loop.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if defSet[in] {
+				continue
+			}
+			var scratch [4]ir.Reg
+			for _, u := range in.Uses(scratch[:0]) {
+				if u == r {
+					return 0, false
+				}
+			}
+		}
+	}
+	return kind, true
+}
+
+func reduceKindOf(in *ir.Instr, r ir.Reg) (ReduceKind, bool) {
+	usesR := (in.A.IsReg() && in.A.Reg == r) || (in.B.IsReg() && in.B.Reg == r)
+	if in.Dst != r || !usesR {
+		return 0, false
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpFAdd:
+		return ReduceAdd, true
+	case ir.OpSub, ir.OpFSub:
+		if in.A.IsReg() && in.A.Reg == r {
+			return ReduceAdd, true // r = r - x accumulates negatively
+		}
+	case ir.OpMul, ir.OpFMul:
+		return ReduceMul, true
+	case ir.OpMin:
+		return ReduceMin, true
+	case ir.OpMax:
+		return ReduceMax, true
+	}
+	return 0, false
+}
+
+// usedOutsideOwnDefs reports whether r is read in the loop by any
+// instruction that is not one of its own defining instructions.
+func usedOutsideOwnDefs(loop *cfg.Loop, r ir.Reg) bool {
+	for _, b := range loop.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			var scratch [4]ir.Reg
+			for _, u := range in.Uses(scratch[:0]) {
+				if u == r && in.Dst != r {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// setBeforeUse reports whether, on every path of one iteration starting at
+// the loop header, r is written before it is read (class iv). It is a
+// forward may-reach-use-before-def dataflow over the loop body.
+func setBeforeUse(fn *ir.Function, g *cfg.Graph, loop *cfg.Loop, r ir.Reg) bool {
+	// exposed[b] = true if a use of r can execute in b before any def in b.
+	// A use before def at block start, reachable from the header without
+	// crossing a def, means the register's previous-iteration value leaks.
+	type blockInfo struct {
+		useFirst bool // r used before defined within the block
+		defines  bool
+	}
+	info := map[*ir.Block]blockInfo{}
+	for _, b := range loop.Blocks {
+		bi := blockInfo{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			var scratch [4]ir.Reg
+			used := false
+			for _, u := range in.Uses(scratch[:0]) {
+				if u == r {
+					used = true
+				}
+			}
+			if used && !bi.defines {
+				bi.useFirst = true
+				break
+			}
+			if in.Def() == r {
+				bi.defines = true
+			}
+		}
+		info[b] = bi
+	}
+	// BFS from the header through blocks without a def.
+	seen := map[*ir.Block]bool{loop.Header: true}
+	work := []*ir.Block{loop.Header}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		bi := info[b]
+		if bi.useFirst {
+			return false // the stale value is observable
+		}
+		if bi.defines {
+			continue // def kills the propagation on this path
+		}
+		for _, s := range g.Succs[b.Index] {
+			if loop.Contains(s) && !seen[s] && s != loop.Header {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package induction
+
+import (
+	"math"
+	"testing"
+
+	"helixrc/internal/alias"
+	"helixrc/internal/cfg"
+	"helixrc/internal/ddg"
+	"helixrc/internal/ir"
+)
+
+// buildClassLoop builds one loop exercising every predictability class:
+//
+//	i    — linear induction (i += 1)
+//	tri  — second order (tri += i)
+//	sum  — accumulator (sum += a[i], conditionally!)
+//	mx   — max accumulator
+//	last — set every iteration, never read in loop
+//	tmp  — set before use (private)
+//	ptr  — pointer chase (shared)
+func buildClassLoop(t *testing.T) (map[string]ir.Reg, map[ir.Reg]Info) {
+	t.Helper()
+	p := ir.NewProgram("classes")
+	ty := p.NewType("int")
+	arr := p.AddGlobal("arr", 64, ty)
+	f := p.NewFunction("main", 1)
+	b := ir.NewBuilder(p, f)
+	n := f.Params[0]
+	base := b.GlobalAddr(arr)
+	i := b.Const(0)
+	tri := b.Const(0)
+	sum := b.Const(0)
+	mx := b.Const(math.MinInt64)
+	last := b.Const(0)
+	ptr := b.Mov(ir.R(base))
+	tmp := b.Const(0)
+
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	then := b.NewBlock("then")
+	cont := b.NewBlock("cont")
+	exit := b.NewBlock("exit")
+	b.Br(head)
+	b.SetBlock(head)
+	c := b.Bin(ir.OpCmpLT, ir.R(i), ir.R(n))
+	b.CondBr(ir.R(c), body, exit)
+
+	b.SetBlock(body)
+	addr := b.Add(ir.R(base), ir.R(i))
+	v := b.Load(ir.R(addr), 0, ir.MemAttrs{Type: ty})
+	b.MovTo(tmp, ir.R(v)) // tmp set before any use: private
+	b.BinTo(mx, ir.OpMax, ir.R(mx), ir.R(tmp))
+	b.MovTo(last, ir.R(v)) // written every iteration, read after loop only
+	b.BinTo(tri, ir.OpAdd, ir.R(tri), ir.R(i))
+	cnd := b.Bin(ir.OpCmpGT, ir.R(v), ir.C(10))
+	b.CondBr(ir.R(cnd), then, cont)
+
+	b.SetBlock(then)
+	b.BinTo(sum, ir.OpAdd, ir.R(sum), ir.R(v)) // conditional accumulation
+	b.Br(cont)
+
+	b.SetBlock(cont)
+	nxt := b.Load(ir.R(ptr), 0, ir.MemAttrs{Type: ty, Path: "node.next"})
+	b.MovTo(ptr, ir.R(nxt)) // pointer chase: genuinely shared
+	b.BinTo(i, ir.OpAdd, ir.R(i), ir.C(1))
+	b.Br(head)
+
+	b.SetBlock(exit)
+	r1 := b.Add(ir.R(sum), ir.R(last))
+	r2 := b.Add(ir.R(r1), ir.R(mx))
+	r3 := b.Add(ir.R(r2), ir.R(tri))
+	r4 := b.Add(ir.R(r3), ir.R(ptr))
+	b.Ret(ir.R(r4))
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	p.AssignUIDs()
+
+	g := cfg.New(f)
+	forest := cfg.FindLoops(g)
+	if len(forest.Loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(forest.Loops))
+	}
+	loop := forest.Loops[0]
+	dg := ddg.Build(p, f, g, loop, alias.New(p, alias.TierLib))
+	infos := Classify(f, g, loop, dg.CarriedRegs)
+	regs := map[string]ir.Reg{
+		"i": i, "tri": tri, "sum": sum, "mx": mx, "last": last, "ptr": ptr, "tmp": tmp,
+	}
+	return regs, infos
+}
+
+func TestClassification(t *testing.T) {
+	regs, infos := buildClassLoop(t)
+	want := map[string]Class{
+		"i":    ClassInduction,
+		"tri":  ClassPoly2,
+		"sum":  ClassAccum,
+		"mx":   ClassAccum,
+		"last": ClassLastValue,
+		"ptr":  ClassShared,
+	}
+	for name, cls := range want {
+		info, ok := infos[regs[name]]
+		if !ok {
+			t.Errorf("%s (r%d) not classified (not carried?)", name, regs[name])
+			continue
+		}
+		if info.Class != cls {
+			t.Errorf("%s: class = %v, want %v", name, info.Class, cls)
+		}
+	}
+	// tmp is set before use: either absent from carried regs entirely or
+	// classified private.
+	if info, ok := infos[regs["tmp"]]; ok && info.Class != ClassPrivate {
+		t.Errorf("tmp: class = %v, want private or not carried", info.Class)
+	}
+	// Induction step extraction.
+	if info := infos[regs["i"]]; !info.Step.IsConst() || info.Step.Imm != 1 {
+		t.Errorf("i step = %v", info.Step)
+	}
+	if info := infos[regs["tri"]]; info.StepReg != regs["i"] {
+		t.Errorf("tri inner reg = %v, want %v", info.StepReg, regs["i"])
+	}
+	if info := infos[regs["mx"]]; info.Reduce != ReduceMax {
+		t.Errorf("mx reduce = %v", info.Reduce)
+	}
+}
+
+func TestReduceKinds(t *testing.T) {
+	if ReduceAdd.Identity() != 0 || ReduceMul.Identity() != 1 {
+		t.Error("identities wrong")
+	}
+	if ReduceMin.Identity() != math.MaxInt64 || ReduceMax.Identity() != math.MinInt64 {
+		t.Error("min/max identities wrong")
+	}
+	if ReduceAdd.Combine(3, 4) != 7 || ReduceMul.Combine(3, 4) != 12 {
+		t.Error("combine wrong")
+	}
+	if ReduceMin.Combine(3, 4) != 3 || ReduceMax.Combine(3, 4) != 4 {
+		t.Error("min/max combine wrong")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := ClassPrivate; c <= ClassShared; c++ {
+		if c.String() == "?" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if ClassShared.Predictable() {
+		t.Error("shared is not predictable")
+	}
+	if !ClassAccum.Predictable() {
+		t.Error("accumulator is predictable")
+	}
+}

@@ -1,0 +1,291 @@
+package interp
+
+import (
+	"fmt"
+
+	"helixrc/internal/ir"
+)
+
+// frame is one activation record.
+type frame struct {
+	fn    *ir.Function
+	regs  []int64
+	blk   *ir.Block
+	idx   int
+	retTo ir.Reg // register in the caller receiving the return value
+}
+
+// StepInfo describes the instruction a Context just executed, giving timing
+// models everything they need without re-decoding.
+type StepInfo struct {
+	Instr *ir.Instr
+	// Addr is the effective address for OpLoad/OpStore.
+	Addr int64
+	// Value is the loaded or stored value for memory ops, or the register
+	// result for arithmetic (useful for tracing).
+	Value int64
+	// Branched reports whether control transferred to a new block.
+	Branched bool
+	// Returned reports whether the context finished its outermost frame.
+	Returned bool
+	// RetValue is meaningful when Returned is true and the function
+	// returned a value.
+	RetValue int64
+}
+
+// Context is one thread of functional execution. It never blocks: wait and
+// signal instructions execute as no-ops functionally, and the driver (the
+// timing simulator) decides when Step may be called.
+type Context struct {
+	Prog *ir.Program
+	Mem  *Memory
+
+	stack []frame
+	// Steps counts instructions executed, for budget enforcement.
+	Steps int64
+}
+
+// NewContext returns a context poised to execute fn(args...).
+func NewContext(p *ir.Program, mem *Memory, fn *ir.Function, args ...int64) *Context {
+	c := &Context{Prog: p, Mem: mem}
+	c.push(fn, ir.NoReg, args)
+	return c
+}
+
+// NewContextWithRegs returns a context whose outermost frame uses the
+// caller-provided register file (len must be >= fn.NumRegs). The HELIX
+// simulator uses this so each core keeps one persistent register file
+// across all loop iterations it executes.
+func NewContextWithRegs(p *ir.Program, mem *Memory, fn *ir.Function, regs []int64, args ...int64) *Context {
+	c := &Context{Prog: p, Mem: mem}
+	if len(args) != len(fn.Params) {
+		panic(fmt.Sprintf("interp: call %s with %d args, want %d", fn.Name, len(args), len(fn.Params)))
+	}
+	f := frame{fn: fn, regs: regs, blk: fn.Entry(), retTo: ir.NoReg}
+	for i, p := range fn.Params {
+		f.regs[p] = args[i]
+	}
+	c.stack = append(c.stack, f)
+	return c
+}
+
+func (c *Context) push(fn *ir.Function, retTo ir.Reg, args []int64) {
+	if len(args) != len(fn.Params) {
+		panic(fmt.Sprintf("interp: call %s with %d args, want %d", fn.Name, len(args), len(fn.Params)))
+	}
+	f := frame{fn: fn, regs: make([]int64, fn.NumRegs), blk: fn.Entry(), retTo: retTo}
+	for i, p := range fn.Params {
+		f.regs[p] = args[i]
+	}
+	c.stack = append(c.stack, f)
+}
+
+// Done reports whether the context has finished executing.
+func (c *Context) Done() bool { return len(c.stack) == 0 }
+
+// Next peeks at the next instruction without executing it, or nil when the
+// context is done.
+func (c *Context) Next() *ir.Instr {
+	if c.Done() {
+		return nil
+	}
+	f := &c.stack[len(c.stack)-1]
+	return &f.blk.Instrs[f.idx]
+}
+
+// Frame returns the current function and block (for diagnostics).
+func (c *Context) Frame() (*ir.Function, *ir.Block, int) {
+	if c.Done() {
+		return nil, nil, 0
+	}
+	f := &c.stack[len(c.stack)-1]
+	return f.fn, f.blk, f.idx
+}
+
+// Reg reads a register in the current frame.
+func (c *Context) Reg(r ir.Reg) int64 {
+	return c.stack[len(c.stack)-1].regs[r]
+}
+
+// SetReg writes a register in the current frame.
+func (c *Context) SetReg(r ir.Reg, v int64) {
+	c.stack[len(c.stack)-1].regs[r] = v
+}
+
+// Regs exposes the current frame's register file (shared slice).
+func (c *Context) Regs() []int64 { return c.stack[len(c.stack)-1].regs }
+
+// JumpTo repositions the current frame at the start of blk.
+func (c *Context) JumpTo(blk *ir.Block) {
+	f := &c.stack[len(c.stack)-1]
+	f.blk = blk
+	f.idx = 0
+}
+
+// eval resolves an operand against the current frame.
+func (c *Context) eval(f *frame, v ir.Value) int64 {
+	switch v.Kind {
+	case ir.KindReg:
+		return f.regs[v.Reg]
+	case ir.KindConst:
+		return v.Imm
+	default:
+		return 0
+	}
+}
+
+// EffectiveAddr computes the address a memory instruction would access,
+// without executing it. Timing models use this to consult caches before
+// commit.
+func (c *Context) EffectiveAddr(in *ir.Instr) int64 {
+	f := &c.stack[len(c.stack)-1]
+	return c.eval(f, in.A) + in.Off
+}
+
+// Step executes exactly one instruction and reports what happened.
+func (c *Context) Step() StepInfo {
+	if c.Done() {
+		panic("interp: Step on finished context")
+	}
+	c.Steps++
+	f := &c.stack[len(c.stack)-1]
+	in := &f.blk.Instrs[f.idx]
+	info := StepInfo{Instr: in}
+
+	advance := true
+	switch in.Op {
+	case ir.OpNop, ir.OpWait, ir.OpSignal:
+		// Functional no-ops; synchronization timing is the driver's job.
+	case ir.OpConst:
+		f.regs[in.Dst] = in.A.Imm
+		info.Value = in.A.Imm
+	case ir.OpMov:
+		v := c.eval(f, in.A)
+		f.regs[in.Dst] = v
+		info.Value = v
+	case ir.OpAdd, ir.OpFAdd:
+		f.regs[in.Dst] = c.eval(f, in.A) + c.eval(f, in.B)
+	case ir.OpSub, ir.OpFSub:
+		f.regs[in.Dst] = c.eval(f, in.A) - c.eval(f, in.B)
+	case ir.OpMul, ir.OpFMul:
+		f.regs[in.Dst] = c.eval(f, in.A) * c.eval(f, in.B)
+	case ir.OpDiv, ir.OpFDiv:
+		b := c.eval(f, in.B)
+		if b == 0 {
+			f.regs[in.Dst] = 0
+		} else {
+			f.regs[in.Dst] = c.eval(f, in.A) / b
+		}
+	case ir.OpRem:
+		b := c.eval(f, in.B)
+		if b == 0 {
+			f.regs[in.Dst] = 0
+		} else {
+			f.regs[in.Dst] = c.eval(f, in.A) % b
+		}
+	case ir.OpAnd:
+		f.regs[in.Dst] = c.eval(f, in.A) & c.eval(f, in.B)
+	case ir.OpOr:
+		f.regs[in.Dst] = c.eval(f, in.A) | c.eval(f, in.B)
+	case ir.OpXor:
+		f.regs[in.Dst] = c.eval(f, in.A) ^ c.eval(f, in.B)
+	case ir.OpShl:
+		f.regs[in.Dst] = c.eval(f, in.A) << (uint64(c.eval(f, in.B)) & 63)
+	case ir.OpShr:
+		f.regs[in.Dst] = c.eval(f, in.A) >> (uint64(c.eval(f, in.B)) & 63)
+	case ir.OpCmpEQ:
+		f.regs[in.Dst] = b2i(c.eval(f, in.A) == c.eval(f, in.B))
+	case ir.OpCmpNE:
+		f.regs[in.Dst] = b2i(c.eval(f, in.A) != c.eval(f, in.B))
+	case ir.OpCmpLT:
+		f.regs[in.Dst] = b2i(c.eval(f, in.A) < c.eval(f, in.B))
+	case ir.OpCmpLE:
+		f.regs[in.Dst] = b2i(c.eval(f, in.A) <= c.eval(f, in.B))
+	case ir.OpCmpGT:
+		f.regs[in.Dst] = b2i(c.eval(f, in.A) > c.eval(f, in.B))
+	case ir.OpCmpGE:
+		f.regs[in.Dst] = b2i(c.eval(f, in.A) >= c.eval(f, in.B))
+	case ir.OpMin:
+		a, b := c.eval(f, in.A), c.eval(f, in.B)
+		f.regs[in.Dst] = min(a, b)
+	case ir.OpMax:
+		a, b := c.eval(f, in.A), c.eval(f, in.B)
+		f.regs[in.Dst] = max(a, b)
+	case ir.OpLoad:
+		addr := c.eval(f, in.A) + in.Off
+		v := c.Mem.Load(addr)
+		f.regs[in.Dst] = v
+		info.Addr, info.Value = addr, v
+	case ir.OpStore:
+		addr := c.eval(f, in.A) + in.Off
+		v := c.eval(f, in.B)
+		c.Mem.Store(addr, v)
+		info.Addr, info.Value = addr, v
+	case ir.OpAlloc:
+		f.regs[in.Dst] = c.Mem.Alloc(in.Imm)
+	case ir.OpBr:
+		f.blk, f.idx = in.Target, 0
+		advance = false
+		info.Branched = true
+	case ir.OpCondBr:
+		if c.eval(f, in.A) != 0 {
+			f.blk = in.Target
+		} else {
+			f.blk = in.Els
+		}
+		f.idx = 0
+		advance = false
+		info.Branched = true
+	case ir.OpCall:
+		if in.Extern != nil {
+			args := make([]int64, len(in.Args))
+			for i, a := range in.Args {
+				args[i] = c.eval(f, a)
+			}
+			var v int64
+			if in.Extern.Result != nil {
+				v = in.Extern.Result(args)
+			}
+			if in.Dst != ir.NoReg {
+				f.regs[in.Dst] = v
+			}
+			info.Value = v
+		} else {
+			args := make([]int64, len(in.Args))
+			for i, a := range in.Args {
+				args[i] = c.eval(f, a)
+			}
+			f.idx++ // resume after the call
+			c.push(in.Callee, in.Dst, args)
+			advance = false
+			info.Branched = true
+		}
+	case ir.OpRet:
+		var v int64
+		if in.HasA {
+			v = c.eval(f, in.A)
+		}
+		retTo := f.retTo
+		c.stack = c.stack[:len(c.stack)-1]
+		if len(c.stack) == 0 {
+			info.Returned = true
+			info.RetValue = v
+		} else if retTo != ir.NoReg {
+			c.stack[len(c.stack)-1].regs[retTo] = v
+		}
+		advance = false
+	default:
+		panic(fmt.Sprintf("interp: unhandled op %s", in.Op))
+	}
+	if advance {
+		f.idx++
+	}
+	return info
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+// Package interp executes IR functionally: a flat word-addressed memory, a
+// per-thread Context that steps one instruction at a time (so timing models
+// can drive it cycle by cycle), a whole-program Runner, and a profiler that
+// collects the dynamic statistics the HELIX-RC evaluation depends on
+// (iteration lengths, dependence distances, consumer fan-out, and the
+// ground-truth dependence oracle used to score the alias analysis tiers).
+package interp
+
+import (
+	"fmt"
+
+	"helixrc/internal/ir"
+)
+
+// Memory is a flat, word-addressed store. Addresses are indices of 64-bit
+// words; the zero page is reserved so address 0 is never valid data.
+type Memory struct {
+	words []int64
+	arena int64
+}
+
+// NewMemory returns a memory initialized with the program's globals and an
+// allocation arena starting after them.
+func NewMemory(p *ir.Program) *Memory {
+	m := &Memory{arena: p.ArenaBase()}
+	for _, g := range p.Globals {
+		for i, v := range g.Init {
+			m.Store(g.Addr+int64(i), v)
+		}
+	}
+	return m
+}
+
+func (m *Memory) grow(addr int64) {
+	if addr < int64(len(m.words)) {
+		return
+	}
+	n := int64(len(m.words))
+	if n == 0 {
+		n = 1024
+	}
+	for n <= addr {
+		n *= 2
+	}
+	nw := make([]int64, n)
+	copy(nw, m.words)
+	m.words = nw
+}
+
+// Load reads the word at addr. Negative addresses panic: they indicate a
+// compiler or workload bug, not a recoverable condition.
+func (m *Memory) Load(addr int64) int64 {
+	if addr < 0 {
+		panic(fmt.Sprintf("interp: load from negative address %d", addr))
+	}
+	if addr >= int64(len(m.words)) {
+		return 0
+	}
+	return m.words[addr]
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr, v int64) {
+	if addr < 0 {
+		panic(fmt.Sprintf("interp: store to negative address %d", addr))
+	}
+	m.grow(addr)
+	m.words[addr] = v
+}
+
+// Alloc reserves size words from the arena and returns the base address.
+func (m *Memory) Alloc(size int64) int64 {
+	base := m.arena
+	m.arena += size
+	return base
+}
+
+// ArenaNext returns the next arena address (useful for tests).
+func (m *Memory) ArenaNext() int64 { return m.arena }
+
+// Snapshot copies a memory range for equality checks in tests.
+func (m *Memory) Snapshot(base, size int64) []int64 {
+	out := make([]int64, size)
+	for i := int64(0); i < size; i++ {
+		out[i] = m.Load(base + i)
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package interp
+
+import (
+	"errors"
+
+	"helixrc/internal/ir"
+)
+
+// ErrBudget is returned when a run exceeds its instruction budget.
+var ErrBudget = errors.New("interp: instruction budget exceeded")
+
+// Result summarizes a sequential whole-program run.
+type Result struct {
+	RetValue int64
+	Steps    int64
+	Mem      *Memory
+}
+
+// Run executes fn(args...) to completion against a fresh memory, bounded by
+// budget instructions (0 means a generous default).
+func Run(p *ir.Program, fn *ir.Function, budget int64, args ...int64) (Result, error) {
+	mem := NewMemory(p)
+	return RunWith(p, mem, fn, budget, args...)
+}
+
+// RunWith executes fn(args...) against an existing memory.
+func RunWith(p *ir.Program, mem *Memory, fn *ir.Function, budget int64, args ...int64) (Result, error) {
+	if budget <= 0 {
+		budget = 1 << 32
+	}
+	c := NewContext(p, mem, fn, args...)
+	for !c.Done() {
+		if c.Steps >= budget {
+			return Result{Steps: c.Steps, Mem: mem}, ErrBudget
+		}
+		info := c.Step()
+		if info.Returned {
+			return Result{RetValue: info.RetValue, Steps: c.Steps, Mem: mem}, nil
+		}
+	}
+	return Result{Steps: c.Steps, Mem: mem}, nil
+}

@@ -1,0 +1,140 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"helixrc/internal/ir"
+)
+
+// evalBin runs a single binary operation through the interpreter.
+func evalBin(t *testing.T, op ir.Op, a, b int64) int64 {
+	t.Helper()
+	p := ir.NewProgram("sem")
+	f := p.NewFunction("main", 2)
+	bb := ir.NewBuilder(p, f)
+	r := bb.Bin(op, ir.R(f.Params[0]), ir.R(f.Params[1]))
+	bb.Ret(ir.R(r))
+	res, err := Run(p, f, 0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.RetValue
+}
+
+// TestArithmeticSemantics property-checks every arithmetic opcode against
+// the corresponding Go semantics.
+func TestArithmeticSemantics(t *testing.T) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	cases := []struct {
+		op   ir.Op
+		want func(a, b int64) int64
+	}{
+		{ir.OpAdd, func(a, b int64) int64 { return a + b }},
+		{ir.OpSub, func(a, b int64) int64 { return a - b }},
+		{ir.OpMul, func(a, b int64) int64 { return a * b }},
+		{ir.OpDiv, func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		}},
+		{ir.OpRem, func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		}},
+		{ir.OpAnd, func(a, b int64) int64 { return a & b }},
+		{ir.OpOr, func(a, b int64) int64 { return a | b }},
+		{ir.OpXor, func(a, b int64) int64 { return a ^ b }},
+		{ir.OpShl, func(a, b int64) int64 { return a << (uint64(b) & 63) }},
+		{ir.OpShr, func(a, b int64) int64 { return a >> (uint64(b) & 63) }},
+		{ir.OpCmpEQ, func(a, b int64) int64 { return b2i(a == b) }},
+		{ir.OpCmpNE, func(a, b int64) int64 { return b2i(a != b) }},
+		{ir.OpCmpLT, func(a, b int64) int64 { return b2i(a < b) }},
+		{ir.OpCmpLE, func(a, b int64) int64 { return b2i(a <= b) }},
+		{ir.OpCmpGT, func(a, b int64) int64 { return b2i(a > b) }},
+		{ir.OpCmpGE, func(a, b int64) int64 { return b2i(a >= b) }},
+		{ir.OpMin, func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		}},
+		{ir.OpMax, func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		}},
+		{ir.OpFAdd, func(a, b int64) int64 { return a + b }},
+		{ir.OpFMul, func(a, b int64) int64 { return a * b }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		// Build the program once per op; re-run with random operands.
+		p := ir.NewProgram("sem")
+		f := p.NewFunction("main", 2)
+		bb := ir.NewBuilder(p, f)
+		r := bb.Bin(tc.op, ir.R(f.Params[0]), ir.R(f.Params[1]))
+		bb.Ret(ir.R(r))
+		check := func(a, b int64) bool {
+			res, err := Run(p, f, 0, a, b)
+			if err != nil {
+				return false
+			}
+			return res.RetValue == tc.want(a, b)
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", tc.op, err)
+		}
+	}
+}
+
+// TestInterpreterVsRecursiveCall: function calls nest correctly (a
+// recursive fibonacci through explicit calls).
+func TestRecursiveCall(t *testing.T) {
+	p := ir.NewProgram("fib")
+	fib := p.NewFunction("fib", 1)
+	b := ir.NewBuilder(p, fib)
+	n := fib.Params[0]
+	base := b.NewBlock("base")
+	rec := b.NewBlock("rec")
+	c := b.Bin(ir.OpCmpLT, ir.R(n), ir.C(2))
+	b.CondBr(ir.R(c), base, rec)
+	b.SetBlock(base)
+	b.Ret(ir.R(n))
+	b.SetBlock(rec)
+	n1 := b.Sub(ir.R(n), ir.C(1))
+	n2 := b.Sub(ir.R(n), ir.C(2))
+	f1 := b.Call(fib, ir.R(n1))
+	f2 := b.Call(fib, ir.R(n2))
+	s := b.Add(ir.R(f1), ir.R(f2))
+	b.Ret(ir.R(s))
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, fib, 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetValue != 610 {
+		t.Errorf("fib(15) = %d, want 610", res.RetValue)
+	}
+}
+
+// TestShiftMasking: shift amounts beyond 63 are masked, not UB.
+func TestShiftMasking(t *testing.T) {
+	if got := evalBin(t, ir.OpShl, 1, 65); got != 2 {
+		t.Errorf("1 << 65 (masked) = %d, want 2", got)
+	}
+	if got := evalBin(t, ir.OpShr, -8, 1); got != -4 {
+		t.Errorf("-8 >> 1 = %d, want -4 (arithmetic shift)", got)
+	}
+}

@@ -1,0 +1,198 @@
+package ir
+
+// Builder provides a fluent way to emit instructions into a function. The
+// workload front ends (internal/workloads) are written against it.
+type Builder struct {
+	P *Program
+	F *Function
+	B *Block
+}
+
+// NewBuilder returns a builder positioned at the function's entry block.
+func NewBuilder(p *Program, f *Function) *Builder {
+	return &Builder{P: p, F: f, B: f.Entry()}
+}
+
+// NewBlock creates a new block in the function and returns it without
+// changing the insertion point.
+func (b *Builder) NewBlock(name string) *Block {
+	blk := &Block{Name: name, Index: len(b.F.Blocks)}
+	b.F.Blocks = append(b.F.Blocks, blk)
+	return blk
+}
+
+// SetBlock moves the insertion point.
+func (b *Builder) SetBlock(blk *Block) *Builder {
+	b.B = blk
+	return b
+}
+
+func (b *Builder) emit(in Instr) *Instr {
+	b.B.Instrs = append(b.B.Instrs, in)
+	return &b.B.Instrs[len(b.B.Instrs)-1]
+}
+
+func (b *Builder) emitDst(in Instr) Reg {
+	dst := b.F.NewReg()
+	in.Dst = dst
+	b.emit(in)
+	return dst
+}
+
+// Const materializes an immediate into a fresh register.
+func (b *Builder) Const(v int64) Reg {
+	in := NewInstr(OpConst)
+	in.A = C(v)
+	return b.emitDst(in)
+}
+
+// Mov copies a value into a fresh register.
+func (b *Builder) Mov(v Value) Reg {
+	in := NewInstr(OpMov)
+	in.A = v
+	return b.emitDst(in)
+}
+
+// MovTo copies a value into an existing register.
+func (b *Builder) MovTo(dst Reg, v Value) {
+	in := NewInstr(OpMov)
+	in.Dst = dst
+	in.A = v
+	b.emit(in)
+}
+
+// Bin emits a binary operation into a fresh register.
+func (b *Builder) Bin(op Op, x, y Value) Reg {
+	in := NewInstr(op)
+	in.A, in.B = x, y
+	return b.emitDst(in)
+}
+
+// BinTo emits a binary operation into an existing register. Loop-carried
+// register updates (r = r + 1) are written this way, which is what the
+// induction-variable analysis pattern-matches.
+func (b *Builder) BinTo(dst Reg, op Op, x, y Value) {
+	in := NewInstr(op)
+	in.Dst = dst
+	in.A, in.B = x, y
+	b.emit(in)
+}
+
+// Add, Sub, Mul are shorthands for the most common Bin calls.
+func (b *Builder) Add(x, y Value) Reg { return b.Bin(OpAdd, x, y) }
+
+// Sub emits x - y.
+func (b *Builder) Sub(x, y Value) Reg { return b.Bin(OpSub, x, y) }
+
+// Mul emits x * y.
+func (b *Builder) Mul(x, y Value) Reg { return b.Bin(OpMul, x, y) }
+
+// MemAttrs carries the static metadata a front end knows about a memory
+// access; the alias tiers consume it.
+type MemAttrs struct {
+	Type TypeID
+	Path string
+}
+
+// Load emits dst = mem[base + off].
+func (b *Builder) Load(base Value, off int64, at MemAttrs) Reg {
+	in := NewInstr(OpLoad)
+	in.A = base
+	in.Off = off
+	in.Type = at.Type
+	in.Path = at.Path
+	return b.emitDst(in)
+}
+
+// LoadTo emits an existing-destination load.
+func (b *Builder) LoadTo(dst Reg, base Value, off int64, at MemAttrs) {
+	in := NewInstr(OpLoad)
+	in.Dst = dst
+	in.A = base
+	in.Off = off
+	in.Type = at.Type
+	in.Path = at.Path
+	b.emit(in)
+}
+
+// Store emits mem[base + off] = v.
+func (b *Builder) Store(base Value, off int64, v Value, at MemAttrs) {
+	in := NewInstr(OpStore)
+	in.A = base
+	in.Off = off
+	in.B = v
+	in.Type = at.Type
+	in.Path = at.Path
+	b.emit(in)
+}
+
+// Alloc emits a runtime allocation of size words at a fresh static site.
+func (b *Builder) Alloc(size int64, typ TypeID) Reg {
+	in := NewInstr(OpAlloc)
+	in.Imm = size
+	in.Type = typ
+	in.Alloc = b.P.NewSite()
+	return b.emitDst(in)
+}
+
+// GlobalAddr materializes the address of a global.
+func (b *Builder) GlobalAddr(g *Global) Reg { return b.Const(g.Addr) }
+
+// Br terminates the current block with an unconditional branch.
+func (b *Builder) Br(target *Block) {
+	in := NewInstr(OpBr)
+	in.Target = target
+	b.emit(in)
+}
+
+// CondBr terminates the current block with a conditional branch.
+func (b *Builder) CondBr(cond Value, target, els *Block) {
+	in := NewInstr(OpCondBr)
+	in.A = cond
+	in.Target = target
+	in.Els = els
+	b.emit(in)
+}
+
+// Call emits a direct call and returns the result register.
+func (b *Builder) Call(callee *Function, args ...Value) Reg {
+	in := NewInstr(OpCall)
+	in.Callee = callee
+	in.Args = args
+	return b.emitDst(in)
+}
+
+// CallExtern emits a call to an external function described by a summary.
+func (b *Builder) CallExtern(ext *Extern, args ...Value) Reg {
+	in := NewInstr(OpCall)
+	in.Extern = ext
+	in.Args = args
+	return b.emitDst(in)
+}
+
+// Ret terminates the current block returning v.
+func (b *Builder) Ret(v Value) {
+	in := NewInstr(OpRet)
+	in.A = v
+	in.HasA = true
+	b.emit(in)
+}
+
+// RetVoid terminates the current block with no return value.
+func (b *Builder) RetVoid() {
+	b.emit(NewInstr(OpRet))
+}
+
+// Wait emits a wait for the given sequential segment.
+func (b *Builder) Wait(seg int) {
+	in := NewInstr(OpWait)
+	in.Seg = seg
+	b.emit(in)
+}
+
+// Signal emits a signal for the given sequential segment.
+func (b *Builder) Signal(seg int) {
+	in := NewInstr(OpSignal)
+	in.Seg = seg
+	b.emit(in)
+}

@@ -1,0 +1,195 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeID identifies a source-level data type. The alias analysis data-type
+// tier (Figure 2 of the paper) refutes aliasing between accesses whose
+// types are incompatible; TypeAny is compatible with everything, modelling
+// a type-cast the compiler cannot see through.
+type TypeID int32
+
+// TypeAny marks an access whose type the front end could not establish.
+const TypeAny TypeID = 0
+
+// Site identifies a static allocation site (an OpAlloc instruction or a
+// program global). Points-to sets are sets of Sites.
+type Site int32
+
+// NoSite marks a memory access whose base pointer the workload builder
+// declared fully ambiguous (e.g. escaped through an opaque call).
+const NoSite Site = -1
+
+// Instr is one IR instruction. Operand use by opcode:
+//
+//	arith:   Dst = A op B
+//	load:    Dst = mem[A + Off]
+//	store:   mem[A + Off] = B
+//	alloc:   Dst = fresh arena block of Imm words (site Alloc, type Type)
+//	br:      Target
+//	condbr:  A, Target, Else
+//	call:    Dst = Callee(Args...)
+//	ret:     A if HasA
+//	wait:    Seg
+//	signal:  Seg
+type Instr struct {
+	Op  Op
+	Dst Reg
+	A   Value
+	B   Value
+	Off int64 // constant addend for load/store addressing
+	Imm int64 // alloc size in words
+
+	Target *Block // br, condbr taken edge
+	Els    *Block // condbr fall-through edge
+
+	Callee *Function // nil for external calls
+	Extern *Extern   // effect summary for external calls
+	Args   []Value
+
+	Seg  int  // sequential segment id for wait/signal
+	HasA bool // ret: whether a value is returned
+
+	// Memory access metadata, set by the front end (workload builders).
+	Type  TypeID // static type of the accessed location
+	Alloc Site   // for OpAlloc: the static allocation site id
+	// Path is the access-path name for the path-based alias tier, e.g.
+	// "node.next". Empty means the path is unknown.
+	Path string
+
+	// SharedSeg is set by HCC codegen: the segment whose shared data this
+	// load/store belongs to, or -1 when the access is private/parallel.
+	SharedSeg int
+
+	// UID uniquely numbers the instruction within its program once
+	// Program.AssignUIDs has run. Analyses key their results by UID.
+	UID int32
+	// Origin is the UID of the instruction this one was cloned from during
+	// HCC codegen, or -1 for front-end instructions.
+	Origin int32
+}
+
+// NewInstr returns an instruction with metadata fields zeroed to their
+// "unknown" values.
+func NewInstr(op Op) Instr {
+	return Instr{Op: op, Dst: NoReg, SharedSeg: -1, Alloc: NoSite, UID: -1, Origin: -1}
+}
+
+// Uses appends the registers read by the instruction to dst and returns it.
+func (in *Instr) Uses(dst []Reg) []Reg {
+	add := func(v Value) {
+		if v.IsReg() {
+			dst = append(dst, v.Reg)
+		}
+	}
+	switch in.Op {
+	case OpRet:
+		if in.HasA {
+			add(in.A)
+		}
+	case OpCall:
+		for _, a := range in.Args {
+			add(a)
+		}
+	default:
+		add(in.A)
+		add(in.B)
+	}
+	return dst
+}
+
+// Def returns the register written by the instruction, or NoReg.
+func (in *Instr) Def() Reg {
+	if in.Op.HasDst() {
+		return in.Dst
+	}
+	return NoReg
+}
+
+// String formats the instruction for dumps and error messages.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpConst:
+		return fmt.Sprintf("%s = const %d", in.Dst, in.A.Imm)
+	case OpMov:
+		return fmt.Sprintf("%s = mov %s", in.Dst, in.A)
+	case OpLoad:
+		return fmt.Sprintf("%s = load [%s+%d]%s", in.Dst, in.A, in.Off, in.memSuffix())
+	case OpStore:
+		return fmt.Sprintf("store [%s+%d] = %s%s", in.A, in.Off, in.B, in.memSuffix())
+	case OpAlloc:
+		return fmt.Sprintf("%s = alloc %d (site %d)", in.Dst, in.Imm, in.Alloc)
+	case OpBr:
+		return fmt.Sprintf("br %s", blockName(in.Target))
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s ? %s : %s", in.A, blockName(in.Target), blockName(in.Els))
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		name := "<extern>"
+		if in.Callee != nil {
+			name = in.Callee.Name
+		} else if in.Extern != nil {
+			name = in.Extern.Name
+		}
+		return fmt.Sprintf("%s = call %s(%s)", in.Dst, name, strings.Join(args, ", "))
+	case OpRet:
+		if in.HasA {
+			return fmt.Sprintf("ret %s", in.A)
+		}
+		return "ret"
+	case OpWait:
+		return fmt.Sprintf("wait %d", in.Seg)
+	case OpSignal:
+		return fmt.Sprintf("signal %d", in.Seg)
+	default:
+		return fmt.Sprintf("%s = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+}
+
+func (in *Instr) memSuffix() string {
+	var parts []string
+	if in.SharedSeg >= 0 {
+		parts = append(parts, fmt.Sprintf("seg=%d", in.SharedSeg))
+	}
+	if in.Path != "" {
+		parts = append(parts, "path="+in.Path)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " {" + strings.Join(parts, " ") + "}"
+}
+
+func blockName(b *Block) string {
+	if b == nil {
+		return "<nil>"
+	}
+	return b.Name
+}
+
+// Extern is the effect summary of an external (library) function. The
+// library-call tier of the alias analysis uses these summaries to avoid
+// treating every call as clobbering all memory, mirroring the paper's
+// "exploit standard library call semantics" extension.
+type Extern struct {
+	Name string
+	// ReadsMem / WritesMem report whether the callee may touch memory at
+	// all. A pure function (e.g. abs, strlen-of-argument modelled as pure)
+	// has both false.
+	ReadsMem  bool
+	WritesMem bool
+	// ArgsOnly restricts the touched memory to locations reachable from
+	// pointer arguments (e.g. memcpy), rather than arbitrary memory.
+	ArgsOnly bool
+	// Result computes the returned value from the arguments; nil returns 0.
+	Result func(args []int64) int64
+	// Latency is the fixed execution latency charged by the core models.
+	Latency int
+}

@@ -1,0 +1,106 @@
+// Package ir defines the compiler intermediate representation used by the
+// HELIX-RC reproduction: a typed, non-SSA register machine organized as
+// functions of basic blocks. The representation is deliberately close to
+// the loop-level view the HELIX compilers (HCCv1-v3) operate on: explicit
+// allocation sites, word-granularity loads and stores, direct calls with
+// effect summaries, and the wait/signal ISA extension from the paper.
+package ir
+
+import "fmt"
+
+// Op identifies an instruction opcode.
+type Op uint8
+
+// Opcode space. Arithmetic is over int64 values; the F-prefixed ops carry
+// floating-point execution latencies in the core timing models but operate
+// on the same word-sized values, which keeps the functional interpreter
+// exact and deterministic.
+const (
+	OpNop   Op = iota
+	OpConst    // dst = imm
+	OpMov      // dst = a
+	OpAdd      // dst = a + b
+	OpSub      // dst = a - b
+	OpMul      // dst = a * b
+	OpDiv      // dst = a / b (b==0 -> 0)
+	OpRem      // dst = a % b (b==0 -> 0)
+	OpAnd      // dst = a & b
+	OpOr       // dst = a | b
+	OpXor      // dst = a ^ b
+	OpShl      // dst = a << (b&63)
+	OpShr      // dst = a >> (b&63) arithmetic
+	OpCmpEQ    // dst = a == b
+	OpCmpNE    // dst = a != b
+	OpCmpLT    // dst = a < b
+	OpCmpLE    // dst = a <= b
+	OpCmpGT    // dst = a > b
+	OpCmpGE    // dst = a >= b
+	OpMin      // dst = min(a, b)
+	OpMax      // dst = max(a, b)
+	OpFAdd     // dst = a + b (FP latency)
+	OpFSub     // dst = a - b (FP latency)
+	OpFMul     // dst = a * b (FP latency)
+	OpFDiv     // dst = a / b (FP latency)
+
+	OpLoad  // dst = mem[a + off]
+	OpStore // mem[a + off] = b
+	OpAlloc // dst = arena.alloc(imm words); static site + type attached
+
+	OpBr     // goto target
+	OpCondBr // if a != 0 goto target else goto els
+	OpCall   // dst = callee(args...); callee may be external with summary
+	OpRet    // return a (HasA reports whether a value is returned)
+
+	OpWait   // wait seg: block until all prior iterations signalled seg
+	OpSignal // signal seg: announce this iteration is past seg
+
+	opMax
+)
+
+var opNames = [opMax]string{
+	OpNop: "nop", OpConst: "const", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt", OpCmpLE: "cmple",
+	OpCmpGT: "cmpgt", OpCmpGE: "cmpge", OpMin: "min", OpMax: "max",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpLoad: "load", OpStore: "store", OpAlloc: "alloc",
+	OpBr: "br", OpCondBr: "condbr", OpCall: "call", OpRet: "ret",
+	OpWait: "wait", OpSignal: "signal",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsArith reports whether the op is a register-to-register computation.
+func (op Op) IsArith() bool { return op >= OpConst && op <= OpFDiv }
+
+// IsMem reports whether the op accesses memory.
+func (op Op) IsMem() bool { return op == OpLoad || op == OpStore }
+
+// IsBranch reports whether the op ends a basic block.
+func (op Op) IsBranch() bool {
+	return op == OpBr || op == OpCondBr || op == OpRet
+}
+
+// IsSync reports whether the op is part of the wait/signal ISA extension.
+func (op Op) IsSync() bool { return op == OpWait || op == OpSignal }
+
+// HasDst reports whether the op writes a destination register.
+func (op Op) HasDst() bool {
+	switch op {
+	case OpStore, OpBr, OpCondBr, OpRet, OpWait, OpSignal, OpNop:
+		return false
+	case OpCall:
+		return true // dst may still be NoReg for void calls
+	}
+	return true
+}
+
+// IsFloat reports whether the op uses floating-point execution latencies.
+func (op Op) IsFloat() bool { return op >= OpFAdd && op <= OpFDiv }

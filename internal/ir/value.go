@@ -1,0 +1,63 @@
+package ir
+
+import "fmt"
+
+// Reg names a virtual register within a function. The IR is not SSA:
+// registers are mutable storage, which matches how the HELIX analyses
+// reason about loop-carried register state (a register is "live around
+// the backedge" rather than "has a phi").
+type Reg int32
+
+// NoReg marks an absent register operand (e.g. a void call destination).
+const NoReg Reg = -1
+
+// String formats the register like r7.
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", int32(r))
+}
+
+// ValueKind distinguishes the two operand forms.
+type ValueKind uint8
+
+const (
+	// KindNone marks an unused operand slot.
+	KindNone ValueKind = iota
+	// KindReg means the operand reads a virtual register.
+	KindReg
+	// KindConst means the operand is an immediate.
+	KindConst
+)
+
+// Value is an instruction operand: either a register or an immediate.
+type Value struct {
+	Kind ValueKind
+	Reg  Reg
+	Imm  int64
+}
+
+// R returns a register operand.
+func R(r Reg) Value { return Value{Kind: KindReg, Reg: r} }
+
+// C returns a constant operand.
+func C(imm int64) Value { return Value{Kind: KindConst, Imm: imm} }
+
+// IsReg reports whether the value reads a register.
+func (v Value) IsReg() bool { return v.Kind == KindReg }
+
+// IsConst reports whether the value is an immediate.
+func (v Value) IsConst() bool { return v.Kind == KindConst }
+
+// String formats the operand.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindReg:
+		return v.Reg.String()
+	case KindConst:
+		return fmt.Sprintf("%d", v.Imm)
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,53 @@
+package mem
+
+// DRAMConfig models main memory timing in the spirit of DRAMSim2: banked,
+// with open-row buffers. Latencies are in core cycles.
+type DRAMConfig struct {
+	Banks int
+	// RowBits is log2 of the row size in lines; lines in the same row hit
+	// the row buffer.
+	RowBits uint
+	// HitLatency applies on a row-buffer hit, MissLatency on a conflict
+	// (precharge + activate + CAS).
+	HitLatency  int
+	MissLatency int
+}
+
+// DefaultDRAM approximates DDR3 timing behind an Atom-class uncore.
+func DefaultDRAM() DRAMConfig {
+	return DRAMConfig{Banks: 8, RowBits: 7, HitLatency: 90, MissLatency: 160}
+}
+
+// DRAM is the main-memory timing model.
+type DRAM struct {
+	cfg     DRAMConfig
+	openRow []int64
+	// Accesses and RowHits are statistics.
+	Accesses int64
+	RowHits  int64
+}
+
+// NewDRAM builds the model.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if cfg.Banks < 1 {
+		cfg.Banks = 1
+	}
+	d := &DRAM{cfg: cfg, openRow: make([]int64, cfg.Banks)}
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	return d
+}
+
+// Access returns the latency of reading or writing the given line address.
+func (d *DRAM) Access(lineAddr int64) int {
+	d.Accesses++
+	row := lineAddr >> d.cfg.RowBits
+	bank := int(row) & (d.cfg.Banks - 1)
+	if d.openRow[bank] == row {
+		d.RowHits++
+		return d.cfg.HitLatency
+	}
+	d.openRow[bank] = row
+	return d.cfg.MissLatency
+}

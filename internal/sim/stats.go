@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+
+	"helixrc/internal/mem"
+	"helixrc/internal/ringcache"
+)
+
+// Overheads breaks down the cycles that keep a parallelized program from
+// ideal speedup, using the taxonomy of Figure 12.
+type Overheads struct {
+	// AddedInstr: instructions HCC inserted (recomputation, slot moves,
+	// control checks) — everything executed that the sequential program
+	// did not contain, except wait/signal.
+	AddedInstr int64
+	// WaitSignal: issue slots consumed by wait and signal instructions.
+	WaitSignal int64
+	// Memory: stall cycles on private accesses beyond an L1 hit.
+	Memory int64
+	// IterImbalance: end-of-loop idling of cores that ran iterations.
+	IterImbalance int64
+	// LowTripCount: whole-loop idling of cores that never got a real
+	// iteration.
+	LowTripCount int64
+	// Communication: stalls delivering shared data between cores.
+	Communication int64
+	// DependenceWaiting: stalls at wait instructions.
+	DependenceWaiting int64
+}
+
+// Total sums all categories.
+func (o Overheads) Total() int64 {
+	return o.AddedInstr + o.WaitSignal + o.Memory + o.IterImbalance +
+		o.LowTripCount + o.Communication + o.DependenceWaiting
+}
+
+// Shares returns each category as a fraction of the total, in the order
+// of Figure 12's columns.
+func (o Overheads) Shares() []float64 {
+	t := float64(o.Total())
+	if t == 0 {
+		return make([]float64, 7)
+	}
+	return []float64{
+		float64(o.AddedInstr) / t,
+		float64(o.WaitSignal) / t,
+		float64(o.Memory) / t,
+		float64(o.IterImbalance) / t,
+		float64(o.LowTripCount) / t,
+		float64(o.Communication) / t,
+		float64(o.DependenceWaiting) / t,
+	}
+}
+
+// ShareNames labels Shares' columns.
+var ShareNames = []string{
+	"AddedInstr", "Wait/Signal", "Memory", "Imbalance",
+	"LowTripCount", "Communication", "DepWaiting",
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	// Cycles is the total execution time.
+	Cycles int64
+	// Instrs counts committed instructions.
+	Instrs int64
+	// RetValue is the program's functional result.
+	RetValue int64
+
+	// ParallelCycles/ParallelInstrs cover only parallel-loop execution.
+	ParallelCycles int64
+	ParallelInstrs int64
+	// LoopInvocations counts parallel loop entries.
+	LoopInvocations int64
+	// IterationsRun counts real (non-NOTRUN) iterations executed.
+	IterationsRun int64
+
+	// SeqSegInstrs and SegEntries measure sequential-segment sizes: the
+	// paper's "average instructions per sequential segment" is their
+	// ratio.
+	SeqSegInstrs int64
+	SegEntries   int64
+
+	Overheads Overheads
+	Ring      ringcache.Stats
+	Mem       mem.AccessStats
+}
+
+// AvgSegInstrs returns the dynamic average instructions per sequential
+// segment instance.
+func (r *Result) AvgSegInstrs() float64 {
+	if r.SegEntries == 0 {
+		return 0
+	}
+	return float64(r.SeqSegInstrs) / float64(r.SegEntries)
+}
+
+// TLP returns instructions per cycle across the parallel regions — the
+// paper's thread-level parallelism metric when run on the Abstract config.
+func (r *Result) TLP() float64 {
+	if r.ParallelCycles == 0 {
+		return 0
+	}
+	return float64(r.ParallelInstrs) / float64(r.ParallelCycles)
+}
+
+// Speedup compares a baseline (sequential) run to this one.
+func Speedup(seq, par *Result) float64 {
+	if par.Cycles == 0 {
+		return 0
+	}
+	return float64(seq.Cycles) / float64(par.Cycles)
+}
+
+// ValidationError reports a violated compiler guarantee detected during
+// simulation; it always indicates a bug in HCC or the workload contract.
+type ValidationError struct {
+	Loop int
+	Iter int64
+	Msg  string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("sim: validation failed in loop %d iter %d: %s", e.Loop, e.Iter, e.Msg)
+}

@@ -1,0 +1,120 @@
+package workloads
+
+import "helixrc/internal/ir"
+
+// Ammp builds the 188.ammp analogue: molecular dynamics (ODE integration
+// of atom motion under force fields).
+//
+// Modelled loops:
+//   - forces: per-atom non-bonded force evaluation — long floating-point
+//     iterations over the atom's neighbor list (read-only positions) with
+//     energy and virial accumulators (parallel reductions): ammp's
+//     Figure 12 overhead profile is dominated by added instructions, with
+//     very little dependence waiting.
+//   - integrate: the velocity/position update pass through a repurposed
+//     pointer, which HCCv1's flow-insensitive analysis cannot separate
+//     (Table 1: 60.2% vs 99%).
+//
+// Paper speedup: 12.5x.
+func Ammp() *Workload {
+	p := ir.NewProgram("188.ammp")
+	tyPos := p.NewType("pos[]")
+	tyNbr := p.NewType("nbr[]")
+	tyVel := p.NewType("vel[]")
+
+	const (
+		nAtoms = 256
+		nNbrs  = 12
+	)
+	pos := p.AddGlobal("pos", nAtoms*3, tyPos)
+	fill(pos, 91, 2048)
+	nbr := p.AddGlobal("nbr", nAtoms*nNbrs, tyNbr)
+	fill(nbr, 92, nAtoms)
+	vel := p.AddGlobal("vel", nAtoms*3, tyVel)
+	fill(vel, 93, 31)
+
+	// forces(n): per-atom force evaluation.
+	forces := p.NewFunction("forces", 1)
+	{
+		b := ir.NewBuilder(p, forces)
+		n := forces.Params[0]
+		pb := b.GlobalAddr(pos)
+		nb := b.GlobalAddr(nbr)
+		energy := b.Const(0)
+		virial := b.Const(0)
+		Loop(b, "forces", ir.R(n), func(a ir.Reg) {
+			base := b.Mul(ir.R(a), ir.C(3))
+			pa := b.Add(ir.R(pb), ir.R(base))
+			ax := b.Load(ir.R(pa), 0, ir.MemAttrs{Type: tyPos, Path: "pos.x"})
+			ay := b.Load(ir.R(pa), 1, ir.MemAttrs{Type: tyPos, Path: "pos.y"})
+			az := b.Load(ir.R(pa), 2, ir.MemAttrs{Type: tyPos, Path: "pos.z"})
+			nbase := b.Mul(ir.R(a), ir.C(nNbrs))
+			na := b.Add(ir.R(nb), ir.R(nbase))
+			fsum := b.Const(0)
+			for k := int64(0); k < nNbrs; k++ {
+				nv := b.Load(ir.R(na), k, ir.MemAttrs{Type: tyNbr, Path: "nbr"})
+				obase := b.Mul(ir.R(nv), ir.C(3))
+				oa := b.Add(ir.R(pb), ir.R(obase))
+				ox := b.Load(ir.R(oa), 0, ir.MemAttrs{Type: tyPos, Path: "pos.x"})
+				dx := b.Bin(ir.OpFSub, ir.R(ax), ir.R(ox))
+				d2 := b.Bin(ir.OpFMul, ir.R(dx), ir.R(dx))
+				b.BinTo(fsum, ir.OpFAdd, ir.R(fsum), ir.R(d2))
+			}
+			fy := b.Bin(ir.OpFMul, ir.R(ay), ir.C(3))
+			fz := b.Bin(ir.OpFMul, ir.R(az), ir.C(5))
+			fyz := b.Bin(ir.OpFAdd, ir.R(fy), ir.R(fz))
+			f := b.Bin(ir.OpFAdd, ir.R(fsum), ir.R(fyz))
+			b.BinTo(energy, ir.OpFAdd, ir.R(energy), ir.R(f))
+			b.BinTo(virial, ir.OpFAdd, ir.R(virial), ir.R(fsum))
+		})
+		r := b.Add(ir.R(energy), ir.R(virial))
+		b.Ret(ir.R(r))
+	}
+
+	// integrate(n): position update through a repurposed pointer.
+	integrate := p.NewFunction("integrate", 1)
+	{
+		b := ir.NewBuilder(p, integrate)
+		n := integrate.Params[0]
+		vb := b.GlobalAddr(vel)
+		q := b.Mov(ir.R(vb)) // bound to velocities...
+		warm := b.Load(ir.R(q), 0, ir.MemAttrs{Type: tyVel, Path: "vel"})
+		b.MovTo(q, ir.C(pos.Addr)) // ...then repurposed to positions
+		_ = warm
+		Loop(b, "integrate", ir.R(n), func(i ir.Reg) {
+			va := b.Add(ir.R(vb), ir.R(i))
+			vv := b.Load(ir.R(va), 0, ir.MemAttrs{Type: tyVel, Path: "vel"})
+			w := FBusy(b, ir.R(vv), 10)
+			qa := b.Add(ir.R(q), ir.R(i))
+			old := b.Load(ir.R(qa), 0, ir.MemAttrs{Type: tyPos, Path: "pos.any"})
+			nv := b.Bin(ir.OpFAdd, ir.R(old), ir.R(w))
+			wrapped := b.Bin(ir.OpAnd, ir.R(nv), ir.C((1<<40)-1))
+			b.Store(ir.R(qa), 0, ir.R(wrapped), ir.MemAttrs{Type: tyPos, Path: "pos.any"})
+		})
+		b.RetVoid()
+	}
+
+	// main(steps): force evaluation + integration per time step.
+	main := p.NewFunction("main", 1)
+	{
+		b := ir.NewBuilder(p, main)
+		steps := main.Params[0]
+		total := b.Const(0)
+		Loop(b, "steps", ir.R(steps), func(s ir.Reg) {
+			e := b.Call(forces, ir.C(nAtoms))
+			b.Call(integrate, ir.C(nAtoms*3))
+			b.BinTo(total, ir.OpXor, ir.R(total), ir.R(e))
+		})
+		b.Ret(ir.R(total))
+	}
+
+	return &Workload{
+		Name: "188.ammp", Class: FP,
+		Prog: p, Entry: main,
+		TrainArgs:     []int64{2},
+		RefArgs:       []int64{10},
+		Phases:        23,
+		PaperSpeedup:  12.5,
+		PaperCoverage: [4]float64{0, 0.602, 0.99, 0.99},
+	}
+}

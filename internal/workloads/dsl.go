@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+
+	"helixrc/internal/ir"
+)
+
+// The workload DSL: thin structured-control helpers over the IR builder so
+// each benchmark file reads like the C loops it models.
+
+var blockSeq int
+
+func freshName(prefix string) string {
+	blockSeq++
+	return fmt.Sprintf("%s.%d", prefix, blockSeq)
+}
+
+// Loop emits a canonical counted loop:
+//
+//	for (i = 0; i < n; i++) { body(i) }
+//
+// The body callback may emit arbitrary control flow (If, nested Loop) as
+// long as it leaves the builder in a fall-through block. The builder is
+// left in the exit block.
+func Loop(b *ir.Builder, name string, n ir.Value, body func(i ir.Reg)) {
+	i := b.Const(0)
+	LoopFrom(b, name, i, n, 1, body)
+}
+
+// LoopFrom is Loop with an existing start register and a custom step.
+func LoopFrom(b *ir.Builder, name string, i ir.Reg, n ir.Value, step int64, body func(i ir.Reg)) {
+	head := b.NewBlock(freshName(name + ".head"))
+	bodyB := b.NewBlock(freshName(name + ".body"))
+	exit := b.NewBlock(freshName(name + ".exit"))
+	b.Br(head)
+	b.SetBlock(head)
+	c := b.Bin(ir.OpCmpLT, ir.R(i), n)
+	b.CondBr(ir.R(c), bodyB, exit)
+	b.SetBlock(bodyB)
+	body(i)
+	b.BinTo(i, ir.OpAdd, ir.R(i), ir.C(step))
+	b.Br(head)
+	b.SetBlock(exit)
+}
+
+// While emits a condition-at-top loop. cond emits code computing the
+// continue condition in the header and returns it; body runs while the
+// condition is nonzero.
+func While(b *ir.Builder, name string, cond func() ir.Reg, body func()) {
+	head := b.NewBlock(freshName(name + ".head"))
+	bodyB := b.NewBlock(freshName(name + ".body"))
+	exit := b.NewBlock(freshName(name + ".exit"))
+	b.Br(head)
+	b.SetBlock(head)
+	c := cond()
+	b.CondBr(ir.R(c), bodyB, exit)
+	b.SetBlock(bodyB)
+	body()
+	b.Br(head)
+	b.SetBlock(exit)
+}
+
+// If emits a two-armed conditional; either arm may be nil. Both arms fall
+// through to a join block where the builder is left.
+func If(b *ir.Builder, cond ir.Value, then func(), els func()) {
+	thenB := b.NewBlock(freshName("then"))
+	join := b.NewBlock(freshName("join"))
+	elsB := join
+	if els != nil {
+		elsB = b.NewBlock(freshName("else"))
+	}
+	b.CondBr(cond, thenB, elsB)
+	b.SetBlock(thenB)
+	if then != nil {
+		then()
+	}
+	b.Br(join)
+	if els != nil {
+		b.SetBlock(elsB)
+		els()
+		b.Br(join)
+	}
+	b.SetBlock(join)
+}
+
+// Busy emits n single-cycle ALU instructions seeded by v, returning the
+// final register — deterministic private work that cannot be optimized
+// away. The work forms three independent chains merged at the end, so it
+// carries realistic instruction-level parallelism (wider and out-of-order
+// cores run it faster, as Figure 10 requires).
+func Busy(b *ir.Builder, v ir.Value, n int) ir.Reg {
+	r0 := b.Mov(v)
+	r1 := b.Add(v, ir.C(0x9e37))
+	r2 := b.Bin(ir.OpXor, v, ir.C(0x79b9))
+	chains := [3]ir.Reg{r0, r1, r2}
+	for k := 0; k < n-5; k++ {
+		r := chains[k%3]
+		switch k % 3 {
+		case 0:
+			b.BinTo(r, ir.OpAdd, ir.R(r), ir.C(int64(k)+1))
+		case 1:
+			b.BinTo(r, ir.OpXor, ir.R(r), ir.C(0x5bd1))
+		default:
+			b.BinTo(r, ir.OpShl, ir.R(r), ir.C(1))
+		}
+	}
+	m := b.Add(ir.R(r0), ir.R(r1))
+	return b.Bin(ir.OpXor, ir.R(m), ir.R(r2))
+}
+
+// FBusy is Busy with floating-point latencies (for the CFP analogues);
+// three independent chains expose FP ILP.
+func FBusy(b *ir.Builder, v ir.Value, n int) ir.Reg {
+	r0 := b.Mov(v)
+	r1 := b.Bin(ir.OpFAdd, v, ir.C(3))
+	r2 := b.Bin(ir.OpFMul, v, ir.C(5))
+	chains := [3]ir.Reg{r0, r1, r2}
+	for k := 0; k < n-4; k++ {
+		r := chains[k%3]
+		if k%2 == 0 {
+			b.BinTo(r, ir.OpFAdd, ir.R(r), ir.C(int64(k)+3))
+		} else {
+			b.BinTo(r, ir.OpFMul, ir.R(r), ir.C(3))
+		}
+	}
+	m := b.Bin(ir.OpFAdd, ir.R(r0), ir.R(r1))
+	return b.Bin(ir.OpFAdd, ir.R(m), ir.R(r2))
+}

@@ -1,0 +1,109 @@
+package workloads
+
+import "helixrc/internal/ir"
+
+// Equake builds the 183.equake analogue: seismic wave propagation, whose
+// kernel is a sparse matrix-vector product.
+//
+// Modelled loop: smvp — per-row dot product over the row's nonzeros
+// (read-only matrix and vector; the y[row] result is affine in the row
+// index, hence provably private) plus a global residual reduction. Memory
+// stalls from streaming the sparse structure dominate the overhead, as
+// Figure 12 shows for equake. Paper speedup: 10.1x.
+func Equake() *Workload {
+	p := ir.NewProgram("183.equake")
+	tyVal := p.NewType("A[]")
+	tyCol := p.NewType("col[]")
+	tyX := p.NewType("x[]")
+	tyY := p.NewType("y[]")
+
+	const (
+		nRows = 400
+		nnz   = 8 // nonzeros per row
+	)
+	vals := p.AddGlobal("A", nRows*nnz, tyVal)
+	fill(vals, 71, 97)
+	cols := p.AddGlobal("col", nRows*nnz, tyCol)
+	fill(cols, 72, nRows)
+	xv := p.AddGlobal("x", nRows, tyX)
+	fill(xv, 73, 63)
+	yv := p.AddGlobal("y", nRows, tyY)
+
+	// smvp(n): y = A*x, one row per iteration.
+	smvp := p.NewFunction("smvp", 1)
+	{
+		b := ir.NewBuilder(p, smvp)
+		n := smvp.Params[0]
+		ab := b.GlobalAddr(vals)
+		cb := b.GlobalAddr(cols)
+		xb := b.GlobalAddr(xv)
+		yb := b.GlobalAddr(yv)
+		resid := b.Const(0)
+		Loop(b, "rows", ir.R(n), func(row ir.Reg) {
+			base := b.Mul(ir.R(row), ir.C(nnz))
+			acc := b.Const(0)
+			for k := int64(0); k < nnz; k++ {
+				aa := b.Add(ir.R(ab), ir.R(base))
+				av := b.Load(ir.R(aa), k, ir.MemAttrs{Type: tyVal, Path: "A"})
+				ca := b.Add(ir.R(cb), ir.R(base))
+				cv := b.Load(ir.R(ca), k, ir.MemAttrs{Type: tyCol, Path: "col"})
+				xa := b.Add(ir.R(xb), ir.R(cv))
+				xvv := b.Load(ir.R(xa), 0, ir.MemAttrs{Type: tyX, Path: "x"})
+				t := b.Bin(ir.OpFMul, ir.R(av), ir.R(xvv))
+				b.BinTo(acc, ir.OpFAdd, ir.R(acc), ir.R(t))
+			}
+			ya := b.Add(ir.R(yb), ir.R(row))
+			b.Store(ir.R(ya), 0, ir.R(acc), ir.MemAttrs{Type: tyY, Path: "y"})
+			b.BinTo(resid, ir.OpFAdd, ir.R(resid), ir.R(acc))
+		})
+		b.Ret(ir.R(resid))
+	}
+
+	// advance(n): time integration through a repurposed pointer, which
+	// HCCv1's flow-insensitive analysis cannot separate (its Table 1
+	// coverage stops at 77.1%).
+	tyD := p.NewType("disp[]")
+	disp := p.AddGlobal("disp", nRows, tyD)
+	advance := p.NewFunction("advance", 1)
+	{
+		b := ir.NewBuilder(p, advance)
+		n := advance.Params[0]
+		yb := b.GlobalAddr(yv)
+		q := b.Mov(ir.R(yb)) // bound to y...
+		warm := b.Load(ir.R(q), 0, ir.MemAttrs{Type: tyY, Path: "y"})
+		b.MovTo(q, ir.C(disp.Addr)) // ...then repurposed to disp
+		_ = warm
+		Loop(b, "advance", ir.R(n), func(i ir.Reg) {
+			ya := b.Add(ir.R(yb), ir.R(i))
+			v := b.Load(ir.R(ya), 0, ir.MemAttrs{Type: tyY, Path: "y"})
+			w := FBusy(b, ir.R(v), 6)
+			da := b.Add(ir.R(q), ir.R(i))
+			b.Store(ir.R(da), 0, ir.R(w), ir.MemAttrs{Type: tyD, Path: "disp"})
+		})
+		b.RetVoid()
+	}
+
+	// main(steps): time-step the simulation.
+	main := p.NewFunction("main", 1)
+	{
+		b := ir.NewBuilder(p, main)
+		steps := main.Params[0]
+		total := b.Const(0)
+		Loop(b, "steps", ir.R(steps), func(s ir.Reg) {
+			r := b.Call(smvp, ir.C(nRows))
+			b.Call(advance, ir.C(nRows))
+			b.BinTo(total, ir.OpXor, ir.R(total), ir.R(r))
+		})
+		b.Ret(ir.R(total))
+	}
+
+	return &Workload{
+		Name: "183.equake", Class: FP,
+		Prog: p, Entry: main,
+		TrainArgs:     []int64{3},
+		RefArgs:       []int64{14},
+		Phases:        7,
+		PaperSpeedup:  10.1,
+		PaperCoverage: [4]float64{0, 0.771, 0.99, 0.99},
+	}
+}

@@ -1,0 +1,151 @@
+package workloads
+
+import "helixrc/internal/ir"
+
+// Mesa builds the 177.mesa analogue: a 3-D rendering front end.
+//
+// Modelled loops:
+//   - transform: per-vertex 3x3 matrix transform + translate with a
+//     conditional clip path — a long-iteration DOALL whose variable path
+//     lengths produce the iteration-imbalance overhead Figure 12 reports
+//     (58.4% of mesa's overhead) while still reaching the suite's best
+//     speedup (paper: 15.1x).
+//   - lighting: per-vertex diffuse shading writing through a pointer that
+//     was earlier repurposed — flow-insensitive pointer analysis (HCCv1's
+//     VLLPA baseline) merges the two targets and serializes the loop, so
+//     HCCv1 only covers the transform loop (Table 1: 64.3% vs 99%).
+func Mesa() *Workload {
+	p := ir.NewProgram("177.mesa")
+	tyVert := p.NewType("vertex[]")
+	tyOut := p.NewType("xformed[]")
+	tyNorm := p.NewType("normal[]")
+	tyCol := p.NewType("color[]")
+	tyMat := p.NewType("matrix")
+
+	const nVerts = 420
+	verts := p.AddGlobal("verts", nVerts*3, tyVert)
+	fill(verts, 1, 2048)
+	norms := p.AddGlobal("norms", nVerts*3, tyNorm)
+	fill(norms, 2, 255)
+	out := p.AddGlobal("out", nVerts*3, tyOut)
+	cols := p.AddGlobal("cols", nVerts, tyCol)
+	mat := p.AddGlobal("mat", 12, tyMat)
+	fill(mat, 3, 9)
+
+	// transform(n): out[3v..] = M * verts[3v..] + T, with a clip path.
+	transform := p.NewFunction("transform", 1)
+	{
+		b := ir.NewBuilder(p, transform)
+		n := transform.Params[0]
+		vb := b.GlobalAddr(verts)
+		ob := b.GlobalAddr(out)
+		mb := b.GlobalAddr(mat)
+		// The matrix is loop-invariant: load it once.
+		var m [12]ir.Reg
+		for k := 0; k < 12; k++ {
+			m[k] = b.Load(ir.R(mb), int64(k), ir.MemAttrs{Type: tyMat, Path: "mat"})
+		}
+		Loop(b, "xform", ir.R(n), func(v ir.Reg) {
+			base := b.Mul(ir.R(v), ir.C(3))
+			va := b.Add(ir.R(vb), ir.R(base))
+			x := b.Load(ir.R(va), 0, ir.MemAttrs{Type: tyVert, Path: "v.x"})
+			y := b.Load(ir.R(va), 1, ir.MemAttrs{Type: tyVert, Path: "v.y"})
+			z := b.Load(ir.R(va), 2, ir.MemAttrs{Type: tyVert, Path: "v.z"})
+			row := func(r int) ir.Reg {
+				t0 := b.Bin(ir.OpFMul, ir.R(x), ir.R(m[r*3]))
+				t1 := b.Bin(ir.OpFMul, ir.R(y), ir.R(m[r*3+1]))
+				t2 := b.Bin(ir.OpFMul, ir.R(z), ir.R(m[r*3+2]))
+				s0 := b.Bin(ir.OpFAdd, ir.R(t0), ir.R(t1))
+				s1 := b.Bin(ir.OpFAdd, ir.R(s0), ir.R(t2))
+				return b.Bin(ir.OpFAdd, ir.R(s1), ir.R(m[9+r]))
+			}
+			tx, ty, tz := row(0), row(1), row(2)
+			// Perspective divide and viewport mapping (private FP work).
+			wdiv := b.Bin(ir.OpFAdd, ir.R(tz), ir.C(4096))
+			px := b.Bin(ir.OpFDiv, ir.R(tx), ir.R(wdiv))
+			py := b.Bin(ir.OpFDiv, ir.R(ty), ir.R(wdiv))
+			vx := FBusy(b, ir.R(px), 8)
+			vy := FBusy(b, ir.R(py), 8)
+			tx = b.Bin(ir.OpFAdd, ir.R(vx), ir.R(tx))
+			ty = b.Bin(ir.OpFAdd, ir.R(vy), ir.R(ty))
+			// Clip path: vertices outside the frustum pay extra work —
+			// the source of mesa's iteration imbalance.
+			clip := b.Bin(ir.OpCmpGT, ir.R(tx), ir.C(6000))
+			If(b, ir.R(clip), func() {
+				e := FBusy(b, ir.R(tx), 30)
+				b.BinTo(tx, ir.OpFAdd, ir.R(tx), ir.R(e))
+			}, nil)
+			oa := b.Add(ir.R(ob), ir.R(base))
+			b.Store(ir.R(oa), 0, ir.R(tx), ir.MemAttrs{Type: tyOut, Path: "o.x"})
+			b.Store(ir.R(oa), 1, ir.R(ty), ir.MemAttrs{Type: tyOut, Path: "o.y"})
+			b.Store(ir.R(oa), 2, ir.R(tz), ir.MemAttrs{Type: tyOut, Path: "o.z"})
+		})
+		b.RetVoid()
+	}
+
+	// lighting(n): cols[v] = shade(norms[3v..]). The output pointer is
+	// reused from an earlier binding to norms, which defeats the
+	// flow-insensitive baseline pointer analysis.
+	lighting := p.NewFunction("lighting", 1)
+	{
+		b := ir.NewBuilder(p, lighting)
+		n := lighting.Params[0]
+		nb := b.GlobalAddr(norms)
+		// q first points at the normal buffer (a warming read), then is
+		// repurposed to the color buffer.
+		q := b.Mov(ir.R(nb))
+		warm := b.Load(ir.R(q), 0, ir.MemAttrs{Type: tyNorm, Path: "n.x"})
+		b.MovTo(q, ir.C(cols.Addr))
+		_ = warm
+		Loop(b, "shade", ir.R(n), func(v ir.Reg) {
+			base := b.Mul(ir.R(v), ir.C(3))
+			na := b.Add(ir.R(nb), ir.R(base))
+			nx := b.Load(ir.R(na), 0, ir.MemAttrs{Type: tyNorm, Path: "n.x"})
+			ny := b.Load(ir.R(na), 1, ir.MemAttrs{Type: tyNorm, Path: "n.y"})
+			nz := b.Load(ir.R(na), 2, ir.MemAttrs{Type: tyNorm, Path: "n.z"})
+			d0 := b.Bin(ir.OpFMul, ir.R(nx), ir.C(3))
+			d1 := b.Bin(ir.OpFMul, ir.R(ny), ir.C(5))
+			d2 := b.Bin(ir.OpFMul, ir.R(nz), ir.C(2))
+			s0 := b.Bin(ir.OpFAdd, ir.R(d0), ir.R(d1))
+			s1 := b.Bin(ir.OpFAdd, ir.R(s0), ir.R(d2))
+			c := b.Bin(ir.OpAnd, ir.R(s1), ir.C(255))
+			ca := b.Add(ir.R(q), ir.R(v))
+			b.Store(ir.R(ca), 0, ir.R(c), ir.MemAttrs{Type: tyCol, Path: "col"})
+		})
+		b.RetVoid()
+	}
+
+	// main(frames, nverts): render frames, then checksum.
+	main := p.NewFunction("main", 2)
+	{
+		b := ir.NewBuilder(p, main)
+		frames := main.Params[0]
+		nverts := main.Params[1]
+		Loop(b, "frames", ir.R(frames), func(fr ir.Reg) {
+			b.Call(transform, ir.R(nverts))
+			b.Call(lighting, ir.R(nverts))
+		})
+		sum := b.Const(0)
+		ob := b.GlobalAddr(out)
+		cb := b.GlobalAddr(cols)
+		Loop(b, "sum", ir.C(64), func(i ir.Reg) {
+			oa := b.Add(ir.R(ob), ir.R(i))
+			v1 := b.Load(ir.R(oa), 0, ir.MemAttrs{Type: tyOut, Path: "o.x"})
+			ca := b.Add(ir.R(cb), ir.R(i))
+			v2 := b.Load(ir.R(ca), 0, ir.MemAttrs{Type: tyCol, Path: "col"})
+			t := b.Add(ir.R(v1), ir.R(v2))
+			b.BinTo(sum, ir.OpAdd, ir.R(sum), ir.R(t))
+		})
+		b.Ret(ir.R(sum))
+	}
+
+	return &Workload{
+		Name: "177.mesa", Class: FP,
+		Prog: p, Entry: main,
+		TrainArgs:     []int64{2, nVerts},
+		RefArgs:       []int64{8, nVerts},
+		Phases:        8,
+		PaperSpeedup:  15.1,
+		PaperCoverage: [4]float64{0, 0.643, 0.99, 0.99},
+	}
+}

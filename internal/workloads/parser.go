@@ -1,0 +1,145 @@
+package workloads
+
+import "helixrc/internal/ir"
+
+// Parser builds the 197.parser analogue: natural-language link parsing
+// with a dictionary.
+//
+// Modelled loops:
+//   - link: the per-word hot loop — hash the word, probe the dictionary
+//     with open addressing (loads and a conditional insert through a
+//     data-dependent index: a real loop-carried memory dependence), then
+//     private disjunct-matching work. The dictionary is the largest ring
+//     working set in the suite, which is why Figure 11d shows parser as
+//     the only node-memory-sensitive benchmark.
+//   - prune: the per-sentence pruning pass with long private iterations,
+//     selectable by HCCv1/v2 (Table 1: 60.2%).
+//
+// Paper speedup: 7.3x.
+func Parser() *Workload {
+	p := ir.NewProgram("197.parser")
+	tyText := p.NewType("text[]")
+	tyDict := p.NewType("dict[]")
+	tyExpr := p.NewType("expr[]")
+
+	const (
+		textLen  = 4096
+		dictSize = 192 // the largest shared working set in the suite
+		exprSize = 512
+	)
+	text := p.AddGlobal("text", textLen, tyText)
+	fill(text, 31, 9973)
+	dict := p.AddGlobal("dict", dictSize, tyDict)
+	expr := p.AddGlobal("expr", exprSize, tyExpr)
+	fill(expr, 32, 255)
+
+	// link(start, words): the per-word dictionary loop. Dictionary
+	// entries are {word, count} pairs; the probe pointer is reused from
+	// an earlier binding to the expression table, which only a
+	// flow-sensitive pointer analysis separates, and the word/count
+	// fields are only separated by path-based location naming.
+	link := p.NewFunction("link", 2)
+	{
+		b := ir.NewBuilder(p, link)
+		start := link.Params[0]
+		words := link.Params[1]
+		tb := b.GlobalAddr(text)
+		eb := b.GlobalAddr(expr)
+		// q warms the expression table, then is rebound to the dictionary.
+		q := b.Mov(ir.R(eb))
+		warm := b.Load(ir.R(q), 0, ir.MemAttrs{Type: tyExpr, Path: "expr"})
+		_ = warm
+		b.MovTo(q, ir.C(dict.Addr))
+		end := b.Add(ir.R(start), ir.R(words))
+		w := b.Mov(ir.R(start))
+		LoopFrom(b, "link", w, ir.R(end), 1, func(wr ir.Reg) {
+			ta := b.Add(ir.R(tb), ir.R(wr))
+			word := b.Load(ir.R(ta), 0, ir.MemAttrs{Type: tyText, Path: "text"})
+			h0 := b.Mul(ir.R(word), ir.C(2654435761))
+			h := b.Bin(ir.OpAnd, ir.R(h0), ir.C(dictSize/2-1))
+			// Dictionary probe + conditional insert (sequential segment).
+			ebase := b.Mul(ir.R(h), ir.C(2))
+			da := b.Add(ir.R(q), ir.R(ebase))
+			e0 := b.Load(ir.R(da), 0, ir.MemAttrs{Type: tyDict, Path: "dict.word"})
+			hit := b.Bin(ir.OpCmpEQ, ir.R(e0), ir.R(word))
+			If(b, ir.R(hit), nil, func() {
+				b.Store(ir.R(da), 0, ir.R(word), ir.MemAttrs{Type: tyDict, Path: "dict.word"})
+			})
+			// Probe statistics live in the entry's count field.
+			c0 := b.Load(ir.R(da), 1, ir.MemAttrs{Type: tyDict, Path: "dict.count"})
+			c1 := b.Add(ir.R(c0), ir.C(1))
+			b.Store(ir.R(da), 1, ir.R(c1), ir.MemAttrs{Type: tyDict, Path: "dict.count"})
+			// Private disjunct matching against the expression table. The
+			// probe pointer q once pointed here: a flow-insensitive
+			// analysis reports false dependences between the dictionary
+			// stores and these reads.
+			ei := b.Bin(ir.OpAnd, ir.R(word), ir.C(exprSize-1))
+			ea := b.Add(ir.R(eb), ir.R(ei))
+			ev := b.Load(ir.R(ea), 0, ir.MemAttrs{Type: tyExpr, Path: "expr"})
+			m := Busy(b, ir.R(ev), 36)
+			_ = m
+		})
+		b.RetVoid()
+	}
+
+	// prune(n): per-sentence pruning with long private iterations.
+	tyPr := p.NewType("pruned[]")
+	pruned := p.AddGlobal("pruned", exprSize, tyPr)
+	tyPS := p.NewType("pstats")
+	pstats := p.AddGlobal("pstats", 2, tyPS)
+	prune := p.NewFunction("prune", 1)
+	{
+		b := ir.NewBuilder(p, prune)
+		n := prune.Params[0]
+		eb := b.GlobalAddr(expr)
+		pb := b.GlobalAddr(pruned)
+		sb := b.GlobalAddr(pstats)
+		Loop(b, "prune", ir.R(n), func(i ir.Reg) {
+			// Pruning statistics (shared cells, updated up front).
+			c0 := b.Load(ir.R(sb), 0, ir.MemAttrs{Type: tyPS, Path: "pstats.count"})
+			c1 := b.Add(ir.R(c0), ir.C(1))
+			b.Store(ir.R(sb), 0, ir.R(c1), ir.MemAttrs{Type: tyPS, Path: "pstats.count"})
+			d0 := b.Load(ir.R(sb), 1, ir.MemAttrs{Type: tyPS, Path: "pstats.mix"})
+			d1 := b.Bin(ir.OpXor, ir.R(d0), ir.R(i))
+			b.Store(ir.R(sb), 1, ir.R(d1), ir.MemAttrs{Type: tyPS, Path: "pstats.mix"})
+			ea := b.Add(ir.R(eb), ir.R(i))
+			v := b.Load(ir.R(ea), 0, ir.MemAttrs{Type: tyExpr, Path: "expr"})
+			wv := Busy(b, ir.R(v), 80)
+			pa := b.Add(ir.R(pb), ir.R(i))
+			b.Store(ir.R(pa), 0, ir.R(wv), ir.MemAttrs{Type: tyPr, Path: "pruned"})
+		})
+		b.RetVoid()
+	}
+
+	// main(sentences, wordsPer): parse sentences, pruning after each.
+	main := p.NewFunction("main", 2)
+	{
+		b := ir.NewBuilder(p, main)
+		sentences := main.Params[0]
+		wordsPer := main.Params[1]
+		Loop(b, "sentences", ir.R(sentences), func(s ir.Reg) {
+			off := b.Mul(ir.R(s), ir.R(wordsPer))
+			st := b.Bin(ir.OpAnd, ir.R(off), ir.C(textLen/2-1))
+			b.Call(link, ir.R(st), ir.R(wordsPer))
+			b.Call(prune, ir.C(exprSize))
+		})
+		sum := b.Const(0)
+		db := b.GlobalAddr(dict)
+		Loop(b, "sum", ir.C(dictSize), func(i ir.Reg) {
+			da := b.Add(ir.R(db), ir.R(i))
+			v := b.Load(ir.R(da), 0, ir.MemAttrs{Type: tyDict, Path: "dict"})
+			b.BinTo(sum, ir.OpAdd, ir.R(sum), ir.R(v))
+		})
+		b.Ret(ir.R(sum))
+	}
+
+	return &Workload{
+		Name: "197.parser", Class: INT,
+		Prog: p, Entry: main,
+		TrainArgs:     []int64{3, 180},
+		RefArgs:       []int64{12, 220},
+		Phases:        19,
+		PaperSpeedup:  7.3,
+		PaperCoverage: [4]float64{0, 0.602, 0.602, 0.987},
+	}
+}

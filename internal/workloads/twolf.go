@@ -1,0 +1,136 @@
+package workloads
+
+import "helixrc/internal/ir"
+
+// Twolf builds the 300.twolf analogue: standard-cell placement by
+// simulated annealing.
+//
+// Modelled loops:
+//   - delta: per-attempt cost-delta evaluation over the cells affected by
+//     a swap. Low trip count (the affected neighborhood) with a
+//     conditional update of the shared row-capacity table — Figure 12
+//     reports low trip count as twolf's dominant overhead.
+//   - wirelen: the full wire-length recomputation pass HCCv1/v2 also
+//     select (Table 1: 62.4%).
+//
+// Paper speedup: 7.6x.
+func Twolf() *Workload {
+	p := ir.NewProgram("300.twolf")
+	tyCell := p.NewType("cells[]")
+	tyRow := p.NewType("rowcap[]")
+	tyWire := p.NewType("wire[]")
+
+	const (
+		nCells = 768
+		nRows  = 24
+	)
+	cells := p.AddGlobal("cells", nCells*2, tyCell)
+	fill(cells, 41, 4096)
+	// rowcap interleaves occupancy (even words) and temperature (odd
+	// words); the fields have distinct source types but no distinguishing
+	// access paths, so only the data-type alias tier separates them.
+	tyRowT := p.NewType("rowtemp")
+	rowcap := p.AddGlobal("rowcap", nRows*2, tyRow)
+	fill(rowcap, 42, 50)
+	wire := p.AddGlobal("wire", nCells, tyWire)
+
+	// delta(att, count): evaluate `count` neighborhood cells of a swap.
+	delta := p.NewFunction("delta", 2)
+	{
+		b := ir.NewBuilder(p, delta)
+		att := delta.Params[0]
+		count := delta.Params[1]
+		cb := b.GlobalAddr(cells)
+		rb := b.GlobalAddr(rowcap)
+		Loop(b, "delta", ir.R(count), func(k ir.Reg) {
+			ci := b.Add(ir.R(att), ir.R(k))
+			cm := b.Bin(ir.OpAnd, ir.R(ci), ir.C(nCells-1))
+			cbase := b.Mul(ir.R(cm), ir.C(2))
+			ca := b.Add(ir.R(cb), ir.R(cbase))
+			x := b.Load(ir.R(ca), 0, ir.MemAttrs{Type: tyCell, Path: "cell.x"})
+			y := b.Load(ir.R(ca), 1, ir.MemAttrs{Type: tyCell, Path: "cell.y"})
+			d0 := b.Sub(ir.R(x), ir.R(y))
+			cost := Busy(b, ir.R(d0), 50)
+			// Occasionally a move crosses rows and adjusts the shared
+			// row occupancy (a real but infrequent dependence).
+			row := b.Bin(ir.OpAnd, ir.R(y), ir.C(nRows-1))
+			m0 := b.Bin(ir.OpAnd, ir.R(cost), ir.C(7))
+			moved := b.Bin(ir.OpCmpEQ, ir.R(m0), ir.C(0))
+			If(b, ir.R(moved), func() {
+				rbase := b.Mul(ir.R(row), ir.C(2))
+				ra := b.Add(ir.R(rb), ir.R(rbase))
+				rv := b.Load(ir.R(ra), 0, ir.MemAttrs{Type: tyRow})
+				rn := b.Add(ir.R(rv), ir.C(1))
+				b.Store(ir.R(ra), 0, ir.R(rn), ir.MemAttrs{Type: tyRow})
+				tv := b.Load(ir.R(ra), 1, ir.MemAttrs{Type: tyRowT})
+				tn := b.Bin(ir.OpXor, ir.R(tv), ir.R(cost))
+				b.Store(ir.R(ra), 1, ir.R(tn), ir.MemAttrs{Type: tyRowT})
+			}, nil)
+		})
+		b.RetVoid()
+	}
+
+	// wirelen(n): full wire-length pass (DOALL, long iterations).
+	tyWS := p.NewType("wstats")
+	wstats := p.AddGlobal("wstats", 2, tyWS)
+	wirelen := p.NewFunction("wirelen", 1)
+	{
+		b := ir.NewBuilder(p, wirelen)
+		n := wirelen.Params[0]
+		cb := b.GlobalAddr(cells)
+		wb := b.GlobalAddr(wire)
+		tb := b.GlobalAddr(wstats)
+		Loop(b, "wirelen", ir.R(n), func(c ir.Reg) {
+			// Global wire statistics (shared cells, updated up front).
+			s0 := b.Load(ir.R(tb), 0, ir.MemAttrs{Type: tyWS, Path: "wstats.sum"})
+			s1 := b.Add(ir.R(s0), ir.R(c))
+			b.Store(ir.R(tb), 0, ir.R(s1), ir.MemAttrs{Type: tyWS, Path: "wstats.sum"})
+			m0 := b.Load(ir.R(tb), 1, ir.MemAttrs{Type: tyWS, Path: "wstats.max"})
+			m1 := b.Bin(ir.OpMax, ir.R(m0), ir.R(c))
+			b.Store(ir.R(tb), 1, ir.R(m1), ir.MemAttrs{Type: tyWS, Path: "wstats.max"})
+			cbase := b.Mul(ir.R(c), ir.C(2))
+			ca := b.Add(ir.R(cb), ir.R(cbase))
+			x := b.Load(ir.R(ca), 0, ir.MemAttrs{Type: tyCell, Path: "cell.x"})
+			y := b.Load(ir.R(ca), 1, ir.MemAttrs{Type: tyCell, Path: "cell.y"})
+			s := b.Add(ir.R(x), ir.R(y))
+			wv := Busy(b, ir.R(s), 70)
+			wa := b.Add(ir.R(wb), ir.R(c))
+			b.Store(ir.R(wa), 0, ir.R(wv), ir.MemAttrs{Type: tyWire, Path: "wire"})
+		})
+		b.RetVoid()
+	}
+
+	// main(attempts, perAttempt): anneal; full pass every 64 attempts.
+	main := p.NewFunction("main", 2)
+	{
+		b := ir.NewBuilder(p, main)
+		attempts := main.Params[0]
+		per := main.Params[1]
+		Loop(b, "attempts", ir.R(attempts), func(a ir.Reg) {
+			b.Call(delta, ir.R(a), ir.R(per))
+			low := b.Bin(ir.OpAnd, ir.R(a), ir.C(63))
+			isZero := b.Bin(ir.OpCmpEQ, ir.R(low), ir.C(0))
+			If(b, ir.R(isZero), func() {
+				b.Call(wirelen, ir.C(nCells))
+			}, nil)
+		})
+		sum := b.Const(0)
+		rb := b.GlobalAddr(rowcap)
+		Loop(b, "sum", ir.C(nRows*2), func(i ir.Reg) {
+			ra := b.Add(ir.R(rb), ir.R(i))
+			v := b.Load(ir.R(ra), 0, ir.MemAttrs{Type: tyRow, Path: "rowcap"})
+			b.BinTo(sum, ir.OpAdd, ir.R(sum), ir.R(v))
+		})
+		b.Ret(ir.R(sum))
+	}
+
+	return &Workload{
+		Name: "300.twolf", Class: INT,
+		Prog: p, Entry: main,
+		TrainArgs:     []int64{80, 12},
+		RefArgs:       []int64{640, 12},
+		Phases:        18,
+		PaperSpeedup:  7.6,
+		PaperCoverage: [4]float64{0, 0.624, 0.624, 0.99},
+	}
+}

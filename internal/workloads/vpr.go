@@ -1,0 +1,140 @@
+package workloads
+
+import "helixrc/internal/ir"
+
+// Vpr builds the 175.vpr analogue: FPGA placement by simulated annealing.
+//
+// Modelled loop: the per-net bounding-box cost evaluation triggered by
+// every move — the paper's Figure 5 example comes from this benchmark
+// (55% of its runtime). Iterations are short, the trip count per
+// invocation is low (the nets touched by one move, 8-20), and a
+// conditional path updates the shared cost cell. Low trip count dominates
+// vpr's overhead in Figure 12; paper speedup 6.1x.
+func Vpr() *Workload {
+	p := ir.NewProgram("175.vpr")
+	tyPin := p.NewType("pins[]")
+	tyNet := p.NewType("nets[]")
+	tyCost := p.NewType("cost")
+
+	const (
+		nNets   = 512
+		pinsPer = 4
+	)
+	pins := p.AddGlobal("pins", nNets*pinsPer*2, tyPin)
+	fill(pins, 21, 1024)
+	nets := p.AddGlobal("nets", nNets, tyNet)
+	fill(nets, 22, nNets)
+	cost := p.AddGlobal("cost", 1, tyCost)
+	cost.Init = []int64{1000}
+
+	// evalMove(move, count): re-evaluate `count` nets affected by a move.
+	evalMove := p.NewFunction("evalMove", 2)
+	{
+		b := ir.NewBuilder(p, evalMove)
+		move := evalMove.Params[0]
+		count := evalMove.Params[1]
+		pb := b.GlobalAddr(pins)
+		nb := b.GlobalAddr(nets)
+		cb := b.GlobalAddr(cost)
+		Loop(b, "nets", ir.R(count), func(n ir.Reg) {
+			// Which net: data-dependent via the move's affected list.
+			mi := b.Add(ir.R(move), ir.R(n))
+			mm := b.Bin(ir.OpAnd, ir.R(mi), ir.C(nNets-1))
+			na := b.Add(ir.R(nb), ir.R(mm))
+			net := b.Load(ir.R(na), 0, ir.MemAttrs{Type: tyNet, Path: "net"})
+			netM := b.Bin(ir.OpAnd, ir.R(net), ir.C(nNets-1))
+			pbase := b.Mul(ir.R(netM), ir.C(pinsPer*2))
+			pa := b.Add(ir.R(pb), ir.R(pbase))
+			// Bounding box over the net's pins (private math).
+			minx := b.Const(1 << 20)
+			maxx := b.Const(0)
+			miny := b.Const(1 << 20)
+			maxy := b.Const(0)
+			for k := int64(0); k < pinsPer; k++ {
+				x := b.Load(ir.R(pa), k*2, ir.MemAttrs{Type: tyPin, Path: "pin.x"})
+				y := b.Load(ir.R(pa), k*2+1, ir.MemAttrs{Type: tyPin, Path: "pin.y"})
+				b.BinTo(minx, ir.OpMin, ir.R(minx), ir.R(x))
+				b.BinTo(maxx, ir.OpMax, ir.R(maxx), ir.R(x))
+				b.BinTo(miny, ir.OpMin, ir.R(miny), ir.R(y))
+				b.BinTo(maxy, ir.OpMax, ir.R(maxy), ir.R(y))
+			}
+			dx := b.Sub(ir.R(maxx), ir.R(minx))
+			dy := b.Sub(ir.R(maxy), ir.R(miny))
+			bb0 := b.Add(ir.R(dx), ir.R(dy))
+			crossing := Busy(b, ir.R(bb0), 18)
+			bbox := b.Add(ir.R(bb0), ir.R(crossing))
+			// Only nets whose bbox changed update the shared cost — the
+			// Figure 5 conditional sequential segment.
+			odd := b.Bin(ir.OpAnd, ir.R(net), ir.C(1))
+			If(b, ir.R(odd), func() {
+				cv := b.Load(ir.R(cb), 0, ir.MemAttrs{Type: tyCost, Path: "cost"})
+				nc := b.Add(ir.R(cv), ir.R(bbox))
+				wrapped := b.Bin(ir.OpAnd, ir.R(nc), ir.C((1<<30)-1))
+				b.Store(ir.R(cb), 0, ir.R(wrapped), ir.MemAttrs{Type: tyCost, Path: "cost"})
+			}, nil)
+		})
+		b.RetVoid()
+	}
+
+	// timing(n): slack recomputation over all nets — the long-iteration
+	// DOALL loop HCCv1/v2 can also select (Table 1: 55.1% coverage).
+	tySlack := p.NewType("slack[]")
+	slack := p.AddGlobal("slack", nNets, tySlack)
+	tyTS := p.NewType("tstats")
+	tstats := p.AddGlobal("tstats", 2, tyTS)
+	timing := p.NewFunction("timing", 1)
+	{
+		b := ir.NewBuilder(p, timing)
+		n := timing.Params[0]
+		pb := b.GlobalAddr(pins)
+		sb := b.GlobalAddr(slack)
+		tb := b.GlobalAddr(tstats)
+		Loop(b, "timing", ir.R(n), func(net ir.Reg) {
+			// Critical-path bookkeeping cells (shared, updated up front).
+			c0 := b.Load(ir.R(tb), 0, ir.MemAttrs{Type: tyTS, Path: "tstats.sum"})
+			c1 := b.Add(ir.R(c0), ir.R(net))
+			b.Store(ir.R(tb), 0, ir.R(c1), ir.MemAttrs{Type: tyTS, Path: "tstats.sum"})
+			d0 := b.Load(ir.R(tb), 1, ir.MemAttrs{Type: tyTS, Path: "tstats.max"})
+			d1 := b.Bin(ir.OpMax, ir.R(d0), ir.R(net))
+			b.Store(ir.R(tb), 1, ir.R(d1), ir.MemAttrs{Type: tyTS, Path: "tstats.max"})
+			pbase := b.Mul(ir.R(net), ir.C(pinsPer*2))
+			pa := b.Add(ir.R(pb), ir.R(pbase))
+			x := b.Load(ir.R(pa), 0, ir.MemAttrs{Type: tyPin, Path: "pin.x"})
+			y := b.Load(ir.R(pa), 1, ir.MemAttrs{Type: tyPin, Path: "pin.y"})
+			d := b.Add(ir.R(x), ir.R(y))
+			w := Busy(b, ir.R(d), 70)
+			sa := b.Add(ir.R(sb), ir.R(net))
+			b.Store(ir.R(sa), 0, ir.R(w), ir.MemAttrs{Type: tySlack, Path: "slack"})
+		})
+		b.RetVoid()
+	}
+
+	// main(moves, netsPerMove): anneal; re-run timing every 32 moves.
+	main := p.NewFunction("main", 2)
+	{
+		b := ir.NewBuilder(p, main)
+		moves := main.Params[0]
+		perMove := main.Params[1]
+		Loop(b, "moves", ir.R(moves), func(m ir.Reg) {
+			b.Call(evalMove, ir.R(m), ir.R(perMove))
+			low := b.Bin(ir.OpAnd, ir.R(m), ir.C(31))
+			isZero := b.Bin(ir.OpCmpEQ, ir.R(low), ir.C(0))
+			If(b, ir.R(isZero), func() {
+				b.Call(timing, ir.C(nNets))
+			}, nil)
+		})
+		cb := b.GlobalAddr(cost)
+		v := b.Load(ir.R(cb), 0, ir.MemAttrs{Type: tyCost, Path: "cost"})
+		b.Ret(ir.R(v))
+	}
+
+	return &Workload{
+		Name: "175.vpr", Class: INT,
+		Prog: p, Entry: main,
+		TrainArgs:     []int64{40, 10},
+		RefArgs:       []int64{320, 10},
+		Phases:        28,
+		PaperSpeedup:  6.1,
+		PaperCoverage: [4]float64{0, 0.551, 0.551, 0.99},
+	}
+}
