@@ -1,0 +1,17 @@
+# Development entry points. `make check` is the pre-merge gate.
+
+.PHONY: check build test bench
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Regenerate the full evaluation in parallel and append a machine-
+# readable report to BENCH_<date>.json.
+bench:
+	go run ./cmd/helix-bench -json

@@ -3,117 +3,157 @@
 //
 // Usage:
 //
-//	helix-bench                # everything
-//	helix-bench -only fig7     # one experiment
+//	helix-bench                    # everything, parallel across all CPUs
+//	helix-bench -only fig7         # one experiment
+//	helix-bench -parallel 1        # sequential (reference ordering)
+//	helix-bench -json              # also append a report to BENCH_<date>.json
+//	helix-bench -slowsim           # use the retained reference simulator stepper
 //
 // Experiment names: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10
 // fig11a fig11b fig11c fig11d fig12 tlp.
+//
+// Figure output is byte-identical at every -parallel level and with or
+// without -slowsim; only wall-clock changes.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"helixrc/internal/harness"
 )
 
-type experiment struct {
-	name string
-	run  func() (string, error)
+// expReport records one experiment's wall-clock and output for the
+// machine-readable benchmark log.
+type expReport struct {
+	Name         string  `json:"name"`
+	WallMillis   float64 `json:"wall_ms"`
+	OutputSHA256 string  `json:"output_sha256"`
+	Output       string  `json:"output"`
+}
+
+// runtimeSnapshot captures the Go runtime state at the end of a run.
+type runtimeSnapshot struct {
+	GoVersion    string  `json:"go_version"`
+	NumCPU       int     `json:"num_cpu"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NumGoroutine int     `json:"num_goroutine"`
+	NumGC        uint32  `json:"num_gc"`
+	HeapAllocMB  float64 `json:"heap_alloc_mb"`
+	TotalAllocMB float64 `json:"total_alloc_mb"`
+	PauseTotalMS float64 `json:"gc_pause_total_ms"`
+}
+
+// benchReport is one helix-bench invocation in BENCH_<date>.json (the
+// file holds a JSON array; each run appends an element).
+type benchReport struct {
+	Label       string          `json:"label,omitempty"`
+	Timestamp   string          `json:"timestamp"`
+	Parallel    int             `json:"parallel"`
+	SlowSim     bool            `json:"slow_sim"`
+	Cores       int             `json:"cores"`
+	TotalMillis float64         `json:"total_wall_ms"`
+	Experiments []expReport     `json:"experiments"`
+	Runtime     runtimeSnapshot `json:"runtime"`
 }
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. fig7)")
 	cores := flag.Int("cores", 16, "core count for the headline experiments")
+	parallel := flag.Int("parallel", 0, "experiment-engine worker count (0 = all CPUs, 1 = sequential)")
+	jsonOut := flag.Bool("json", false, "append a machine-readable report to BENCH_<date>.json")
+	slowSim := flag.Bool("slowsim", false, "use the retained reference simulator stepper (identical output, slower)")
+	label := flag.String("label", "", "free-form label recorded in the JSON report")
 	flag.Parse()
 
-	fig := func(f func(int) (*harness.FigureResult, error)) func() (string, error) {
-		return func() (string, error) {
-			r, err := f(*cores)
-			if err != nil {
-				return "", err
-			}
-			return r.Format(), nil
-		}
-	}
-	panel := func(which string) func() (string, error) {
-		return func() (string, error) {
-			r, err := harness.Figure11(which)
-			if err != nil {
-				return "", err
-			}
-			return r.Format(), nil
-		}
-	}
-	experiments := []experiment{
-		{"fig1", fig(harness.Figure1)},
-		{"fig2", func() (string, error) {
-			r, err := harness.Figure2()
-			if err != nil {
-				return "", err
-			}
-			return r.Format(), nil
-		}},
-		{"fig3", func() (string, error) {
-			r, err := harness.Figure3()
-			if err != nil {
-				return "", err
-			}
-			return r.Format(), nil
-		}},
-		{"fig4", func() (string, error) {
-			r, err := harness.Figure4()
-			if err != nil {
-				return "", err
-			}
-			return r.Format(), nil
-		}},
-		{"table1", func() (string, error) {
-			rows, err := harness.Table1()
-			if err != nil {
-				return "", err
-			}
-			return harness.FormatTable1(rows), nil
-		}},
-		{"fig7", fig(harness.Figure7)},
-		{"fig8", fig(harness.Figure8)},
-		{"fig9", fig(harness.Figure9)},
-		{"fig10", fig(harness.Figure10)},
-		{"fig11a", panel("cores")},
-		{"fig11b", panel("link")},
-		{"fig11c", panel("signals")},
-		{"fig11d", panel("memory")},
-		{"fig12", func() (string, error) {
-			rows, err := harness.Figure12(*cores)
-			if err != nil {
-				return "", err
-			}
-			return harness.FormatFigure12(rows), nil
-		}},
-		{"tlp", func() (string, error) {
-			r, err := harness.TLP()
-			if err != nil {
-				return "", err
-			}
-			return r.Format(), nil
-		}},
-	}
+	harness.SetParallelism(*parallel)
+	harness.SetSlowSim(*slowSim)
 
-	for _, e := range experiments {
-		if *only != "" && e.name != *only {
+	var reports []expReport
+	start := time.Now()
+	for _, e := range harness.Experiments(*cores) {
+		if *only != "" && e.Name != *only {
 			continue
 		}
-		out, err := e.run()
+		expStart := time.Now()
+		out, err := e.Run()
 		if err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+			log.Fatalf("%s: %v", e.Name, err)
 		}
-		fmt.Printf("==== %s ====\n%s\n", e.name, out)
+		wall := time.Since(expStart)
+		fmt.Printf("==== %s ====\n%s\n", e.Name, out)
+		reports = append(reports, expReport{
+			Name:         e.Name,
+			WallMillis:   float64(wall.Microseconds()) / 1e3,
+			OutputSHA256: fmt.Sprintf("%x", sha256.Sum256([]byte(out))),
+			Output:       out,
+		})
 	}
+	total := time.Since(start)
+
+	if *jsonOut {
+		if err := appendReport(benchReport{
+			Label:       *label,
+			Timestamp:   time.Now().Format(time.RFC3339),
+			Parallel:    harness.Parallelism(),
+			SlowSim:     *slowSim,
+			Cores:       *cores,
+			TotalMillis: float64(total.Microseconds()) / 1e3,
+			Experiments: reports,
+			Runtime:     snapshotRuntime(),
+		}); err != nil {
+			log.Fatalf("writing benchmark report: %v", err)
+		}
+	}
+
 	if *only != "" {
 		return
 	}
 	fmt.Println(strings.Repeat("=", 60))
-	fmt.Println("All experiments complete. See EXPERIMENTS.md for the paper-vs-measured comparison.")
+	fmt.Printf("All experiments complete in %.1fs (%d workers). See EXPERIMENTS.md for the paper-vs-measured comparison.\n",
+		total.Seconds(), harness.Parallelism())
+}
+
+func snapshotRuntime() runtimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return runtimeSnapshot{
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumGoroutine: runtime.NumGoroutine(),
+		NumGC:        ms.NumGC,
+		HeapAllocMB:  float64(ms.HeapAlloc) / (1 << 20),
+		TotalAllocMB: float64(ms.TotalAlloc) / (1 << 20),
+		PauseTotalMS: float64(ms.PauseTotalNs) / 1e6,
+	}
+}
+
+// appendReport appends the run to BENCH_<date>.json, which holds a JSON
+// array of runs so before/after comparisons live side by side.
+func appendReport(r benchReport) error {
+	path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	var runs []benchReport
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("%s is not a run array: %w", path, err)
+		}
+	}
+	runs = append(runs, r)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark report appended to %s\n", path)
+	return nil
 }

@@ -118,6 +118,14 @@ func (c *Core) issueSlot(t int64) int64 {
 // beyond 1 cycle (memory ops pass their memory latency; others pass
 // Latency(op)-1). It returns (issueTime, resultReady).
 func (c *Core) Issue(in *ir.Instr, now, opReady, resultLat int64) (int64, int64) {
+	return c.IssueReg(in.Def(), now, opReady, resultLat)
+}
+
+// IssueReg is Issue with the destination register pre-resolved (ir.NoReg
+// for instructions without one). The simulator's pre-decoded fast path
+// uses it to skip re-deriving the destination on every dynamic
+// instruction; timing is identical to Issue.
+func (c *Core) IssueReg(dst ir.Reg, now, opReady, resultLat int64) (int64, int64) {
 	c.Instrs++
 	t := max64(now, opReady)
 	if c.Cfg.OoO {
@@ -135,8 +143,8 @@ func (c *Core) Issue(in *ir.Instr, now, opReady, resultLat int64) (int64, int64)
 	}
 	t = c.issueSlot(t)
 	done := t + resultLat
-	if d := in.Def(); d != ir.NoReg {
-		c.regReady[d] = done
+	if dst != ir.NoReg {
+		c.regReady[dst] = done
 	}
 	if c.Cfg.OoO {
 		if c.window != nil {

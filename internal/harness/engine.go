@@ -1,0 +1,142 @@
+package harness
+
+// The parallel experiment engine. Every figure generator enumerates its
+// experiment cells (workload x level x arch config x ref/train) as
+// independent jobs and fans them across a worker pool with parMap;
+// shared work (compilations, sequential baselines) is deduplicated with
+// singleflight-style memoization so concurrent figures never compile
+// the same configuration twice. Results are always assembled in cell
+// order, so output is byte-identical at any parallelism level.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the configured worker count; <= 0 means GOMAXPROCS.
+var parallelism atomic.Int32
+
+// slowSim routes every harness simulation through the retained
+// reference stepper (sim.Config.SlowStep) — used to measure the
+// fast-path speedup with identical outputs.
+var slowSim atomic.Bool
+
+// SetParallelism sets the worker count used by the experiment engine.
+// n <= 0 restores the default (GOMAXPROCS). Safe to call concurrently,
+// but intended to be set before generating figures.
+func SetParallelism(n int) { parallelism.Store(int32(n)) }
+
+// Parallelism returns the resolved worker count (>= 1).
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetSlowSim toggles the reference simulator stepper for all harness
+// runs (the figures are byte-identical either way; only wall-clock
+// changes).
+func SetSlowSim(v bool) { slowSim.Store(v) }
+
+// SlowSim reports whether the reference stepper is selected.
+func SlowSim() bool { return slowSim.Load() }
+
+// parMap runs f(0..n-1) across the engine's worker pool and returns the
+// results in index order. With one worker (or one job) it runs inline.
+// If any job fails, the lowest-indexed error among executed jobs is
+// returned and remaining unstarted jobs are skipped.
+func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	w := Parallelism()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := f(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// memoCall is one in-flight or completed memoized computation.
+type memoCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// memoGroup is a concurrency-safe memoization table with singleflight
+// semantics: concurrent Do calls for the same key share one execution,
+// and completed results (including errors) are cached until reset.
+type memoGroup[V any] struct {
+	mu sync.Mutex
+	m  map[string]*memoCall[V]
+}
+
+// Do returns the memoized result for key, computing it with fn exactly
+// once per reset no matter how many goroutines ask concurrently.
+func (g *memoGroup[V]) Do(key string, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*memoCall[V]{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &memoCall[V]{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+// reset drops all memoized results. In-flight computations complete
+// normally for their waiters but are not re-used afterwards.
+func (g *memoGroup[V]) reset() {
+	g.mu.Lock()
+	g.m = nil
+	g.mu.Unlock()
+}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParMapOrder(t *testing.T) {
+	SetParallelism(8)
+	defer SetParallelism(0)
+	out, err := parMap(100, func(i int) (int, error) { return i * 3, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+}
+
+func TestParMapInline(t *testing.T) {
+	SetParallelism(1)
+	defer SetParallelism(0)
+	var order []int
+	_, err := parMap(5, func(i int) (int, error) {
+		order = append(order, i) // safe: single worker runs inline
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline execution out of order: %v", order)
+		}
+	}
+}
+
+func TestParMapError(t *testing.T) {
+	SetParallelism(4)
+	defer SetParallelism(0)
+	boom := errors.New("boom")
+	_, err := parMap(50, func(i int) (int, error) {
+		if i == 17 {
+			return 0, fmt.Errorf("cell %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestMemoGroupSingleflight(t *testing.T) {
+	var g memoGroup[int]
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	const n = 32
+	vals := make([]int, n)
+	for k := 0; k < n; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := g.Do("key", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[k] = v
+		}()
+	}
+	wg.Wait()
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times, want 1", c)
+	}
+	for _, v := range vals {
+		if v != 42 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+}
+
+func TestMemoGroupErrorCachedUntilReset(t *testing.T) {
+	var g memoGroup[int]
+	var calls atomic.Int32
+	fail := func() (int, error) { calls.Add(1); return 0, errors.New("nope") }
+	if _, err := g.Do("k", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := g.Do("k", fail); err == nil {
+		t.Fatal("want cached error")
+	}
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times before reset, want 1", c)
+	}
+	g.reset()
+	if _, err := g.Do("k", fail); err == nil {
+		t.Fatal("want error after reset")
+	}
+	if c := calls.Load(); c != 2 {
+		t.Fatalf("fn ran %d times after reset, want 2", c)
+	}
+}
+
+// TestMemoGroupConcurrentReset exercises Do racing reset — the race
+// detector validates ResetCaches' concurrency contract.
+func TestMemoGroupConcurrentReset(t *testing.T) {
+	var g memoGroup[int]
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v, err := g.Do(fmt.Sprintf("k%d", i%5), func() (int, error) { return i, nil })
+				if err != nil || v < 0 {
+					t.Errorf("worker %d: %v", k, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			g.reset()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestParallelDeterminism is the engine's headline guarantee: the
+// rendered evaluation is byte-identical no matter how many workers run
+// the experiment cells. Figure 7 (speedup table with geomeans) and
+// Table 1 (coverage) are generated sequentially and at 8 workers from
+// cold caches and compared as strings.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates Figure 7 and Table 1 twice")
+	}
+	gen := func(workers int) (string, string) {
+		t.Helper()
+		ResetCaches()
+		SetParallelism(workers)
+		f7, err := Figure7(16)
+		if err != nil {
+			t.Fatalf("parallel=%d: Figure7: %v", workers, err)
+		}
+		t1, err := Table1()
+		if err != nil {
+			t.Fatalf("parallel=%d: Table1: %v", workers, err)
+		}
+		return f7.Format(), FormatTable1(t1)
+	}
+	defer SetParallelism(0)
+	seqF7, seqT1 := gen(1)
+	parF7, parT1 := gen(8)
+	if seqF7 != parF7 {
+		t.Errorf("Figure 7 output differs across parallelism:\n--- sequential ---\n%s--- parallel ---\n%s", seqF7, parF7)
+	}
+	if seqT1 != parT1 {
+		t.Errorf("Table 1 output differs across parallelism:\n--- sequential ---\n%s--- parallel ---\n%s", seqT1, parT1)
+	}
+}

@@ -1,0 +1,87 @@
+package harness
+
+// Experiment is one named entry of the paper's evaluation: a generator
+// that renders its table or figure as text.
+type Experiment struct {
+	Name string
+	Run  func() (string, error)
+}
+
+// Experiments returns the full evaluation in presentation order. Each
+// experiment internally fans its cells across the engine's worker pool
+// (SetParallelism); the experiments themselves run one at a time so
+// that the analysis passes (which mutate workload functions) never
+// overlap across figures.
+func Experiments(cores int) []Experiment {
+	fig := func(f func(int) (*FigureResult, error)) func() (string, error) {
+		return func() (string, error) {
+			r, err := f(cores)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}
+	}
+	panel := func(which string) func() (string, error) {
+		return func() (string, error) {
+			r, err := Figure11(which)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}
+	}
+	return []Experiment{
+		{"fig1", fig(Figure1)},
+		{"fig2", func() (string, error) {
+			r, err := Figure2()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"fig3", func() (string, error) {
+			r, err := Figure3()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"fig4", func() (string, error) {
+			r, err := Figure4()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"table1", func() (string, error) {
+			rows, err := Table1()
+			if err != nil {
+				return "", err
+			}
+			return FormatTable1(rows), nil
+		}},
+		{"fig7", fig(Figure7)},
+		{"fig8", fig(Figure8)},
+		{"fig9", fig(Figure9)},
+		{"fig10", fig(Figure10)},
+		{"fig11a", panel("cores")},
+		{"fig11b", panel("link")},
+		{"fig11c", panel("signals")},
+		{"fig11d", panel("memory")},
+		{"fig12", func() (string, error) {
+			rows, err := Figure12(cores)
+			if err != nil {
+				return "", err
+			}
+			return FormatFigure12(rows), nil
+		}},
+		{"tlp", func() (string, error) {
+			r, err := TLP()
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+	}
+}

@@ -12,10 +12,13 @@ import (
 	"helixrc/internal/workloads"
 )
 
-// caches keyed by workload/level/cores so sweeps do not recompile.
+// Memoization groups keyed by workload/level/cores so sweeps do not
+// recompile. Both are concurrency-safe with singleflight semantics:
+// when many experiment cells need the same compilation or baseline,
+// exactly one goroutine computes it and the rest wait for the result.
 var (
-	compCache = map[string]*compEntry{}
-	seqCache  = map[string]*sim.Result{}
+	compGroup memoGroup[*compEntry]
+	seqGroup  memoGroup[*sim.Result]
 )
 
 type compEntry struct {
@@ -23,39 +26,40 @@ type compEntry struct {
 	comp *hcc.Compiled
 }
 
-// CachedCompile memoizes Compile per (name, level, cores).
+// CachedCompile memoizes Compile per (name, level, cores). Safe for
+// concurrent use; duplicate concurrent requests share one compilation.
+// The returned workload and compilation are shared — callers must treat
+// them as read-only (sim.Run does).
 func CachedCompile(name string, level hcc.Level, cores int) (*workloads.Workload, *hcc.Compiled, error) {
 	key := fmt.Sprintf("%s/%d/%d", name, level, cores)
-	if e, ok := compCache[key]; ok {
-		return e.w, e.comp, nil
-	}
-	w, comp, err := Compile(name, level, cores)
+	e, err := compGroup.Do(key, func() (*compEntry, error) {
+		w, comp, err := Compile(name, level, cores)
+		if err != nil {
+			return nil, err
+		}
+		return &compEntry{w: w, comp: comp}, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	compCache[key] = &compEntry{w: w, comp: comp}
-	return w, comp, nil
+	return e.w, e.comp, nil
 }
 
 // CachedBaseline memoizes the sequential run per (name, core model, ref).
+// Safe for concurrent use.
 func CachedBaseline(name string, arch sim.Config, ref bool) (*sim.Result, error) {
 	key := fmt.Sprintf("%s/%s/%v", name, arch.Core.Name, ref)
-	if r, ok := seqCache[key]; ok {
-		return r, nil
-	}
-	r, err := Baseline(name, arch, ref)
-	if err != nil {
-		return nil, err
-	}
-	seqCache[key] = r
-	return r, nil
+	return seqGroup.Do(key, func() (*sim.Result, error) {
+		return Baseline(name, arch, ref)
+	})
 }
 
 // ResetCaches clears memoized compilations and baselines (tests use this
-// to bound memory).
+// to bound memory). Safe to call concurrently with cache users:
+// in-flight computations complete for their waiters and are dropped.
 func ResetCaches() {
-	compCache = map[string]*compEntry{}
-	seqCache = map[string]*sim.Result{}
+	compGroup.reset()
+	seqGroup.reset()
 }
 
 // runOn compiles (cached) and simulates one configuration.
@@ -65,7 +69,7 @@ func runOn(name string, level hcc.Level, arch sim.Config, ref bool) (*sim.Result
 		return nil, nil, err
 	}
 	a := args(w, ref)
-	res, err := sim.Run(w.Prog, comp, w.Entry, arch, a...)
+	res, err := sim.Run(w.Prog, comp, w.Entry, applySlow(arch), a...)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -132,20 +136,25 @@ func Figure1(cores int) (*FigureResult, error) {
 		Series: []string{"HCCv1", "HCCv2"},
 		Notes:  "Paper shape: CFP2000 rises 2.4x -> 11x with HCCv2; CINT2000 stays ~2x for both.",
 	}
-	for _, name := range workloads.Names() {
-		row := SpeedupRow{Name: name}
-		for _, level := range []hcc.Level{hcc.V1, hcc.V2} {
-			res, _, err := runOn(name, level, sim.Conventional(cores), true)
-			if err != nil {
-				return nil, err
-			}
-			seq, err := CachedBaseline(name, sim.Conventional(cores), true)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, sim.Speedup(seq, res))
+	names := workloads.Names()
+	levels := []hcc.Level{hcc.V1, hcc.V2}
+	vals, err := parMap(len(names)*len(levels), func(i int) (float64, error) {
+		name, level := names[i/len(levels)], levels[i%len(levels)]
+		res, _, err := runOn(name, level, sim.Conventional(cores), true)
+		if err != nil {
+			return 0, err
 		}
-		f.Rows = append(f.Rows, row)
+		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
+		if err != nil {
+			return 0, err
+		}
+		return sim.Speedup(seq, res), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		f.Rows = append(f.Rows, SpeedupRow{Name: name, Values: vals[ni*len(levels) : (ni+1)*len(levels)]})
 	}
 	f.Geomean = []float64{geomeanColumn(f.Rows, 0), geomeanColumn(f.Rows, 1)}
 	return f, nil
@@ -165,12 +174,17 @@ func Figure2() (*FigureResult, error) {
 	}
 	sums := make([]float64, len(alias.Tiers))
 	counts := make([]int, len(alias.Tiers))
-	for _, name := range workloads.IntNames() {
+	// One cell per workload, not per (workload, tier): the CFG/DDG
+	// analyses mutate the workload's functions (cfg.New renumbers
+	// blocks), so all tiers of one workload must stay on one goroutine.
+	names := workloads.IntNames()
+	rows, err := parMap(len(names), func(i int) ([]float64, error) {
+		name := names[i]
 		w, comp, err := CachedCompile(name, hcc.V3, 16)
 		if err != nil {
 			return nil, err
 		}
-		row := SpeedupRow{Name: name}
+		vals := make([]float64, len(alias.Tiers))
 		graphs := map[string]*cfg.Graph{}
 		for ti, tier := range alias.Tiers {
 			an := alias.New(w.Prog, tier)
@@ -193,11 +207,19 @@ func Figure2() (*FigureResult, error) {
 			if n > 0 {
 				v = acc / float64(n)
 			}
-			row.Values = append(row.Values, v)
+			vals[ti] = v
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		f.Rows = append(f.Rows, SpeedupRow{Name: name, Values: rows[ni]})
+		for ti, v := range rows[ni] {
 			sums[ti] += v
 			counts[ti]++
 		}
-		f.Rows = append(f.Rows, row)
 	}
 	f.Geomean = make([]float64, len(alias.Tiers))
 	for i := range sums {
@@ -244,8 +266,12 @@ func (r *Figure3Result) Format() string {
 // the CINT2000 analogues.
 func Figure3() (*Figure3Result, error) {
 	out := &Figure3Result{ByClass: map[string]int{}}
-	for _, name := range workloads.IntNames() {
-		w, comp, err := CachedCompile(name, hcc.V3, 16)
+	// One cell per workload (the analyses mutate the workload's
+	// functions); integer partial counts merge order-independently.
+	names := workloads.IntNames()
+	parts, err := parMap(len(names), func(i int) (*Figure3Result, error) {
+		p := &Figure3Result{ByClass: map[string]int{}}
+		w, comp, err := CachedCompile(names[i], hcc.V3, 16)
 		if err != nil {
 			return nil, err
 		}
@@ -254,7 +280,7 @@ func Figure3() (*Figure3Result, error) {
 			g := cfg.New(pl.Fn)
 			dg := ddg.Build(w.Prog, pl.Fn, g, pl.Loop, an)
 			classes := inductionClassify(pl, g, dg)
-			out.CarriedRegs += len(dg.CarriedRegs)
+			p.CarriedRegs += len(dg.CarriedRegs)
 			seen := map[int32]bool{}
 			for _, e := range dg.MemEdges {
 				if !seen[e.A] {
@@ -262,14 +288,26 @@ func Figure3() (*Figure3Result, error) {
 				}
 			}
 			if len(dg.MemEdges) > 0 {
-				out.MemClusters++
+				p.MemClusters++
 			}
 			for _, info := range classes {
-				out.ByClass[info.Class.String()]++
+				p.ByClass[info.Class.String()]++
 				if !info.Class.Predictable() {
-					out.SharedRegs++
+					p.SharedRegs++
 				}
 			}
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		out.CarriedRegs += p.CarriedRegs
+		out.SharedRegs += p.SharedRegs
+		out.MemClusters += p.MemClusters
+		for k, v := range p.ByClass {
+			out.ByClass[k] += v
 		}
 	}
 	if out.CarriedRegs > 0 {
@@ -333,8 +371,21 @@ func Figure4() (*Figure4Result, error) {
 	// the long-iteration passes (their per-iteration bookkeeping sharing
 	// is trivially adjacent and would drown the table-driven patterns).
 	const smallIterLimit = 75
-	for _, name := range workloads.IntNames() {
-		_, comp, err := CachedCompile(name, hcc.V3, 16)
+	// One cell per workload; each returns integer partial counts that
+	// merge order-independently.
+	type part struct {
+		cdf                        []int64
+		hops, cons                 []int64
+		iters, hopTotal, consTotal int64
+	}
+	names := workloads.IntNames()
+	parts, err := parMap(len(names), func(i int) (*part, error) {
+		p := &part{
+			cdf:  make([]int64, len(out.IterCyclesBounds)),
+			hops: make([]int64, len(hops)),
+			cons: make([]int64, len(cons)),
+		}
+		_, comp, err := CachedCompile(names[i], hcc.V3, 16)
 		if err != nil {
 			return nil, err
 		}
@@ -347,24 +398,42 @@ func Figure4() (*Figure4Result, error) {
 				cycles := int64(float64(il) * cpi)
 				for bi, b := range out.IterCyclesBounds {
 					if cycles <= b {
-						cdfCounts[bi]++
+						p.cdf[bi]++
 					}
 				}
-				iterTotal++
+				p.iters++
 			}
 			for d, c := range lp.HopDist {
-				if d < len(hops) {
-					hops[d] += c
-					hopTotal += c
+				if d < len(p.hops) {
+					p.hops[d] += c
+					p.hopTotal += c
 				}
 			}
 			for k, c := range lp.ConsumerCounts {
-				if k >= 1 && k < len(cons) {
-					cons[k] += c
-					consTotal += c
+				if k >= 1 && k < len(p.cons) {
+					p.cons[k] += c
+					p.consTotal += c
 				}
 			}
 		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		for bi, c := range p.cdf {
+			cdfCounts[bi] += c
+		}
+		for d, c := range p.hops {
+			hops[d] += c
+		}
+		for k, c := range p.cons {
+			cons[k] += c
+		}
+		iterTotal += p.iters
+		hopTotal += p.hopTotal
+		consTotal += p.consTotal
 	}
 	out.IterCyclesCDF = make([]float64, len(out.IterCyclesBounds))
 	for i := range cdfCounts {
@@ -394,21 +463,40 @@ type Table1Row struct {
 
 // Table1 reports parallelized-loop coverage per compiler generation.
 func Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, name := range workloads.Names() {
-		w, err := workloads.Get(name)
-		if err != nil {
-			return nil, err
-		}
-		row := Table1Row{Name: name, Phases: w.Phases}
-		for i, level := range []hcc.Level{hcc.V1, hcc.V2, hcc.V3} {
-			_, comp, err := CachedCompile(name, level, 16)
+	names := workloads.Names()
+	levels := []hcc.Level{hcc.V1, hcc.V2, hcc.V3}
+	// One cell per (workload, level); the phases column rides with the
+	// first level's cell.
+	type cell struct {
+		coverage float64
+		phases   int
+	}
+	cells, err := parMap(len(names)*len(levels), func(i int) (cell, error) {
+		name, li := names[i/len(levels)], i%len(levels)
+		var c cell
+		if li == 0 {
+			w, err := workloads.Get(name)
 			if err != nil {
-				return nil, err
+				return c, err
 			}
-			row.Coverage[i] = comp.Coverage
+			c.phases = w.Phases
 		}
-		rows = append(rows, row)
+		_, comp, err := CachedCompile(name, levels[li], 16)
+		if err != nil {
+			return c, err
+		}
+		c.coverage = comp.Coverage
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, len(names))
+	for ni, name := range names {
+		rows[ni] = Table1Row{Name: name, Phases: cells[ni*len(levels)].phases}
+		for li := range levels {
+			rows[ni].Coverage[li] = cells[ni*len(levels)+li].coverage
+		}
 	}
 	return rows, nil
 }
@@ -434,21 +522,31 @@ func Figure7(cores int) (*FigureResult, error) {
 		Series: []string{"HCCv2", "HELIX-RC"},
 		Notes:  "Paper shape: CINT geomean 2.2x -> 6.85x; CFP 11.4x -> ~12x.",
 	}
-	for _, name := range workloads.Names() {
+	names := workloads.Names()
+	// One cell per (workload, series); the shared sequential baseline is
+	// deduplicated by CachedBaseline's singleflight.
+	vals, err := parMap(len(names)*2, func(i int) (float64, error) {
+		name := names[i/2]
 		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		v2, _, err := runOn(name, hcc.V2, sim.Conventional(cores), true)
+		var res *sim.Result
+		if i%2 == 0 {
+			res, _, err = runOn(name, hcc.V2, sim.Conventional(cores), true)
+		} else {
+			res, _, err = runOn(name, hcc.V3, sim.HelixRC(cores), true)
+		}
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		rc, _, err := runOn(name, hcc.V3, sim.HelixRC(cores), true)
-		if err != nil {
-			return nil, err
-		}
-		f.Rows = append(f.Rows, SpeedupRow{Name: name,
-			Values: []float64{sim.Speedup(seq, v2), sim.Speedup(seq, rc)}})
+		return sim.Speedup(seq, res), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		f.Rows = append(f.Rows, SpeedupRow{Name: name, Values: vals[ni*2 : (ni+1)*2]})
 	}
 	f.Geomean = []float64{geomeanColumn(f.Rows, 0), geomeanColumn(f.Rows, 1)}
 	return f, nil
@@ -476,24 +574,29 @@ func Figure8(cores int) (*FigureResult, error) {
 		variant(true, false, true),  // reg + memory
 		variant(true, true, true),   // all (HELIX-RC)
 	}
-	for _, name := range workloads.IntNames() {
+	names := workloads.IntNames()
+	// One cell per (workload, decoupling variant).
+	vals, err := parMap(len(names)*len(configs), func(i int) (float64, error) {
+		name, ci := names[i/len(configs)], i%len(configs)
 		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		row := SpeedupRow{Name: name}
-		for ci, arch := range configs {
-			level := hcc.V3
-			if ci == 0 {
-				level = hcc.V2
-			}
-			res, _, err := runOn(name, level, arch, true)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, sim.Speedup(seq, res))
+		level := hcc.V3
+		if ci == 0 {
+			level = hcc.V2
 		}
-		f.Rows = append(f.Rows, row)
+		res, _, err := runOn(name, level, configs[ci], true)
+		if err != nil {
+			return 0, err
+		}
+		return sim.Speedup(seq, res), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		f.Rows = append(f.Rows, SpeedupRow{Name: name, Values: vals[ni*len(configs) : (ni+1)*len(configs)]})
 	}
 	f.Geomean = make([]float64, len(configs))
 	for i := range configs {
@@ -510,23 +613,30 @@ func Figure9(cores int) (*FigureResult, error) {
 		Series: []string{"C %time", "R %time"},
 		Notes:  "Paper shape: C bars at or above 100% (no better than sequential); R bars far below.",
 	}
-	for _, name := range workloads.IntNames() {
+	names := workloads.IntNames()
+	// One cell per (workload, hardware): HCCv3 code on conventional
+	// coherence vs on the ring cache.
+	vals, err := parMap(len(names)*2, func(i int) (float64, error) {
+		name := names[i/2]
 		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		conv, _, err := runOn(name, hcc.V3, sim.Conventional(cores), true)
+		arch := sim.Conventional(cores)
+		if i%2 == 1 {
+			arch = sim.HelixRC(cores)
+		}
+		res, _, err := runOn(name, hcc.V3, arch, true)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		ring, _, err := runOn(name, hcc.V3, sim.HelixRC(cores), true)
-		if err != nil {
-			return nil, err
-		}
-		f.Rows = append(f.Rows, SpeedupRow{Name: name, Values: []float64{
-			100 * float64(conv.Cycles) / float64(seq.Cycles),
-			100 * float64(ring.Cycles) / float64(seq.Cycles),
-		}})
+		return 100 * float64(res.Cycles) / float64(seq.Cycles), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		f.Rows = append(f.Rows, SpeedupRow{Name: name, Values: vals[ni*2 : (ni+1)*2]})
 	}
 	return f, nil
 }

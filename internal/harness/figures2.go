@@ -32,28 +32,41 @@ func Figure10(cores int) (*FigureResult, error) {
 		Notes: "Paper shape: HELIX-RC still speeds up OoO cores; 4-way OoO sequential is ~1.9x faster than in-order; 164.gzip benefits least.",
 	}
 	coreCfgs := []cpu.Config{cpu.InOrder2(), cpu.OoO2(), cpu.OoO4()}
-	for _, name := range workloads.IntNames() {
+	names := workloads.IntNames()
+	// One cell per (workload, core type); each reports the speedup and
+	// its sequential cycle count for the lower-panel ratios.
+	type cell struct {
+		speedup   float64
+		seqCycles int64
+	}
+	cells, err := parMap(len(names)*len(coreCfgs), func(i int) (cell, error) {
+		name, cc := names[i/len(coreCfgs)], coreCfgs[i%len(coreCfgs)]
+		arch := sim.HelixRC(cores)
+		arch.Core = cc
+		seqArch := sim.Conventional(cores)
+		seqArch.Core = cc
+		seq, err := CachedBaseline(name, seqArch, true)
+		if err != nil {
+			return cell{}, err
+		}
+		res, _, err := runOn(name, hcc.V3, arch, true)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{speedup: sim.Speedup(seq, res), seqCycles: seq.Cycles}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
 		row := SpeedupRow{Name: name}
-		var seqs []*sim.Result
-		for _, cc := range coreCfgs {
-			arch := sim.HelixRC(cores)
-			arch.Core = cc
-			seqArch := sim.Conventional(cores)
-			seqArch.Core = cc
-			seq, err := CachedBaseline(name, seqArch, true)
-			if err != nil {
-				return nil, err
-			}
-			seqs = append(seqs, seq)
-			res, _, err := runOn(name, hcc.V3, arch, true)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, sim.Speedup(seq, res))
+		base := ni * len(coreCfgs)
+		for ci := range coreCfgs {
+			row.Values = append(row.Values, cells[base+ci].speedup)
 		}
 		row.Values = append(row.Values,
-			float64(seqs[0].Cycles)/float64(seqs[2].Cycles),
-			float64(seqs[1].Cycles)/float64(seqs[2].Cycles))
+			float64(cells[base+0].seqCycles)/float64(cells[base+2].seqCycles),
+			float64(cells[base+1].seqCycles)/float64(cells[base+2].seqCycles))
 		f.Rows = append(f.Rows, row)
 	}
 	f.Geomean = make([]float64, 5)
@@ -133,21 +146,26 @@ func Figure11(which string) (*FigureResult, error) {
 	for _, v := range variants {
 		f.Series = append(f.Series, v.label)
 	}
-	for _, name := range workloads.IntNames() {
-		row := SpeedupRow{Name: name}
-		for _, v := range variants {
-			arch := v.arch()
-			seq, err := CachedBaseline(name, sim.Conventional(arch.Cores), true)
-			if err != nil {
-				return nil, err
-			}
-			res, _, err := runOn(name, hcc.V3, arch, true)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, sim.Speedup(seq, res))
+	names := workloads.IntNames()
+	// One cell per (workload, sweep point).
+	vals, err := parMap(len(names)*len(variants), func(i int) (float64, error) {
+		name, v := names[i/len(variants)], variants[i%len(variants)]
+		arch := v.arch()
+		seq, err := CachedBaseline(name, sim.Conventional(arch.Cores), true)
+		if err != nil {
+			return 0, err
 		}
-		f.Rows = append(f.Rows, row)
+		res, _, err := runOn(name, hcc.V3, arch, true)
+		if err != nil {
+			return 0, err
+		}
+		return sim.Speedup(seq, res), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		f.Rows = append(f.Rows, SpeedupRow{Name: name, Values: vals[ni*len(variants) : (ni+1)*len(variants)]})
 	}
 	f.Geomean = make([]float64, len(variants))
 	for i := range variants {
@@ -165,23 +183,23 @@ type Figure12Row struct {
 
 // Figure12 categorizes every overhead cycle that prevents ideal speedup.
 func Figure12(cores int) ([]Figure12Row, error) {
-	var rows []Figure12Row
-	for _, name := range workloads.Names() {
+	names := workloads.Names()
+	return parMap(len(names), func(i int) (Figure12Row, error) {
+		name := names[i]
 		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
 		if err != nil {
-			return nil, err
+			return Figure12Row{}, err
 		}
 		res, _, err := runOn(name, hcc.V3, sim.HelixRC(cores), true)
 		if err != nil {
-			return nil, err
+			return Figure12Row{}, err
 		}
-		rows = append(rows, Figure12Row{
+		return Figure12Row{
 			Name:    name,
 			Shares:  res.Overheads.Shares(),
 			Speedup: sim.Speedup(seq, res),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatFigure12 renders the overhead table.
@@ -229,38 +247,54 @@ func (r *TLPResult) Format() string {
 // CINT2000 analogues.
 func TLP() (*TLPResult, error) {
 	out := &TLPResult{}
+	names := workloads.IntNames()
+	levels := []hcc.Level{hcc.V2, hcc.V3}
+	// One cell per (workload, splitting policy): a fresh build and
+	// compile per cell (V2 under abstract selection differs from the
+	// cache key), so cells are fully independent.
+	type cell struct {
+		tlp, seg float64
+		hasSeg   bool
+	}
+	cells, err := parMap(len(names)*len(levels), func(i int) (cell, error) {
+		name, level := names[i/len(levels)], levels[i%len(levels)]
+		w, err := workloads.Get(name)
+		if err != nil {
+			return cell{}, err
+		}
+		comp, err := hcc.Compile(w.Prog, w.Entry, hcc.Options{
+			Level: level, Cores: 16, TrainArgs: w.TrainArgs,
+			// Selection under the abstract machine: communication-free.
+			SelectLatency: 1,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		res, err := sim.Run(w.Prog, comp, w.Entry, applySlow(sim.Abstract(16)), w.RefArgs...)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{tlp: res.TLP(), seg: res.AvgSegInstrs(), hasSeg: res.SegEntries > 0}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var consTLP, aggTLP []float64
 	var consSegSum, consSegN, aggSegSum, aggSegN float64
-	for _, name := range workloads.IntNames() {
-		for _, level := range []hcc.Level{hcc.V2, hcc.V3} {
-			w, err := workloads.Get(name) // fresh: V2 on abstract differs from cache key
-			if err != nil {
-				return nil, err
+	// Assemble in cell order so the float accumulations (and hence the
+	// geomeans) are bit-identical to a sequential run.
+	for i, c := range cells {
+		if levels[i%len(levels)] == hcc.V2 {
+			consTLP = append(consTLP, c.tlp)
+			if c.hasSeg {
+				consSegSum += c.seg
+				consSegN++
 			}
-			comp, err := hcc.Compile(w.Prog, w.Entry, hcc.Options{
-				Level: level, Cores: 16, TrainArgs: w.TrainArgs,
-				// Selection under the abstract machine: communication-free.
-				SelectLatency: 1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(w.Prog, comp, w.Entry, sim.Abstract(16), w.RefArgs...)
-			if err != nil {
-				return nil, err
-			}
-			if level == hcc.V2 {
-				consTLP = append(consTLP, res.TLP())
-				if res.SegEntries > 0 {
-					consSegSum += res.AvgSegInstrs()
-					consSegN++
-				}
-			} else {
-				aggTLP = append(aggTLP, res.TLP())
-				if res.SegEntries > 0 {
-					aggSegSum += res.AvgSegInstrs()
-					aggSegN++
-				}
+		} else {
+			aggTLP = append(aggTLP, c.tlp)
+			if c.hasSeg {
+				aggSegSum += c.seg
+				aggSegN++
 			}
 		}
 	}

@@ -24,13 +24,23 @@ type Outcome struct {
 	Coverage float64
 }
 
+// applySlow routes the run through the reference simulator stepper when
+// SetSlowSim is in effect (results are identical; only wall-clock
+// changes).
+func applySlow(arch sim.Config) sim.Config {
+	if SlowSim() {
+		arch.SlowStep = true
+	}
+	return arch
+}
+
 // Baseline simulates the unparallelized program.
 func Baseline(name string, arch sim.Config, ref bool) (*sim.Result, error) {
 	w, err := workloads.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(w.Prog, nil, w.Entry, arch, args(w, ref)...)
+	return sim.Run(w.Prog, nil, w.Entry, applySlow(arch), args(w, ref)...)
 }
 
 func args(w *workloads.Workload, ref bool) []int64 {
@@ -63,7 +73,7 @@ func Evaluate(name string, level hcc.Level, arch sim.Config, ref bool) (*Outcome
 	if err != nil {
 		return nil, err
 	}
-	par, err := sim.Run(w.Prog, comp, w.Entry, arch, args(w, ref)...)
+	par, err := sim.Run(w.Prog, comp, w.Entry, applySlow(arch), args(w, ref)...)
 	if err != nil {
 		return nil, fmt.Errorf("%s parallel: %w", name, err)
 	}

@@ -69,6 +69,22 @@ func NewContextWithRegs(p *ir.Program, mem *Memory, fn *ir.Function, regs []int6
 	return c
 }
 
+// Restart re-poses an existing context to execute fn with the
+// caller-provided register file, reusing the frame stack's storage. It
+// leaves the context in exactly the state NewContextWithRegs would,
+// except that Steps keeps accumulating; the simulator uses it to avoid
+// allocating a fresh context per loop iteration.
+func (c *Context) Restart(fn *ir.Function, regs []int64, args ...int64) {
+	if len(args) != len(fn.Params) {
+		panic(fmt.Sprintf("interp: call %s with %d args, want %d", fn.Name, len(args), len(fn.Params)))
+	}
+	c.stack = c.stack[:0]
+	c.stack = append(c.stack, frame{fn: fn, regs: regs, blk: fn.Entry(), retTo: ir.NoReg})
+	for i, p := range fn.Params {
+		regs[p] = args[i]
+	}
+}
+
 func (c *Context) push(fn *ir.Function, retTo ir.Reg, args []int64) {
 	if len(args) != len(fn.Params) {
 		panic(fmt.Sprintf("interp: call %s with %d args, want %d", fn.Name, len(args), len(fn.Params)))

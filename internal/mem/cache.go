@@ -18,11 +18,16 @@ func (c CacheConfig) Lines() int { return c.SizeBytes / c.LineBytes }
 // Cache is a set-associative cache with LRU replacement, tracked at line
 // granularity. Addresses are in words (8 bytes).
 type Cache struct {
-	cfg       CacheConfig
-	sets      [][]cacheLine
-	shift     uint // word address -> line address
-	setMask   int64
-	stamp     int64
+	cfg     CacheConfig
+	sets    [][]cacheLine
+	shift   uint // word address -> line address
+	setMask int64
+	stamp   int64
+	// gen implements O(1) whole-cache invalidation: a line is live only
+	// when its gen matches the cache's. Reset bumps gen instead of
+	// touching every line, which keeps cache reuse (simulator state
+	// pooling) free of per-line clearing cost.
+	gen       uint64
 	Hits      int64
 	Misses    int64
 	Evictions int64
@@ -30,10 +35,14 @@ type Cache struct {
 
 type cacheLine struct {
 	tag   int64
+	used  int64
+	gen   uint64
 	valid bool
 	dirty bool
-	used  int64
 }
+
+// live reports whether a line holds current contents.
+func (c *Cache) live(l *cacheLine) bool { return l.valid && l.gen == c.gen }
 
 // NewCache builds a cache; line size must be a multiple of 8 bytes and
 // sizes powers of two.
@@ -76,7 +85,7 @@ func (c *Cache) Lookup(wordAddr int64) bool {
 	line := c.LineOf(wordAddr)
 	set := c.sets[line&c.setMask]
 	for i := range set {
-		if set[i].valid && set[i].tag == line {
+		if c.live(&set[i]) && set[i].tag == line {
 			c.stamp++
 			set[i].used = c.stamp
 			c.Hits++
@@ -95,7 +104,7 @@ func (c *Cache) Insert(wordAddr int64, dirty bool) (evicted int64, evictedDirty 
 	c.stamp++
 	// Already present (e.g. insert-after-hit upgrade to dirty).
 	for i := range set {
-		if set[i].valid && set[i].tag == line {
+		if c.live(&set[i]) && set[i].tag == line {
 			set[i].used = c.stamp
 			set[i].dirty = set[i].dirty || dirty
 			return -1, false
@@ -103,7 +112,7 @@ func (c *Cache) Insert(wordAddr int64, dirty bool) (evicted int64, evictedDirty 
 	}
 	victim := 0
 	for i := range set {
-		if !set[i].valid {
+		if !c.live(&set[i]) {
 			victim = i
 			break
 		}
@@ -112,12 +121,12 @@ func (c *Cache) Insert(wordAddr int64, dirty bool) (evicted int64, evictedDirty 
 		}
 	}
 	evicted, evictedDirty = -1, false
-	if set[victim].valid {
+	if c.live(&set[victim]) {
 		evicted = set[victim].tag
 		evictedDirty = set[victim].dirty
 		c.Evictions++
 	}
-	set[victim] = cacheLine{tag: line, valid: true, dirty: dirty, used: c.stamp}
+	set[victim] = cacheLine{tag: line, valid: true, dirty: dirty, used: c.stamp, gen: c.gen}
 	return evicted, evictedDirty
 }
 
@@ -126,7 +135,7 @@ func (c *Cache) Invalidate(wordAddr int64) {
 	line := c.LineOf(wordAddr)
 	set := c.sets[line&c.setMask]
 	for i := range set {
-		if set[i].valid && set[i].tag == line {
+		if c.live(&set[i]) && set[i].tag == line {
 			set[i].valid = false
 			return
 		}
@@ -138,7 +147,7 @@ func (c *Cache) DirtyCount() int {
 	n := 0
 	for _, set := range c.sets {
 		for i := range set {
-			if set[i].valid && set[i].dirty {
+			if c.live(&set[i]) && set[i].dirty {
 				n++
 			}
 		}
@@ -146,11 +155,17 @@ func (c *Cache) DirtyCount() int {
 	return n
 }
 
-// Reset clears the cache contents but keeps statistics.
+// Reset clears the cache contents but keeps statistics. O(1): stale
+// lines are left in place and filtered by the generation check, which
+// selects the same victims a freshly-zeroed cache would (first stale
+// slot, then LRU among live lines).
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = cacheLine{}
-		}
-	}
+	c.gen++
+}
+
+// ResetAll clears contents and statistics, restoring the state of a
+// freshly built cache. Used when pooling hierarchies across runs.
+func (c *Cache) ResetAll() {
+	c.gen++
+	c.Hits, c.Misses, c.Evictions = 0, 0, 0
 }

@@ -39,6 +39,15 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	return d
 }
 
+// Reset restores the state of a freshly built model: all row buffers
+// closed, statistics zeroed. Used when pooling hierarchies across runs.
+func (d *DRAM) Reset() {
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	d.Accesses, d.RowHits = 0, 0
+}
+
 // Access returns the latency of reading or writing the given line address.
 func (d *DRAM) Access(lineAddr int64) int {
 	d.Accesses++

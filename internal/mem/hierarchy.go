@@ -108,6 +108,20 @@ func (h *Hierarchy) Access(core int, wordAddr int64, write bool) int {
 	return lat
 }
 
+// Reset restores the hierarchy to its freshly built state: empty caches,
+// closed DRAM rows, empty directory, zeroed statistics. It lets a
+// hierarchy be pooled and reused across simulator runs instead of being
+// reallocated (the L2 alone is tens of thousands of lines).
+func (h *Hierarchy) Reset() {
+	for _, c := range h.L1 {
+		c.ResetAll()
+	}
+	h.L2.ResetAll()
+	h.DRAM.Reset()
+	clear(h.owner)
+	h.Stats = AccessStats{}
+}
+
 // FlushDirty returns the number of dirty L1 lines for a core and clears
 // them (used to model end-of-loop write-back fences).
 func (h *Hierarchy) FlushDirty(core int) int {

@@ -146,6 +146,36 @@ func New(cfg Config, numSegs int) *Ring {
 	return r
 }
 
+// Reset restores the ring to the state New(cfg, numSegs) would produce,
+// reusing the existing allocations (arrays, maps, signal matrices). The
+// simulator pools rings per segment count across loop invocations, which
+// removes the dominant allocation in ring-cache runs.
+func (r *Ring) Reset(numSegs int) {
+	r.Stats = Stats{}
+	clear(r.ready)
+	r.dataSlots = slotAlloc{perCycle: r.Cfg.DataBandwidth}
+	r.sigSlots = slotAlloc{perCycle: r.Cfg.SignalBandwidth}
+	clear(r.dirty)
+	clear(r.seen)
+	for _, a := range r.arrays {
+		a.ResetAll()
+	}
+	if numSegs != len(r.sigSent) {
+		r.sigSent = make([][]int64, numSegs)
+		r.sigCount = make([][]int64, numSegs)
+		for s := range r.sigSent {
+			r.sigSent[s] = make([]int64, r.Cfg.Nodes)
+			r.sigCount[s] = make([]int64, r.Cfg.Nodes)
+		}
+	}
+	for s := range r.sigSent {
+		for c := range r.sigSent[s] {
+			r.sigSent[s][c] = -1
+			r.sigCount[s][c] = 0
+		}
+	}
+}
+
 // dist returns the forward (unidirectional) hop count from a to b.
 func (r *Ring) dist(a, b int) int {
 	d := b - a
@@ -281,7 +311,7 @@ func (r *Ring) WaitReady(seg, core int, t int64) int64 {
 // resets the dirty set.
 func (r *Ring) FlushCost() int64 {
 	n := int64(len(r.dirty))
-	r.dirty = map[int64]bool{}
+	clear(r.dirty)
 	if n == 0 {
 		return 0
 	}

@@ -41,6 +41,19 @@ type Config struct {
 
 	// MaxSteps bounds total simulated instructions (0 = default 2^32).
 	MaxSteps int64
+
+	// SlowStep selects the retained reference stepper: no pre-decoded
+	// instruction metadata, no pooled simulator state — every structure
+	// is allocated fresh, exactly as the original implementation did.
+	// Results are bit-identical to the default fast path; golden tests
+	// compare the two.
+	SlowStep bool
+
+	// TraceIters, when positive, prints per-iteration timing for the
+	// first N iterations of each loop invocation (debug aid; implies
+	// SlowStep). A Config field rather than a package global so that
+	// concurrent runs cannot race on it.
+	TraceIters int64
 }
 
 // HelixRC returns the paper's default HELIX-RC platform: n in-order

@@ -16,12 +16,15 @@ import (
 // ErrBudget is returned when the simulation exceeds its step budget.
 var ErrBudget = errors.New("sim: step budget exceeded")
 
-// TraceIters, when positive, prints per-iteration timing for the first N
-// iterations of each loop invocation (debug aid).
-var TraceIters int64
-
 // Run simulates entry(args...) on the platform. comp may be nil, in which
 // case the program runs purely sequentially on core 0 (the baseline).
+//
+// Two steppers implement the same timing model. The default fast path
+// pre-decodes per-instruction metadata once per block and pools simulator
+// state (ring, hierarchy, contexts, register files) across invocations;
+// Config.SlowStep selects the retained reference stepper, which
+// re-derives everything per dynamic instruction. Both produce
+// bit-identical Results.
 func Run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, args ...int64) (*Result, error) {
 	if arch.Cores <= 0 {
 		arch.Cores = 16
@@ -31,12 +34,17 @@ func Run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, 
 		mem:       interp.NewMemory(prog),
 		headerMap: map[*ir.Block]*hcc.ParallelLoop{},
 		maxSteps:  arch.MaxSteps,
+		slow:      arch.SlowStep || arch.TraceIters > 0,
 	}
 	if r.maxSteps <= 0 {
 		r.maxSteps = 1 << 32
 	}
 	if !arch.PerfectMem {
-		r.hier = memsys.NewHierarchy(arch.Cores, arch.Mem)
+		if r.slow {
+			r.hier = memsys.NewHierarchy(arch.Cores, arch.Mem)
+		} else {
+			r.hier = hierFromPool(arch.Cores, arch.Mem)
+		}
 	}
 	if comp != nil {
 		for _, pl := range comp.Loops {
@@ -49,12 +57,14 @@ func Run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, 
 		}
 	}
 	if err := r.runSequential(entry, args); err != nil {
+		r.reclaimHier()
 		return &r.res, err
 	}
 	r.res.Cycles = r.now
 	if r.hier != nil {
 		r.res.Mem = r.hier.Stats
 	}
+	r.reclaimHier()
 	return &r.res, nil
 }
 
@@ -72,6 +82,23 @@ type runner struct {
 	steps    int64
 	maxSteps int64
 	res      Result
+
+	// slow selects the reference stepper; the fields below are the fast
+	// path's reusable state (see fast.go).
+	slow     bool
+	decoded  map[*ir.Block][]instrMeta
+	loops    map[*hcc.ParallelLoop]*loopStatic
+	rings    map[int]*ringcache.Ring
+	parRegs  [][]int64
+	parCores []*cpu.Core
+	coreTime []int64
+	ranReal  []bool
+	stopped  []bool
+	bctxs    []*interp.Context
+	convSig  []int64
+	lastW    map[int64]lastWrite
+	lastVals map[ir.Reg]lastValRec
+	scr      segScratch
 }
 
 // memLat returns the latency of a private (non-ring) access.
@@ -84,6 +111,9 @@ func (r *runner) memLat(core int, addr int64, write bool) int64 {
 
 // runSequential executes code outside parallel loops on core 0.
 func (r *runner) runSequential(entry *ir.Function, args []int64) error {
+	if !r.slow {
+		return r.runSequentialFast(entry, args)
+	}
 	core := cpu.NewCore(r.arch.Core, r.maxRegs)
 	core.Reset(0)
 	ctx := interp.NewContext(r.prog, r.mem, entry, args...)
@@ -153,26 +183,36 @@ type lastValRec struct {
 	val  int64
 }
 
-// runLoop simulates one invocation of a parallelized loop.
+// runLoop simulates one invocation of a parallelized loop. The setup and
+// teardown (startup cost, live-in broadcast, drain, flush, architectural
+// state restore) are shared between the fast and slow steppers; only the
+// per-iteration stepping differs.
 func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu.Core) error {
 	n := r.arch.Cores
 	r.res.LoopInvocations++
 	body := pl.Body
 
 	// Which segments actually have synchronization in the body.
-	segsUsed := map[int]bool{}
-	lastValDefs := map[int32]ir.Reg{}
-	for _, b := range body.Blocks {
-		for i := range b.Instrs {
-			if b.Instrs[i].Op == ir.OpSignal {
-				segsUsed[b.Instrs[i].Seg] = true
+	var segsUsed map[int]bool
+	var lastValDefs map[int32]ir.Reg
+	var ls *loopStatic
+	if r.slow {
+		segsUsed = map[int]bool{}
+		lastValDefs = map[int32]ir.Reg{}
+		for _, b := range body.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpSignal {
+					segsUsed[b.Instrs[i].Seg] = true
+				}
 			}
 		}
-	}
-	for reg, uids := range pl.LastValue {
-		for _, uid := range uids {
-			lastValDefs[uid] = reg
+		for reg, uids := range pl.LastValue {
+			for _, uid := range uids {
+				lastValDefs[uid] = reg
+			}
 		}
+	} else {
+		ls = r.staticFor(pl)
 	}
 
 	// Startup: wake the pinned worker threads and broadcast live-ins
@@ -187,19 +227,35 @@ func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu
 		start += 2
 	}
 
-	// Per-core state.
-	regs := make([][]int64, n)
-	cores := make([]*cpu.Core, n)
-	coreTime := make([]int64, n)
-	ranReal := make([]bool, n)
-	stopped := make([]bool, n)
+	// Per-core state. The fast path reuses the runner's buffers across
+	// invocations (re-initialized here to exactly the fresh state).
+	var regs [][]int64
+	var cores []*cpu.Core
+	var coreTime []int64
+	var ranReal, stopped []bool
+	if r.slow {
+		regs = make([][]int64, n)
+		cores = make([]*cpu.Core, n)
+		coreTime = make([]int64, n)
+		ranReal = make([]bool, n)
+		stopped = make([]bool, n)
+	} else {
+		r.ensurePerCore(n)
+		regs, cores = r.parRegs, r.parCores
+		coreTime, ranReal, stopped = r.coreTime, r.ranReal, r.stopped
+	}
 	initVals := map[ir.Reg]int64{}
 	for reg := range pl.Reductions {
 		initVals[reg] = ctx.Reg(reg)
 	}
 	srcRegs := ctx.Regs()
 	for c := 0; c < n; c++ {
-		rf := make([]int64, body.NumRegs)
+		var rf []int64
+		if r.slow {
+			rf = make([]int64, body.NumRegs)
+		} else {
+			rf = r.regBuf(c, body.NumRegs)
+		}
 		copy(rf, srcRegs[:min(len(srcRegs), body.NumRegs)])
 		for reg, rule := range pl.Recompute {
 			rf[rule.Shadow] = ctx.Reg(reg)
@@ -208,9 +264,15 @@ func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu
 			rf[reg] = kind.Identity()
 		}
 		regs[c] = rf
-		cores[c] = cpu.NewCore(r.arch.Core, body.NumRegs)
+		if cores[c] == nil || r.slow {
+			cores[c] = cpu.NewCore(r.arch.Core, body.NumRegs)
+		} else {
+			cores[c].Grow(body.NumRegs)
+		}
 		cores[c].Reset(start)
 		coreTime[c] = start
+		ranReal[c] = false
+		stopped[c] = false
 	}
 
 	var ring *ringcache.Ring
@@ -222,18 +284,40 @@ func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu
 			rc.DataBandwidth, rc.SignalBandwidth = 0, 0
 			rc.ArrayBytes = 0
 		}
-		ring = ringcache.New(rc, pl.NumSegs)
+		if r.slow {
+			ring = ringcache.New(rc, pl.NumSegs)
+		} else {
+			ring = r.ringFor(rc, pl.NumSegs)
+		}
 	}
 	// Conventional synchronization: prefix-max of signal send times.
-	convSig := make([]int64, pl.NumSegs)
+	var convSig []int64
+	if r.slow {
+		convSig = make([]int64, pl.NumSegs)
+	} else {
+		convSig = r.convBuf(pl.NumSegs)
+		r.scr.ensure(pl.NumSegs)
+	}
 	c2c := int64(r.arch.Mem.CacheToCache)
 	if r.arch.PerfectMem {
 		c2c = 0
 	}
 	l1 := int64(r.arch.Mem.L1Latency)
 
-	lastW := map[int64]lastWrite{}
-	lastVals := map[ir.Reg]lastValRec{}
+	var lastW map[int64]lastWrite
+	var lastVals map[ir.Reg]lastValRec
+	if r.slow {
+		lastW = map[int64]lastWrite{}
+		lastVals = map[ir.Reg]lastValRec{}
+	} else {
+		if r.lastW == nil {
+			r.lastW = map[int64]lastWrite{}
+			r.lastVals = map[ir.Reg]lastValRec{}
+		}
+		clear(r.lastW)
+		clear(r.lastVals)
+		lastW, lastVals = r.lastW, r.lastVals
+	}
 
 	exitIter := int64(-1)
 	exitCode := int64(-1)
@@ -248,12 +332,19 @@ func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu
 			continue
 		}
 		tStart := coreTime[c]
-		status, err := r.runIteration(pl, ring, convSig, segsUsed, lastValDefs,
-			regs[c], cores[c], &coreTime[c], c, iter, c2c, l1, lastW, lastVals)
+		var status int64
+		var err error
+		if r.slow {
+			status, err = r.runIteration(pl, ring, convSig, segsUsed, lastValDefs,
+				regs[c], cores[c], &coreTime[c], c, iter, c2c, l1, lastW, lastVals)
+		} else {
+			status, err = r.runIterationFast(pl, ls, ring, convSig,
+				regs[c], cores[c], &coreTime[c], c, iter, c2c, l1, lastW, lastVals)
+		}
 		if err != nil {
 			return err
 		}
-		if TraceIters > 0 && iter < TraceIters {
+		if r.arch.TraceIters > 0 && iter < r.arch.TraceIters {
 			fmt.Printf("iter %3d core %2d start=%6d end=%6d status=%d\n", iter, c, tStart, coreTime[c], status)
 		}
 		switch {
@@ -346,7 +437,11 @@ func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu
 	return nil
 }
 
-// runIteration simulates one iteration functionally and in time.
+// runIteration simulates one iteration functionally and in time. This is
+// the retained reference stepper (Config.SlowStep): it re-derives operand
+// sets, latencies and traffic classes on every dynamic instruction and
+// allocates its bookkeeping fresh. runIterationFast must match it
+// bit-for-bit.
 func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 	convSig []int64, segsUsed map[int]bool, lastValDefs map[int32]ir.Reg,
 	rf []int64, core *cpu.Core, coreTime *int64, c int, iter int64,
@@ -360,6 +455,7 @@ func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 	sigCount := make(map[int]int, pl.NumSegs)
 	activeSegs := 0
 	var status int64 = -1
+	traceIters := r.arch.TraceIters
 
 	for !bctx.Done() {
 		if r.steps >= r.maxSteps {
@@ -388,7 +484,7 @@ func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 				}
 			}
 			core.Barrier(ready)
-			if TraceIters > 0 && iter < TraceIters {
+			if traceIters > 0 && iter < traceIters {
 				fmt.Printf("  iter %3d core %2d wait seg %d at %d ready %d (stall %d)\n", iter, c, s, iss+1, ready, ready-(iss+1))
 			}
 			r.res.Overheads.DependenceWaiting += ready - (iss + 1)
@@ -415,7 +511,7 @@ func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 				}
 			}
 			sigCount[s]++
-			if TraceIters > 0 && iter < TraceIters {
+			if traceIters > 0 && iter < traceIters {
 				fmt.Printf("  iter %3d core %2d signal seg %d at %d\n", iter, c, s, send)
 			}
 			r.res.Overheads.WaitSignal++
@@ -484,7 +580,7 @@ func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 			issue = iss
 		}
 
-		if TraceIters > 0 && iter >= 17 && iter < 19 {
+		if traceIters > 0 && iter >= 17 && iter < 19 {
 			fmt.Printf("    it%d c%d t=%-6d iss=%-6d %s\n", iter, c, t, issue, in.String())
 		}
 		if in.Origin < 0 && !in.Op.IsSync() {

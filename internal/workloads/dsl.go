@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"helixrc/internal/ir"
 )
@@ -9,11 +10,14 @@ import (
 // The workload DSL: thin structured-control helpers over the IR builder so
 // each benchmark file reads like the C loops it models.
 
-var blockSeq int
+// blockSeq is atomic so concurrent Get calls (the parallel experiment
+// engine builds workloads from many goroutines) mint unique block names
+// without racing. The names are purely cosmetic — no output depends on
+// them — so cross-goroutine interleaving of the sequence is harmless.
+var blockSeq atomic.Int64
 
 func freshName(prefix string) string {
-	blockSeq++
-	return fmt.Sprintf("%s.%d", prefix, blockSeq)
+	return fmt.Sprintf("%s.%d", prefix, blockSeq.Add(1))
 }
 
 // Loop emits a canonical counted loop:

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full pre-merge gate: build, vet, and run every test with the race
+# detector. The harness fans experiment cells across goroutines, so the
+# race detector is part of the default gate, not an optional extra.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
