@@ -1,6 +1,6 @@
 # Development entry points. `make check` is the pre-merge gate.
 
-.PHONY: check build test bench
+.PHONY: check build test bench bench-smoke
 
 check:
 	./scripts/check.sh
@@ -15,3 +15,9 @@ test:
 # readable report to BENCH_<date>.json.
 bench:
 	go run ./cmd/helix-bench -json
+
+# Regenerate one small figure and verify its output hash against the
+# checked-in benchmark report — a fast end-to-end determinism gate.
+bench-smoke:
+	go run ./cmd/helix-bench -only fig9 -verify BENCH_2026-08-05.json >/dev/null
+	@echo "bench-smoke: fig9 output hash matches BENCH_2026-08-05.json"

@@ -8,12 +8,14 @@
 //	helix-bench -parallel 1        # sequential (reference ordering)
 //	helix-bench -json              # also append a report to BENCH_<date>.json
 //	helix-bench -slowsim           # use the retained reference simulator stepper
+//	helix-bench -noreplay          # disable the trace record/replay fast path
+//	helix-bench -verify FILE       # compare output hashes against a BENCH_*.json
 //
 // Experiment names: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10
 // fig11a fig11b fig11c fig11d fig12 tlp.
 //
 // Figure output is byte-identical at every -parallel level and with or
-// without -slowsim; only wall-clock changes.
+// without -slowsim/-noreplay; only wall-clock changes.
 package main
 
 import (
@@ -51,6 +53,15 @@ type runtimeSnapshot struct {
 	PauseTotalMS float64 `json:"gc_pause_total_ms"`
 }
 
+// replayReport summarizes how harness simulations were served: fresh
+// recordings (full execution) vs trace replays, plus cache pressure.
+type replayReport struct {
+	Recordings     int64   `json:"recordings"`
+	Replays        int64   `json:"replays"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	CacheEvictedMB float64 `json:"cache_evicted_mb"`
+}
+
 // benchReport is one helix-bench invocation in BENCH_<date>.json (the
 // file holds a JSON array; each run appends an element).
 type benchReport struct {
@@ -58,9 +69,11 @@ type benchReport struct {
 	Timestamp   string          `json:"timestamp"`
 	Parallel    int             `json:"parallel"`
 	SlowSim     bool            `json:"slow_sim"`
+	NoReplay    bool            `json:"no_replay,omitempty"`
 	Cores       int             `json:"cores"`
 	TotalMillis float64         `json:"total_wall_ms"`
 	Experiments []expReport     `json:"experiments"`
+	Replay      *replayReport   `json:"replay,omitempty"`
 	Runtime     runtimeSnapshot `json:"runtime"`
 }
 
@@ -70,13 +83,27 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment-engine worker count (0 = all CPUs, 1 = sequential)")
 	jsonOut := flag.Bool("json", false, "append a machine-readable report to BENCH_<date>.json")
 	slowSim := flag.Bool("slowsim", false, "use the retained reference simulator stepper (identical output, slower)")
+	noReplay := flag.Bool("noreplay", false, "disable the trace record/replay fast path (identical output, slower)")
+	cacheBudget := flag.Int64("cachebudget", harness.DefaultCacheBudget>>20, "harness memo-cache byte budget in MB (0 = unbounded)")
+	verify := flag.String("verify", "", "BENCH_*.json file to verify output hashes against (exit 1 on mismatch)")
 	label := flag.String("label", "", "free-form label recorded in the JSON report")
 	flag.Parse()
 
 	harness.SetParallelism(*parallel)
 	harness.SetSlowSim(*slowSim)
+	harness.SetNoReplay(*noReplay)
+	harness.SetCacheBudget(*cacheBudget << 20)
+
+	var wantSHA map[string]string
+	if *verify != "" {
+		var err error
+		if wantSHA, err = loadExpectedHashes(*verify); err != nil {
+			log.Fatalf("loading %s: %v", *verify, err)
+		}
+	}
 
 	var reports []expReport
+	mismatches := 0
 	start := time.Now()
 	for _, e := range harness.Experiments(*cores) {
 		if *only != "" && e.Name != *only {
@@ -89,28 +116,53 @@ func main() {
 		}
 		wall := time.Since(expStart)
 		fmt.Printf("==== %s ====\n%s\n", e.Name, out)
+		sha := fmt.Sprintf("%x", sha256.Sum256([]byte(out)))
+		if wantSHA != nil {
+			switch want, ok := wantSHA[e.Name]; {
+			case !ok:
+				fmt.Printf("verify %s: no reference hash in %s (skipped)\n", e.Name, *verify)
+			case want != sha:
+				fmt.Printf("verify %s: MISMATCH (want %s, got %s)\n", e.Name, want[:12], sha[:12])
+				mismatches++
+			default:
+				fmt.Printf("verify %s: ok\n", e.Name)
+			}
+		}
 		reports = append(reports, expReport{
 			Name:         e.Name,
 			WallMillis:   float64(wall.Microseconds()) / 1e3,
-			OutputSHA256: fmt.Sprintf("%x", sha256.Sum256([]byte(out))),
+			OutputSHA256: sha,
 			Output:       out,
 		})
 	}
 	total := time.Since(start)
 
 	if *jsonOut {
+		recordings, replays := harness.ReplayStats()
+		evictions, evictedBytes := harness.CacheStats()
 		if err := appendReport(benchReport{
 			Label:       *label,
 			Timestamp:   time.Now().Format(time.RFC3339),
 			Parallel:    harness.Parallelism(),
 			SlowSim:     *slowSim,
+			NoReplay:    *noReplay,
 			Cores:       *cores,
 			TotalMillis: float64(total.Microseconds()) / 1e3,
 			Experiments: reports,
-			Runtime:     snapshotRuntime(),
+			Replay: &replayReport{
+				Recordings:     recordings,
+				Replays:        replays,
+				CacheEvictions: evictions,
+				CacheEvictedMB: float64(evictedBytes) / (1 << 20),
+			},
+			Runtime: snapshotRuntime(),
 		}); err != nil {
 			log.Fatalf("writing benchmark report: %v", err)
 		}
+	}
+
+	if mismatches > 0 {
+		log.Fatalf("verify: %d experiment(s) diverge from %s", mismatches, *verify)
 	}
 
 	if *only != "" {
@@ -119,6 +171,30 @@ func main() {
 	fmt.Println(strings.Repeat("=", 60))
 	fmt.Printf("All experiments complete in %.1fs (%d workers). See EXPERIMENTS.md for the paper-vs-measured comparison.\n",
 		total.Seconds(), harness.Parallelism())
+}
+
+// loadExpectedHashes builds the experiment -> output_sha256 map from a
+// BENCH_*.json file. Later runs in the array win, so the reference is
+// the most recent recording of each experiment.
+func loadExpectedHashes(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var runs []benchReport
+	if err := json.Unmarshal(data, &runs); err != nil {
+		return nil, fmt.Errorf("%s is not a run array: %w", path, err)
+	}
+	want := map[string]string{}
+	for _, r := range runs {
+		for _, e := range r.Experiments {
+			want[e.Name] = e.OutputSHA256
+		}
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("%s contains no experiment hashes", path)
+	}
+	return want, nil
 }
 
 func snapshotRuntime() runtimeSnapshot {

@@ -127,7 +127,7 @@ func (c *Core) Issue(in *ir.Instr, now, opReady, resultLat int64) (int64, int64)
 // instruction; timing is identical to Issue.
 func (c *Core) IssueReg(dst ir.Reg, now, opReady, resultLat int64) (int64, int64) {
 	c.Instrs++
-	t := max64(now, opReady)
+	t := max(now, opReady)
 	if c.Cfg.OoO {
 		// Window pressure: cannot issue more than Window instructions
 		// ahead of the oldest in flight.
@@ -209,9 +209,3 @@ func (c *Core) Barrier(t int64) {
 	}
 }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

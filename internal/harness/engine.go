@@ -9,6 +9,7 @@ package harness
 // order, so output is byte-identical at any parallelism level.
 
 import (
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,30 @@ func SetSlowSim(v bool) { slowSim.Store(v) }
 
 // SlowSim reports whether the reference stepper is selected.
 func SlowSim() bool { return slowSim.Load() }
+
+// noReplay disables the trace record/replay fast path for all harness
+// simulations, forcing every cell through execution-driven simulation.
+var noReplay atomic.Bool
+
+// SetNoReplay toggles the record/replay bypass (figures are
+// byte-identical either way; only wall-clock changes).
+func SetNoReplay(v bool) { noReplay.Store(v) }
+
+// NoReplay reports whether record/replay is disabled.
+func NoReplay() bool { return noReplay.Load() }
+
+// traceRecordings / traceReplays count how harness simulations were
+// served: by recording a fresh trace (full execution) or by replaying a
+// cached one. Cumulative across ResetCaches; helix-bench reports them.
+var (
+	traceRecordings atomic.Int64
+	traceReplays    atomic.Int64
+)
+
+// ReplayStats returns the cumulative (recordings, replays) counts.
+func ReplayStats() (recordings, replays int64) {
+	return traceRecordings.Load(), traceReplays.Load()
+}
 
 // parMap runs f(0..n-1) across the engine's worker pool and returns the
 // results in index order. With one worker (or one job) it runs inline.
@@ -98,19 +123,43 @@ func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
-// memoCall is one in-flight or completed memoized computation.
+// memoCall is one in-flight or completed memoized computation. Completed
+// successful entries are threaded on the group's intrusive LRU list.
 type memoCall[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+
+	key        string
+	cost       int64
+	prev, next *memoCall[V]
+	linked     bool
 }
 
 // memoGroup is a concurrency-safe memoization table with singleflight
 // semantics: concurrent Do calls for the same key share one execution,
 // and completed results (including errors) are cached until reset.
+//
+// When a cost function and a byte budget are configured, completed
+// successful entries additionally form an LRU: once their summed cost
+// exceeds the budget, least-recently-used entries are dropped (and
+// logged, so silent cache misses are visible). The most recent entry is
+// never evicted, so a single over-budget result still serves its
+// waiters and the next hit. In-flight computations and cached errors
+// carry no cost and are never evicted.
 type memoGroup[V any] struct {
 	mu sync.Mutex
 	m  map[string]*memoCall[V]
+
+	name   string        // label for eviction log lines
+	cost   func(V) int64 // nil disables budget accounting
+	budget int64         // <= 0 means unbounded
+	used   int64
+	head   *memoCall[V] // most recently used
+	tail   *memoCall[V] // least recently used
+
+	evictions    atomic.Int64
+	evictedBytes atomic.Int64
 }
 
 // Do returns the memoized result for key, computing it with fn exactly
@@ -121,22 +170,103 @@ func (g *memoGroup[V]) Do(key string, fn func() (V, error)) (V, error) {
 		g.m = map[string]*memoCall[V]{}
 	}
 	if c, ok := g.m[key]; ok {
+		if c.linked {
+			g.moveToFront(c)
+		}
 		g.mu.Unlock()
 		<-c.done
 		return c.val, c.err
 	}
-	c := &memoCall[V]{done: make(chan struct{})}
+	c := &memoCall[V]{done: make(chan struct{}), key: key}
 	g.m[key] = c
 	g.mu.Unlock()
 	c.val, c.err = fn()
 	close(c.done)
+
+	g.mu.Lock()
+	// Only account the entry if it is still the table's (a concurrent
+	// reset may have dropped it) and it succeeded.
+	if g.m[key] == c && c.err == nil && g.cost != nil {
+		c.cost = g.cost(c.val)
+		g.used += c.cost
+		g.linkFront(c)
+		g.evict()
+	}
+	g.mu.Unlock()
 	return c.val, c.err
 }
 
+func (g *memoGroup[V]) linkFront(c *memoCall[V]) {
+	c.linked = true
+	c.prev = nil
+	c.next = g.head
+	if g.head != nil {
+		g.head.prev = c
+	}
+	g.head = c
+	if g.tail == nil {
+		g.tail = c
+	}
+}
+
+func (g *memoGroup[V]) unlink(c *memoCall[V]) {
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else {
+		g.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	} else {
+		g.tail = c.prev
+	}
+	c.prev, c.next, c.linked = nil, nil, false
+}
+
+func (g *memoGroup[V]) moveToFront(c *memoCall[V]) {
+	if g.head == c {
+		return
+	}
+	g.unlink(c)
+	g.linkFront(c)
+}
+
+// evict drops LRU entries until the group fits its budget, keeping at
+// least the most recent entry. Caller holds g.mu.
+func (g *memoGroup[V]) evict() {
+	for g.budget > 0 && g.used > g.budget && g.tail != nil && g.tail != g.head {
+		t := g.tail
+		g.unlink(t)
+		delete(g.m, t.key)
+		g.used -= t.cost
+		g.evictions.Add(1)
+		g.evictedBytes.Add(t.cost)
+		log.Printf("harness: %s cache evicted %s (%d KB, %d/%d KB in use)",
+			g.name, t.key, t.cost>>10, g.used>>10, g.budget>>10)
+	}
+}
+
+// setBudget installs a byte budget (<= 0 for unbounded) and evicts down
+// to it immediately.
+func (g *memoGroup[V]) setBudget(b int64) {
+	g.mu.Lock()
+	g.budget = b
+	g.evict()
+	g.mu.Unlock()
+}
+
+// stats returns the cumulative eviction count and evicted bytes.
+func (g *memoGroup[V]) stats() (evictions, evictedBytes int64) {
+	return g.evictions.Load(), g.evictedBytes.Load()
+}
+
 // reset drops all memoized results. In-flight computations complete
-// normally for their waiters but are not re-used afterwards.
+// normally for their waiters but are not re-used afterwards. Eviction
+// counters are cumulative and survive resets.
 func (g *memoGroup[V]) reset() {
 	g.mu.Lock()
 	g.m = nil
+	g.head, g.tail = nil, nil
+	g.used = 0
 	g.mu.Unlock()
 }

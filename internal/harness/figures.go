@@ -13,13 +13,81 @@ import (
 )
 
 // Memoization groups keyed by workload/level/cores so sweeps do not
-// recompile. Both are concurrency-safe with singleflight semantics:
-// when many experiment cells need the same compilation or baseline,
-// exactly one goroutine computes it and the rest wait for the result.
+// recompile. All are concurrency-safe with singleflight semantics:
+// when many experiment cells need the same compilation, baseline or
+// dynamic trace, exactly one goroutine computes it and the rest wait
+// for the result.
 var (
-	compGroup memoGroup[*compEntry]
-	seqGroup  memoGroup[*sim.Result]
+	compGroup  memoGroup[*compEntry]
+	seqGroup   memoGroup[*sim.Result]
+	traceGroup memoGroup[*sim.Trace]
 )
+
+// DefaultCacheBudget is the total byte budget shared by the harness
+// memo caches (compilations, baselines, traces). Traces dominate, so
+// they get most of it; see SetCacheBudget.
+const DefaultCacheBudget = int64(1) << 30
+
+func init() {
+	compGroup.name, compGroup.cost = "compile", compCost
+	seqGroup.name, seqGroup.cost = "baseline", func(*sim.Result) int64 { return 1 << 10 }
+	traceGroup.name, traceGroup.cost = "trace", (*sim.Trace).SizeBytes
+	SetCacheBudget(DefaultCacheBudget)
+}
+
+// SetCacheBudget bounds the summed estimated size of the harness memo
+// caches, splitting the total across them (traces take three quarters).
+// Least-recently-used entries are evicted past the budget, with a log
+// line per eviction. total <= 0 removes the bound.
+func SetCacheBudget(total int64) {
+	if total <= 0 {
+		traceGroup.setBudget(0)
+		compGroup.setBudget(0)
+		seqGroup.setBudget(0)
+		return
+	}
+	traces := total * 3 / 4
+	baselines := total / 64
+	traceGroup.setBudget(traces)
+	seqGroup.setBudget(baselines)
+	compGroup.setBudget(total - traces - baselines)
+}
+
+// CacheStats reports cumulative eviction counts and evicted bytes
+// across all harness memo caches (for the helix-bench JSON report).
+func CacheStats() (evictions, evictedBytes int64) {
+	for _, f := range []func() (int64, int64){
+		compGroup.stats, seqGroup.stats, traceGroup.stats,
+	} {
+		n, b := f()
+		evictions += n
+		evictedBytes += b
+	}
+	return
+}
+
+// compCost estimates a cached compilation's footprint: the cloned
+// program (instructions dominate, plus the per-UID analysis maps the
+// profile keeps), global initializers, and profile samples.
+func compCost(e *compEntry) int64 {
+	var instrs int64
+	for _, fn := range e.w.Prog.Funcs {
+		for _, b := range fn.Blocks {
+			instrs += int64(len(b.Instrs))
+		}
+	}
+	cost := instrs*200 + 4096
+	for _, g := range e.w.Prog.Globals {
+		cost += int64(len(g.Init)) * 8
+	}
+	if e.comp != nil && e.comp.Profile != nil {
+		for _, lp := range e.comp.Profile.Loops {
+			cost += int64(len(lp.IterLens)+len(lp.TripCounts))*4 +
+				int64(len(lp.Deps)+len(lp.SharedAddrs))*48
+		}
+	}
+	return cost
+}
 
 type compEntry struct {
 	w    *workloads.Workload
@@ -46,30 +114,73 @@ func CachedCompile(name string, level hcc.Level, cores int) (*workloads.Workload
 }
 
 // CachedBaseline memoizes the sequential run per (name, core model, ref).
-// Safe for concurrent use.
+// Safe for concurrent use. The underlying dynamic trace is keyed by
+// (name, ref) alone — a baseline has no parallel loops, so its trace is
+// independent of the core model and count and each new core model only
+// pays a replay.
 func CachedBaseline(name string, arch sim.Config, ref bool) (*sim.Result, error) {
 	key := fmt.Sprintf("%s/%s/%v", name, arch.Core.Name, ref)
 	return seqGroup.Do(key, func() (*sim.Result, error) {
-		return Baseline(name, arch, ref)
+		w, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return simWithTrace(fmt.Sprintf("base/%s/%v", name, ref), w, nil, arch, args(w, ref))
 	})
 }
 
-// ResetCaches clears memoized compilations and baselines (tests use this
-// to bound memory). Safe to call concurrently with cache users:
-// in-flight computations complete for their waiters and are dropped.
+// ResetCaches clears memoized compilations, baselines and traces (tests
+// use this to bound memory). Safe to call concurrently with cache
+// users: in-flight computations complete for their waiters and are
+// dropped.
 func ResetCaches() {
 	compGroup.reset()
 	seqGroup.reset()
+	traceGroup.reset()
 }
 
-// runOn compiles (cached) and simulates one configuration.
+// simWithTrace serves one harness simulation through the record/replay
+// fast path: the first run for a trace key executes and records, every
+// later run under any timing config replays the cached trace. The key
+// must pin everything the dynamic behaviour depends on — compiled
+// program identity (workload, level, cores) and input — while timing
+// parameters stay out of it. SlowSim, SetNoReplay and arch.NoReplay
+// bypass the cache entirely.
+func simWithTrace(key string, w *workloads.Workload, comp *hcc.Compiled, arch sim.Config, a []int64) (*sim.Result, error) {
+	if SlowSim() || NoReplay() || arch.NoReplay {
+		return sim.Run(w.Prog, comp, w.Entry, applySlow(arch), a...)
+	}
+	var recorded *sim.Result
+	tr, err := traceGroup.Do(key, func() (*sim.Trace, error) {
+		res, tr, err := sim.Record(w.Prog, comp, w.Entry, arch, a...)
+		if err != nil {
+			return nil, err
+		}
+		recorded = res
+		traceRecordings.Add(1)
+		return tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if recorded != nil {
+		// This goroutine did the recording; its Result is already exact
+		// for its own arch.
+		return recorded, nil
+	}
+	traceReplays.Add(1)
+	return sim.Replay(tr, arch)
+}
+
+// runOn compiles (cached) and simulates one configuration, replaying a
+// cached trace when one exists for this (workload, level, cores, input).
 func runOn(name string, level hcc.Level, arch sim.Config, ref bool) (*sim.Result, *hcc.Compiled, error) {
 	w, comp, err := CachedCompile(name, level, arch.Cores)
 	if err != nil {
 		return nil, nil, err
 	}
-	a := args(w, ref)
-	res, err := sim.Run(w.Prog, comp, w.Entry, applySlow(arch), a...)
+	key := fmt.Sprintf("%s/%d/%d/%v", name, level, arch.Cores, ref)
+	res, err := simWithTrace(key, w, comp, arch, args(w, ref))
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", name, err)
 	}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestMemoGroupBudget exercises the byte-budget LRU: eviction order,
+// the never-evict-most-recent rule, and hit-driven reordering.
+func TestMemoGroupBudget(t *testing.T) {
+	var g memoGroup[int]
+	g.name = "test"
+	g.cost = func(v int) int64 { return int64(v) }
+	g.setBudget(100)
+
+	get := func(key string, v int) {
+		t.Helper()
+		got, err := g.Do(key, func() (int, error) { return v, nil })
+		if err != nil || got != v {
+			t.Fatalf("Do(%s) = %d, %v", key, got, err)
+		}
+	}
+	recomputed := func(key string) bool {
+		fresh := false
+		if _, err := g.Do(key, func() (int, error) { fresh = true; return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+		return fresh
+	}
+
+	get("a", 40)
+	get("b", 40)
+	get("c", 40) // 120 > 100: "a" (LRU) must go
+	if !recomputed("a") {
+		t.Error("a should have been evicted")
+	}
+	// Recomputing "a" (cost 0 now) must not have evicted b or c yet;
+	// touching b makes c the LRU, so one more insert drops c, not b.
+	get("b", 40)
+	get("d", 40)
+	if recomputed("b") {
+		t.Error("b was touched and should have survived")
+	}
+	if !recomputed("c") {
+		t.Error("c was least recently used and should have been evicted")
+	}
+	if ev, bytes := g.stats(); ev < 2 || bytes < 80 {
+		t.Errorf("stats() = %d evictions, %d bytes; want >= 2, >= 80", ev, bytes)
+	}
+
+	// A single over-budget entry is kept (never evict the most recent).
+	g.reset()
+	get("huge", 500)
+	if recomputed("huge") {
+		t.Error("sole over-budget entry must not evict itself")
+	}
+
+	// Unbounded: nothing is ever evicted.
+	var ub memoGroup[int]
+	ub.name = "unbounded"
+	ub.cost = func(v int) int64 { return int64(v) }
+	for i := 0; i < 32; i++ {
+		get := fmt.Sprintf("k%d", i)
+		if _, err := ub.Do(get, func() (int, error) { return 1 << 20, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev, _ := ub.stats(); ev != 0 {
+		t.Errorf("unbounded group evicted %d entries", ev)
+	}
+}
+
+// TestReplayMatchesNoReplayFigures pins the tentpole's acceptance
+// criterion at the harness level: a figure generated through the
+// record/replay path is byte-identical to one generated with replay
+// disabled (full execution-driven simulation per cell).
+func TestReplayMatchesNoReplayFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure generation")
+	}
+	gen := func() string {
+		ResetCaches()
+		var sb strings.Builder
+		f10, err := Figure10(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(f10.Format())
+		f11, err := Figure11("signals")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(f11.Format())
+		return sb.String()
+	}
+
+	SetNoReplay(true)
+	want := gen()
+	SetNoReplay(false)
+	defer ResetCaches()
+	got := gen()
+
+	if got != want {
+		t.Errorf("replayed figures differ from execution-driven figures:\n--- noreplay ---\n%s\n--- replay ---\n%s", want, got)
+	}
+	rec, reps := ReplayStats()
+	if rec == 0 || reps == 0 {
+		t.Errorf("expected both recordings and replays, got %d/%d", rec, reps)
+	}
+}

@@ -299,6 +299,21 @@ func (c *Context) Step() StepInfo {
 	return info
 }
 
+// Branches reports whether executing in would set StepInfo.Branched —
+// a static property of the instruction (taken branches, internal calls).
+// Timing models that pre-decode instructions use it to resolve branch
+// costs without consulting the per-step info, and the simulator's trace
+// recorder relies on it so replay needs no per-instruction branch log.
+func Branches(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpBr, ir.OpCondBr:
+		return true
+	case ir.OpCall:
+		return in.Extern == nil
+	}
+	return false
+}
+
 func b2i(b bool) int64 {
 	if b {
 		return 1

@@ -227,7 +227,7 @@ func (r *Ring) Load(core int, addr int64, t int64) int64 {
 		arrive := vs.sentAt + int64(r.dist(vs.from, core)*r.Cfg.LinkLatency)
 		if !present {
 			// Evicted locally: fetch from the owner node's array/L1.
-			arrive = r.ownerFetch(core, addr, max64(t, arrive))
+			arrive = r.ownerFetch(core, addr, max(t, arrive))
 			r.Stats.LoadMisses++
 		} else {
 			r.Stats.LoadHits++
@@ -325,9 +325,3 @@ func (r *Ring) FlushCost() int64 {
 // DirtyWords reports the current dirty shared word count.
 func (r *Ring) DirtyWords() int { return len(r.dirty) }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -53,11 +53,12 @@ type instrMeta struct {
 	lat     int64  // result latency for non-memory instructions
 	dst     ir.Reg // destination register or ir.NoReg
 	lastVal ir.Reg // last-value register this instruction defines, or ir.NoReg
-	seg     int32  // segment id for wait/signal/shared classes
-	cls     mClass
-	isStore bool
-	added   bool // compiler-added (Origin < 0, non-sync): counts as AddedInstr overhead
-	nuses   uint8
+	seg      int32  // segment id for wait/signal/shared classes
+	cls      mClass
+	isStore  bool
+	branches bool // interp.Branches(in): whether Step reports Branched
+	added    bool // compiler-added (Origin < 0, non-sync): counts as AddedInstr overhead
+	nuses    uint8
 	uses    [2]ir.Reg
 	more    []ir.Reg // register operands beyond the first two (calls)
 }
@@ -90,6 +91,7 @@ func decodeInstr(in *ir.Instr, lastValDefs map[int32]ir.Reg) instrMeta {
 			m.lat = int64(in.Extern.Latency)
 		}
 	}
+	m.branches = interp.Branches(in)
 	var scratch [8]ir.Reg
 	for _, reg := range in.Uses(scratch[:0]) {
 		if m.nuses < 2 {
@@ -279,18 +281,26 @@ func hierFromPool(cores int, cfg memsys.Config) *memsys.Hierarchy {
 	return memsys.NewHierarchy(cores, cfg)
 }
 
+// hierToPool returns a hierarchy to its shape's pool.
+func hierToPool(h *memsys.Hierarchy, cores int, cfg memsys.Config) {
+	if h == nil {
+		return
+	}
+	key := hierKey{cores: cores, cfg: cfg}
+	p, ok := hierPools.Load(key)
+	if !ok {
+		p, _ = hierPools.LoadOrStore(key, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(h)
+}
+
 // reclaimHier returns the runner's hierarchy to the pool (fast path
 // only; the reference stepper keeps its fresh allocation).
 func (r *runner) reclaimHier() {
 	if r.hier == nil || r.slow {
 		return
 	}
-	key := hierKey{cores: r.arch.Cores, cfg: r.arch.Mem}
-	p, ok := hierPools.Load(key)
-	if !ok {
-		p, _ = hierPools.LoadOrStore(key, &sync.Pool{})
-	}
-	p.(*sync.Pool).Put(r.hier)
+	hierToPool(r.hier, r.arch.Cores, r.arch.Mem)
 	r.hier = nil
 }
 
@@ -302,6 +312,7 @@ func (r *runner) runSequentialFast(entry *ir.Function, args []int64) error {
 
 	var curBlk *ir.Block
 	var meta []instrMeta
+	var recBase uint32
 	branchCost := int64(r.arch.Core.BranchCost)
 	for !ctx.Done() {
 		if r.steps >= r.maxSteps {
@@ -318,18 +329,27 @@ func (r *runner) runSequentialFast(entry *ir.Function, args []int64) error {
 		}
 		if blk != curBlk {
 			curBlk, meta = blk, r.metaFor(blk, nil)
+			if r.rec != nil {
+				recBase = r.rec.baseFor(blk, meta)
+			}
 		}
 		m := &meta[idx]
 		lat := m.lat
 		if m.cls == clsShared || m.cls == clsPriv {
 			addr := ctx.EffectiveAddr(&blk.Instrs[idx])
 			lat = r.memLat(0, addr, m.isStore)
+			if r.rec != nil {
+				r.rec.addr(addr, false)
+			}
+		}
+		if r.rec != nil {
+			r.rec.note(recBase, idx)
 		}
 		issue, _ := core.IssueReg(m.dst, r.now, metaReady(core, m), lat)
 		info := ctx.Step()
 		r.steps++
 		r.res.Instrs++
-		if info.Branched {
+		if m.branches {
 			r.now = issue + branchCost
 		} else {
 			r.now = issue
@@ -368,6 +388,7 @@ func (r *runner) runIterationFast(pl *hcc.ParallelLoop, ls *loopStatic,
 
 	var curBlk *ir.Block
 	var meta []instrMeta
+	var recBase uint32
 	for !bctx.Done() {
 		if r.steps >= r.maxSteps {
 			return 0, ErrBudget
@@ -375,8 +396,14 @@ func (r *runner) runIterationFast(pl *hcc.ParallelLoop, ls *loopStatic,
 		_, blk, idx := bctx.Frame()
 		if blk != curBlk {
 			curBlk, meta = blk, r.metaFor(blk, ls.lastValDefs)
+			if r.rec != nil {
+				recBase = r.rec.baseFor(blk, meta)
+			}
 		}
 		m := &meta[idx]
+		if r.rec != nil {
+			r.rec.note(recBase, idx)
+		}
 
 		var issue int64
 		switch m.cls {
@@ -389,7 +416,7 @@ func (r *runner) runIterationFast(pl *hcc.ParallelLoop, ls *loopStatic,
 			} else {
 				ready = iss + 1 + c2c
 				if convSig[s] > 0 {
-					ready = max64(ready, convSig[s]+2*c2c)
+					ready = max(ready, convSig[s]+2*c2c)
 				}
 			}
 			core.Barrier(ready)
@@ -441,6 +468,9 @@ func (r *runner) runIterationFast(pl *hcc.ParallelLoop, ls *loopStatic,
 				return 0, &ValidationError{Loop: pl.ID, Iter: iter,
 					Msg: fmt.Sprintf("addr %d crosses segments %d and %d", addr, w.seg, s)}
 			}
+			if r.rec != nil {
+				r.rec.addr(addr, pl.SlotAddrs[addr])
+			}
 			if ring != nil && r.decoupled(pl, addr) {
 				iss, _ := core.IssueReg(m.dst, t, metaReady(core, m), 1)
 				if write {
@@ -448,13 +478,13 @@ func (r *runner) runIterationFast(pl *hcc.ParallelLoop, ls *loopStatic,
 				} else {
 					done := ring.Load(c, addr, iss+1)
 					core.SetRegReady(m.dst, done)
-					r.res.Overheads.Communication += max64(0, done-(iss+2))
+					r.res.Overheads.Communication += max(0, done-(iss+2))
 				}
 				issue = iss
 			} else {
 				lat := r.memLat(c, addr, write)
 				iss, _ := core.IssueReg(m.dst, t, metaReady(core, m), lat)
-				r.res.Overheads.Communication += max64(0, lat-l1)
+				r.res.Overheads.Communication += max(0, lat-l1)
 				issue = iss
 			}
 			if write {
@@ -469,9 +499,12 @@ func (r *runner) runIterationFast(pl *hcc.ParallelLoop, ls *loopStatic,
 				return 0, &ValidationError{Loop: pl.ID, Iter: iter,
 					Msg: fmt.Sprintf("private access to shared addr %d (writer iter %d seg %d)", addr, w.iter, w.seg)}
 			}
+			if r.rec != nil {
+				r.rec.addr(addr, false)
+			}
 			lat := r.memLat(c, addr, write)
 			iss, _ := core.IssueReg(m.dst, t, metaReady(core, m), lat)
-			r.res.Overheads.Memory += max64(0, lat-l1)
+			r.res.Overheads.Memory += max(0, lat-l1)
 			if write {
 				lastW[addr] = lastWrite{iter: iter, seg: -1}
 			}
@@ -500,7 +533,7 @@ func (r *runner) runIterationFast(pl *hcc.ParallelLoop, ls *loopStatic,
 			}
 		}
 
-		if info.Branched {
+		if m.branches {
 			t = issue + branchCost
 		} else {
 			t = issue

@@ -1,0 +1,418 @@
+package sim
+
+// Replay re-times a recorded Trace under a (possibly different) Config
+// without any functional execution: no interpreter, no register files,
+// no validation maps. Every timing expression below mirrors the fast
+// stepper (fast.go) — and therefore the reference stepper — exactly;
+// the golden tests in replay_test.go pin bit-identical Results. The
+// budget check positions are also replicated (once before every dynamic
+// instruction, once before each loop dispatch) so a replay under a
+// smaller MaxSteps fails at the same instruction with the same partial
+// Result as a fresh run would.
+
+import (
+	"errors"
+	"fmt"
+
+	"helixrc/internal/cpu"
+	"helixrc/internal/ir"
+	memsys "helixrc/internal/mem"
+	"helixrc/internal/ringcache"
+)
+
+// Replay simulates the timing of a recorded run under arch. The trace
+// fixes the dynamic behaviour, so arch must agree with the recording
+// config on everything that shapes it: the core count (unless the trace
+// has no parallel loops, which makes it core-count independent) — and
+// implicitly the compiled program, which the caller keys the trace by.
+// SlowStep and TraceIters need the real stepper and are rejected.
+func Replay(tr *Trace, arch Config) (*Result, error) {
+	if arch.SlowStep || arch.TraceIters > 0 {
+		return nil, errors.New("sim: cannot replay with SlowStep or TraceIters")
+	}
+	if arch.Cores <= 0 {
+		arch.Cores = 16
+	}
+	if len(tr.loops) > 0 && arch.Cores != tr.cores {
+		return nil, fmt.Errorf("sim: trace recorded with %d cores cannot replay with %d", tr.cores, arch.Cores)
+	}
+	rep := &replayer{tr: tr, arch: arch, maxSteps: arch.MaxSteps}
+	if rep.maxSteps <= 0 {
+		rep.maxSteps = 1 << 32
+	}
+	if !arch.PerfectMem {
+		rep.hier = hierFromPool(arch.Cores, arch.Mem)
+	}
+	seqCore := cpu.NewCore(arch.Core, tr.maxRegs)
+	seqCore.Reset(0)
+
+	for _, ev := range tr.events {
+		if err := rep.seqSpan(seqCore, int(ev.runs)); err != nil {
+			rep.reclaim()
+			return &rep.res, err
+		}
+		if ev.loop >= 0 {
+			// The stepper's top-of-loop budget check fires once on the
+			// loop-header dispatch.
+			if rep.steps >= rep.maxSteps {
+				rep.reclaim()
+				return &rep.res, ErrBudget
+			}
+			if err := rep.replayLoop(&tr.loops[ev.loop], seqCore); err != nil {
+				rep.reclaim()
+				return &rep.res, err
+			}
+		}
+	}
+	rep.now++ // last instructions draining, as in runSequential
+	rep.res.Cycles = rep.now
+	rep.res.RetValue = tr.retValue
+	if rep.hier != nil {
+		rep.res.Mem = rep.hier.Stats
+	}
+	rep.reclaim()
+	return &rep.res, nil
+}
+
+// replayer is the timing-only counterpart of runner: same per-core
+// buffers and pooled rings/hierarchies, but its only inputs are the
+// trace cursors.
+type replayer struct {
+	tr   *Trace
+	arch Config
+	hier *memsys.Hierarchy
+
+	now      int64
+	steps    int64
+	maxSteps int64
+	res      Result
+
+	runCursor  int // next entry of tr.runs
+	addrCursor int // next entry of tr.addrs
+
+	rings    map[int]*ringcache.Ring
+	parCores []*cpu.Core
+	coreTime []int64
+	ranReal  []bool
+	stopped  []bool
+	convSig  []int64
+	scr      segScratch
+}
+
+func (rep *replayer) memLat(core int, addr int64, write bool) int64 {
+	if rep.arch.PerfectMem {
+		return 1
+	}
+	return int64(rep.hier.Access(core, addr, write))
+}
+
+func (rep *replayer) reclaim() {
+	hierToPool(rep.hier, rep.arch.Cores, rep.arch.Mem)
+	rep.hier = nil
+}
+
+func (rep *replayer) ensurePerCore(n int) {
+	if len(rep.parCores) >= n {
+		return
+	}
+	rep.parCores = make([]*cpu.Core, n)
+	rep.coreTime = make([]int64, n)
+	rep.ranReal = make([]bool, n)
+	rep.stopped = make([]bool, n)
+}
+
+func (rep *replayer) convBuf(n int) []int64 {
+	if cap(rep.convSig) < n {
+		rep.convSig = make([]int64, n)
+	} else {
+		rep.convSig = rep.convSig[:n]
+		clear(rep.convSig)
+	}
+	return rep.convSig
+}
+
+func (rep *replayer) ringFor(cfg ringcache.Config, numSegs int) *ringcache.Ring {
+	if rep.rings == nil {
+		rep.rings = map[int]*ringcache.Ring{}
+	}
+	if ring, ok := rep.rings[numSegs]; ok {
+		ring.Reset(numSegs)
+		return ring
+	}
+	ring := ringcache.New(cfg, numSegs)
+	rep.rings[numSegs] = ring
+	return ring
+}
+
+// seqSpan replays nruns block-runs of sequential code on core 0,
+// mirroring runSequentialFast.
+func (rep *replayer) seqSpan(core *cpu.Core, nruns int) error {
+	tr := rep.tr
+	branchCost := int64(rep.arch.Core.BranchCost)
+	for k := 0; k < nruns; k++ {
+		run := tr.runs[rep.runCursor]
+		rep.runCursor++
+		for off := run.off; off < run.off+run.n; off++ {
+			if rep.steps >= rep.maxSteps {
+				return ErrBudget
+			}
+			m := &tr.metas[off]
+			lat := m.lat
+			if m.cls == clsShared || m.cls == clsPriv {
+				addr := tr.addrs[rep.addrCursor]
+				rep.addrCursor++
+				lat = rep.memLat(0, addr, m.isStore)
+			}
+			issue, _ := core.IssueReg(m.dst, rep.now, metaReady(core, m), lat)
+			rep.steps++
+			rep.res.Instrs++
+			if m.branches {
+				rep.now = issue + branchCost
+			} else {
+				rep.now = issue
+			}
+		}
+	}
+	return nil
+}
+
+// replayLoop mirrors runLoop's timing: startup, round-robin scheduling
+// driven by the recorded iteration statuses, drain, flush.
+func (rep *replayer) replayLoop(lt *loopTrace, seqCore *cpu.Core) error {
+	n := rep.arch.Cores
+	rep.res.LoopInvocations++
+	numSegs := int(lt.numSegs)
+
+	// Startup: thread wake + one broadcast store (2 cycles) per live-in
+	// slot. The stores themselves are functional and already in the past.
+	start := rep.now + 12 + int64(n)/2 + 2*int64(lt.numSlots)
+
+	rep.ensurePerCore(n)
+	for c := 0; c < n; c++ {
+		if rep.parCores[c] == nil {
+			rep.parCores[c] = cpu.NewCore(rep.arch.Core, int(lt.numRegs))
+		} else {
+			rep.parCores[c].Grow(int(lt.numRegs))
+		}
+		rep.parCores[c].Reset(start)
+		rep.coreTime[c] = start
+		rep.ranReal[c] = false
+		rep.stopped[c] = false
+	}
+
+	var ring *ringcache.Ring
+	if rep.arch.DecoupleReg || rep.arch.DecoupleMem || rep.arch.DecoupleSync {
+		rc := rep.arch.Ring
+		rc.Nodes = n
+		if rep.arch.PerfectMem {
+			rc.LinkLatency, rc.InjectLatency, rc.OwnerL1Latency = 0, 0, 0
+			rc.DataBandwidth, rc.SignalBandwidth = 0, 0
+			rc.ArrayBytes = 0
+		}
+		ring = rep.ringFor(rc, numSegs)
+	}
+	convSig := rep.convBuf(numSegs)
+	rep.scr.ensure(numSegs)
+	c2c := int64(rep.arch.Mem.CacheToCache)
+	if rep.arch.PerfectMem {
+		c2c = 0
+	}
+	l1 := int64(rep.arch.Mem.L1Latency)
+
+	stoppedCount := 0
+	iterIdx := 0
+	var iter int64
+	for stoppedCount < n {
+		c := int(iter % int64(n))
+		if rep.stopped[c] {
+			iter++
+			continue
+		}
+		if iterIdx >= len(lt.iters) {
+			return errors.New("sim: replay iteration stream exhausted (trace/config mismatch)")
+		}
+		it := &lt.iters[iterIdx]
+		iterIdx++
+		if err := rep.replayIteration(it, ring, convSig, rep.parCores[c], &rep.coreTime[c], c, c2c, l1); err != nil {
+			return err
+		}
+		if it.status == 0 {
+			rep.ranReal[c] = true
+			rep.res.IterationsRun++
+		} else {
+			rep.stopped[c] = true
+			stoppedCount++
+		}
+		iter++
+		if iter > 1<<40 {
+			return errors.New("sim: replay loop runaway")
+		}
+	}
+
+	// End of loop: drain, flush.
+	end := start
+	for c := 0; c < n; c++ {
+		if rep.coreTime[c] > end {
+			end = rep.coreTime[c]
+		}
+	}
+	for c := 0; c < n; c++ {
+		idle := end - rep.coreTime[c]
+		if rep.ranReal[c] {
+			rep.res.Overheads.IterImbalance += idle
+		} else {
+			rep.res.Overheads.LowTripCount += end - start
+		}
+	}
+	if ring != nil {
+		end += ring.FlushCost()
+		rep.res.Ring.Stores += ring.Stats.Stores
+		rep.res.Ring.Loads += ring.Stats.Loads
+		rep.res.Ring.LoadHits += ring.Stats.LoadHits
+		rep.res.Ring.LoadMisses += ring.Stats.LoadMisses
+		rep.res.Ring.Evictions += ring.Stats.Evictions
+		rep.res.Ring.Signals += ring.Stats.Signals
+		rep.res.Ring.StallCycles += ring.Stats.StallCycles
+		rep.res.Ring.SignalStalls += ring.Stats.SignalStalls
+	} else if rep.hier != nil {
+		for c := 0; c < n; c++ {
+			rep.hier.FlushDirty(c)
+		}
+		end += int64(rep.arch.Mem.L2Latency)
+	}
+
+	parCycles := end + 5 - rep.now // +5: live-out collection
+	rep.res.ParallelCycles += parCycles
+	rep.now = end + 5
+	seqCore.Reset(rep.now)
+	return nil
+}
+
+// replayIteration mirrors runIterationFast minus everything functional:
+// no interpreter step, no register values, no validation. The wait /
+// signal / shared / private dispatch and every cycle expression are
+// identical.
+func (rep *replayer) replayIteration(it *iterTrace, ring *ringcache.Ring,
+	convSig []int64, core *cpu.Core, coreTime *int64, c int,
+	c2c, l1 int64) error {
+
+	tr := rep.tr
+	t := *coreTime
+	scr := &rep.scr
+	scr.epoch++
+	ep := scr.epoch
+	activeSegs := 0
+	branchCost := int64(rep.arch.Core.BranchCost)
+
+	for k := int32(0); k < it.runs; k++ {
+		run := tr.runs[rep.runCursor]
+		rep.runCursor++
+		for off := run.off; off < run.off+run.n; off++ {
+			if rep.steps >= rep.maxSteps {
+				return ErrBudget
+			}
+			m := &tr.metas[off]
+
+			var issue int64
+			switch m.cls {
+			case clsWait:
+				s := int(m.seg)
+				var ready int64
+				iss, _ := core.IssueReg(ir.NoReg, t, 0, 1)
+				if rep.arch.DecoupleSync {
+					ready = ring.WaitReady(s, c, iss+1)
+				} else {
+					ready = iss + 1 + c2c
+					if convSig[s] > 0 {
+						ready = max(ready, convSig[s]+2*c2c)
+					}
+				}
+				core.Barrier(ready)
+				rep.res.Overheads.DependenceWaiting += ready - (iss + 1)
+				rep.res.Overheads.WaitSignal++
+				t = ready
+				if scr.waitEp[s] != ep {
+					scr.waitEp[s] = ep
+					activeSegs++
+					rep.res.SegEntries++
+				}
+				issue = iss
+
+			case clsSignal:
+				s := int(m.seg)
+				iss, _ := core.IssueReg(ir.NoReg, t, 0, 1)
+				send := iss + 1
+				if rep.arch.DecoupleSync {
+					ring.Signal(s, c, send)
+				} else {
+					send += l1
+					if send > convSig[s] {
+						convSig[s] = send
+					}
+				}
+				rep.res.Overheads.WaitSignal++
+				if scr.waitEp[s] == ep && activeSegs > 0 {
+					activeSegs--
+				}
+				t = iss
+				issue = iss
+
+			case clsShared:
+				ai := rep.addrCursor
+				addr := tr.addrs[ai]
+				rep.addrCursor++
+				write := m.isStore
+				dec := rep.arch.DecoupleMem
+				if tr.slotAt(ai) {
+					dec = rep.arch.DecoupleReg
+				}
+				if ring != nil && dec {
+					iss, _ := core.IssueReg(m.dst, t, metaReady(core, m), 1)
+					if write {
+						ring.Store(c, addr, iss+1)
+					} else {
+						done := ring.Load(c, addr, iss+1)
+						core.SetRegReady(m.dst, done)
+						rep.res.Overheads.Communication += max(0, done-(iss+2))
+					}
+					issue = iss
+				} else {
+					lat := rep.memLat(c, addr, write)
+					iss, _ := core.IssueReg(m.dst, t, metaReady(core, m), lat)
+					rep.res.Overheads.Communication += max(0, lat-l1)
+					issue = iss
+				}
+
+			case clsPriv:
+				addr := tr.addrs[rep.addrCursor]
+				rep.addrCursor++
+				lat := rep.memLat(c, addr, m.isStore)
+				iss, _ := core.IssueReg(m.dst, t, metaReady(core, m), lat)
+				rep.res.Overheads.Memory += max(0, lat-l1)
+				issue = iss
+
+			default:
+				iss, _ := core.IssueReg(m.dst, t, metaReady(core, m), m.lat)
+				issue = iss
+			}
+
+			if m.added {
+				rep.res.Overheads.AddedInstr++
+			}
+			if activeSegs > 0 {
+				rep.res.SeqSegInstrs++
+			}
+			rep.steps++
+			rep.res.Instrs++
+			rep.res.ParallelInstrs++
+
+			if m.branches {
+				t = issue + branchCost
+			} else {
+				t = issue
+			}
+		}
+	}
+	*coreTime = t + 1
+	return nil
+}

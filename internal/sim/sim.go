@@ -26,6 +26,14 @@ var ErrBudget = errors.New("sim: step budget exceeded")
 // re-derives everything per dynamic instruction. Both produce
 // bit-identical Results.
 func Run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, args ...int64) (*Result, error) {
+	res, _, err := run(prog, comp, entry, arch, nil, args)
+	return res, err
+}
+
+// run is the shared implementation behind Run and Record. rec, when
+// non-nil, receives the dynamic trace (fast path only); the returned int
+// is the register-file width, which Replay needs for the sequential core.
+func run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, rec *recorder, args []int64) (*Result, int, error) {
 	if arch.Cores <= 0 {
 		arch.Cores = 16
 	}
@@ -35,6 +43,7 @@ func Run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, 
 		headerMap: map[*ir.Block]*hcc.ParallelLoop{},
 		maxSteps:  arch.MaxSteps,
 		slow:      arch.SlowStep || arch.TraceIters > 0,
+		rec:       rec,
 	}
 	if r.maxSteps <= 0 {
 		r.maxSteps = 1 << 32
@@ -58,14 +67,14 @@ func Run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, 
 	}
 	if err := r.runSequential(entry, args); err != nil {
 		r.reclaimHier()
-		return &r.res, err
+		return &r.res, r.maxRegs, err
 	}
 	r.res.Cycles = r.now
 	if r.hier != nil {
 		r.res.Mem = r.hier.Stats
 	}
 	r.reclaimHier()
-	return &r.res, nil
+	return &r.res, r.maxRegs, nil
 }
 
 type runner struct {
@@ -99,6 +108,9 @@ type runner struct {
 	lastW    map[int64]lastWrite
 	lastVals map[ir.Reg]lastValRec
 	scr      segScratch
+
+	// rec, when non-nil, records a replayable Trace (fast path only).
+	rec *recorder
 }
 
 // memLat returns the latency of a private (non-ring) access.
@@ -226,6 +238,9 @@ func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu
 		r.mem.Store(slot, ctx.Reg(reg))
 		start += 2
 	}
+	if r.rec != nil {
+		r.rec.beginLoop(pl, ctx.Reg)
+	}
 
 	// Per-core state. The fast path reuses the runner's buffers across
 	// invocations (re-initialized here to exactly the fresh state).
@@ -334,6 +349,9 @@ func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu
 		tStart := coreTime[c]
 		var status int64
 		var err error
+		if r.rec != nil {
+			r.rec.beginIter()
+		}
 		if r.slow {
 			status, err = r.runIteration(pl, ring, convSig, segsUsed, lastValDefs,
 				regs[c], cores[c], &coreTime[c], c, iter, c2c, l1, lastW, lastVals)
@@ -343,6 +361,9 @@ func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu
 		}
 		if err != nil {
 			return err
+		}
+		if r.rec != nil {
+			r.rec.endIter(status)
 		}
 		if r.arch.TraceIters > 0 && iter < r.arch.TraceIters {
 			fmt.Printf("iter %3d core %2d start=%6d end=%6d status=%d\n", iter, c, tStart, coreTime[c], status)
@@ -404,6 +425,10 @@ func (r *runner) runLoop(pl *hcc.ParallelLoop, ctx *interp.Context, seqCore *cpu
 			r.hier.FlushDirty(c)
 		}
 		end += int64(r.arch.Mem.L2Latency)
+	}
+
+	if r.rec != nil {
+		r.rec.endLoop(lastVals)
 	}
 
 	// Restore architectural state into the continuing context.
@@ -480,7 +505,7 @@ func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 				// the polled copy and the consumer fetches again.
 				ready = iss + 1 + c2c
 				if convSig[s] > 0 {
-					ready = max64(ready, convSig[s]+2*c2c)
+					ready = max(ready, convSig[s]+2*c2c)
 				}
 			}
 			core.Barrier(ready)
@@ -543,13 +568,13 @@ func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 				} else {
 					done := ring.Load(c, addr, iss+1)
 					core.SetRegReady(in.Dst, done)
-					r.res.Overheads.Communication += max64(0, done-(iss+2))
+					r.res.Overheads.Communication += max(0, done-(iss+2))
 				}
 				issue = iss
 			} else {
 				lat := r.memLat(c, addr, write)
 				iss, _ := core.Issue(in, t, opReady, lat)
-				r.res.Overheads.Communication += max64(0, lat-l1)
+				r.res.Overheads.Communication += max(0, lat-l1)
 				issue = iss
 			}
 			if write {
@@ -565,7 +590,7 @@ func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 			}
 			lat := r.memLat(c, addr, write)
 			iss, _ := core.Issue(in, t, opReady, lat)
-			r.res.Overheads.Memory += max64(0, lat-l1)
+			r.res.Overheads.Memory += max(0, lat-l1)
 			if write {
 				lastW[addr] = lastWrite{iter: iter, seg: -1}
 			}
@@ -621,18 +646,4 @@ func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 	}
 	*coreTime = t + 1
 	return status, nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,119 @@
+// benchdiff compares two helix-bench reports into a wall-clock speedup
+// table and flags output-hash mismatches.
+//
+// Usage:
+//
+//	go run ./scripts BENCH_a.json BENCH_b.json   # last run of a vs last run of b
+//	go run ./scripts BENCH_a.json                # first vs last run of one file
+//
+// Speedup is old/new wall-clock per experiment (> 1 means the second
+// report is faster). Any experiment whose output_sha256 differs between
+// the reports is listed and the exit status is 1 — a speedup obtained
+// by changing the figures is a bug, not a win.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type experiment struct {
+	Name         string  `json:"name"`
+	WallMillis   float64 `json:"wall_ms"`
+	OutputSHA256 string  `json:"output_sha256"`
+}
+
+type run struct {
+	Label       string       `json:"label"`
+	Timestamp   string       `json:"timestamp"`
+	Parallel    int          `json:"parallel"`
+	SlowSim     bool         `json:"slow_sim"`
+	NoReplay    bool         `json:"no_replay"`
+	TotalMillis float64      `json:"total_wall_ms"`
+	Experiments []experiment `json:"experiments"`
+}
+
+func loadRuns(path string) []run {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var runs []run
+	if err := json.Unmarshal(data, &runs); err != nil {
+		fatalf("%s is not a run array: %v", path, err)
+	}
+	if len(runs) == 0 {
+		fatalf("%s contains no runs", path)
+	}
+	return runs
+}
+
+func describe(r run) string {
+	tag := r.Label
+	if tag == "" {
+		tag = r.Timestamp
+	}
+	extras := ""
+	if r.SlowSim {
+		extras += " slowsim"
+	}
+	if r.NoReplay {
+		extras += " noreplay"
+	}
+	return fmt.Sprintf("%s (parallel=%d%s)", tag, r.Parallel, extras)
+}
+
+func main() {
+	var prev, cur run
+	switch len(os.Args) {
+	case 2:
+		runs := loadRuns(os.Args[1])
+		if len(runs) < 2 {
+			fatalf("%s has a single run; pass two files to compare across files", os.Args[1])
+		}
+		prev, cur = runs[0], runs[len(runs)-1]
+	case 3:
+		oldRuns, newRuns := loadRuns(os.Args[1]), loadRuns(os.Args[2])
+		prev, cur = oldRuns[len(oldRuns)-1], newRuns[len(newRuns)-1]
+	default:
+		fatalf("usage: benchdiff OLD.json [NEW.json]")
+	}
+
+	newByName := map[string]experiment{}
+	for _, e := range cur.Experiments {
+		newByName[e.Name] = e
+	}
+
+	fmt.Printf("old: %s\nnew: %s\n\n", describe(prev), describe(cur))
+	fmt.Printf("%-10s %12s %12s %9s\n", "experiment", "old ms", "new ms", "speedup")
+	mismatches := 0
+	var oldTotal, newTotal float64
+	for _, oe := range prev.Experiments {
+		ne, ok := newByName[oe.Name]
+		if !ok {
+			fmt.Printf("%-10s %12.1f %12s %9s\n", oe.Name, oe.WallMillis, "-", "-")
+			continue
+		}
+		mark := ""
+		if oe.OutputSHA256 != ne.OutputSHA256 {
+			mark = "  OUTPUT HASH MISMATCH"
+			mismatches++
+		}
+		fmt.Printf("%-10s %12.1f %12.1f %8.2fx%s\n",
+			oe.Name, oe.WallMillis, ne.WallMillis, oe.WallMillis/ne.WallMillis, mark)
+		oldTotal += oe.WallMillis
+		newTotal += ne.WallMillis
+	}
+	if newTotal > 0 {
+		fmt.Printf("%-10s %12.1f %12.1f %8.2fx\n", "total", oldTotal, newTotal, oldTotal/newTotal)
+	}
+	if mismatches > 0 {
+		fatalf("%d experiment(s) changed output between the reports", mismatches)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -9,3 +9,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# End-to-end determinism smoke: one small figure, hash-compared against
+# the checked-in benchmark report (exercises the record/replay path).
+go run ./cmd/helix-bench -only fig9 -verify BENCH_2026-08-05.json >/dev/null
