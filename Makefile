@@ -1,6 +1,6 @@
 # Development entry points. `make check` is the pre-merge gate.
 
-.PHONY: check build test bench bench-smoke
+.PHONY: check build test bench bench-smoke fuzz-smoke fuzz
 
 check:
 	./scripts/check.sh
@@ -21,3 +21,15 @@ bench:
 bench-smoke:
 	go run ./cmd/helix-bench -only fig9 -verify BENCH_2026-08-05.json >/dev/null
 	@echo "bench-smoke: fig9 output hash matches BENCH_2026-08-05.json"
+
+# Differential fuzzing smoke: a fixed-seed sweep of generated programs
+# through the interp/HCC/sim/replay oracle stack (~5s). Deterministic —
+# a failure here is a real, reproducible divergence.
+fuzz-smoke:
+	go run ./cmd/helix-fuzz -start 0 -seeds 24 -quick -parallel 0
+	@echo "fuzz-smoke: 24 seeds, no divergence"
+
+# Open-ended differential fuzzing via the native fuzzer. Ctrl-C to stop;
+# crashers land in internal/difftest/testdata/fuzz.
+fuzz:
+	go test -fuzz=FuzzDifferential ./internal/difftest

@@ -1,0 +1,55 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SplitCorpusFile extracts the argument vector from a corpus file's
+// "# args: ..." header. The returned text is the full file content — the
+// IR parser skips comment lines, so the header travels with the program.
+func SplitCorpusFile(src string) (text string, args []int64, err error) {
+	found := false
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "# args:") {
+			continue
+		}
+		found = true
+		for _, f := range strings.Fields(line[len("# args:"):]) {
+			v, perr := strconv.ParseInt(f, 10, 64)
+			if perr != nil {
+				return "", nil, fmt.Errorf("difftest: malformed args header %q: %v", line, perr)
+			}
+			args = append(args, v)
+		}
+		break
+	}
+	if !found {
+		return "", nil, fmt.Errorf("difftest: corpus file has no \"# args:\" header")
+	}
+	return src, args, nil
+}
+
+// CorpusFiles lists the .hir files under dir in sorted order.
+func CorpusFiles(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.hir"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// LoadCorpusFile reads and splits one corpus file.
+func LoadCorpusFile(path string) (text string, args []int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	return SplitCorpusFile(string(data))
+}

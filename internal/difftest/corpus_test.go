@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"helixrc/internal/hcc"
+)
+
+// corpusOptions is the matrix TestCorpus runs: all three compiler
+// levels, a small and the full core count, with the cross-architecture
+// sweep, budget probes and alias-soundness oracle all enabled — every
+// one of the four oracle families fires for every corpus program.
+func corpusOptions() Options {
+	return Options{
+		Levels: []hcc.Level{hcc.V1, hcc.V2, hcc.V3},
+		Cores:  []int{2, 16},
+	}
+}
+
+// TestReproduceRoundTrip: a failure formatted with Reproduce parses back
+// through the corpus loader with the same program text and arguments.
+func TestReproduceRoundTrip(t *testing.T) {
+	prog, entry, args, err := FromSeed(7)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Failure{
+		Stage:   "functional",
+		Detail:  "retval mismatch\nseq 1 par 2",
+		Args:    args,
+		Program: prog.Text(entry),
+	}
+	text, gotArgs, serr := SplitCorpusFile(Reproduce(f))
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if len(gotArgs) != len(args) {
+		t.Fatalf("args %v, want %v", gotArgs, args)
+	}
+	for i := range args {
+		if gotArgs[i] != args[i] {
+			t.Fatalf("args %v, want %v", gotArgs, args)
+		}
+	}
+	if !strings.Contains(text, f.Program) {
+		t.Fatal("program text lost in Reproduce round-trip")
+	}
+	// The harness must accept the reproduced text verbatim.
+	if ff := Check(FromText(text, gotArgs), Options{SkipCross: true, SkipBudget: true, SkipAlias: true}); ff != nil {
+		t.Fatalf("reproduced program diverges: %v", ff)
+	}
+}
+
+// TestCorpus replays every checked-in minimized program through the full
+// differential oracle matrix. Corpus files are deterministic regression
+// pins: shrunken fuzzer findings and representative generated programs.
+func TestCorpus(t *testing.T) {
+	files, err := CorpusFiles("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 20 {
+		t.Fatalf("corpus has %d programs, want >= 20", len(files))
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			text, args, err := LoadCorpusFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f := Check(FromText(text, args), corpusOptions()); f != nil {
+				t.Fatalf("%v\nargs %v\n%s", f, f.Args, f.Program)
+			}
+		})
+	}
+}

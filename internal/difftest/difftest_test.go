@@ -1,0 +1,41 @@
+package difftest
+
+import (
+	"testing"
+
+	"helixrc/internal/hcc"
+)
+
+// TestCheckSeeds drives the full oracle matrix over a short deterministic
+// seed sweep. This is the same path the fuzzer takes; the sweep here is
+// small enough for tier-1 `go test ./...`.
+func TestCheckSeeds(t *testing.T) {
+	n := uint64(10)
+	if testing.Short() {
+		n = 3
+	}
+	for seed := uint64(0); seed < n; seed++ {
+		if f := Check(FromSeed(seed), Options{}); f != nil {
+			t.Fatalf("seed %d: %v\nargs %v\n%s", seed, f, f.Args, f.Program)
+		}
+	}
+}
+
+// TestCheckSingleConfig mirrors the fuzz entry point's narrow options on
+// a few more seeds.
+func TestCheckSingleConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := uint64(10); seed < 25; seed++ {
+		opt := Options{
+			Levels:     []hcc.Level{hcc.Level(1 + seed%3)},
+			Cores:      []int{[]int{1, 2, 4, 8, 16}[seed%5]},
+			SkipCross:  true,
+			SkipBudget: seed%2 == 0,
+		}
+		if f := Check(FromSeed(seed), opt); f != nil {
+			t.Fatalf("seed %d: %v\nargs %v\n%s", seed, f, f.Args, f.Program)
+		}
+	}
+}

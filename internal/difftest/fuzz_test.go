@@ -1,0 +1,46 @@
+package difftest
+
+import (
+	"testing"
+
+	"helixrc/internal/hcc"
+)
+
+// FuzzDifferential is the native fuzzing entry point: the input is a
+// generator seed plus a config byte that narrows the oracle matrix to
+// one (level, cores) pair so individual executions stay fast. Run it
+// with:
+//
+//	go test -fuzz=FuzzDifferential ./internal/difftest
+//
+// A crasher input reproduces deterministically from (seed, cfg); shrink
+// the program itself with `helix-fuzz -start <seed> -seeds 1 -out dir`.
+func FuzzDifferential(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed, byte(seed))
+	}
+	f.Add(uint64(1<<40), byte(0xff))
+	f.Fuzz(func(t *testing.T, seed uint64, cfg byte) {
+		opt := optionsFromByte(cfg)
+		if fail := Check(FromSeed(seed), opt); fail != nil {
+			t.Fatalf("seed %d cfg %#x: %v\nargs %v\n%s",
+				seed, cfg, fail, fail.Args, fail.Program)
+		}
+	})
+}
+
+// optionsFromByte decodes the fuzz config byte: bits 0-1 pick the
+// compiler level, bits 2-4 the core count, bit 5 enables the
+// cross-architecture sweep, bit 6 the budget probes, bit 7 the alias
+// oracle. Every byte value is a valid configuration.
+func optionsFromByte(b byte) Options {
+	levels := []hcc.Level{hcc.V1, hcc.V2, hcc.V3, hcc.V3}
+	cores := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	return Options{
+		Levels:     []hcc.Level{levels[b&3]},
+		Cores:      []int{cores[(b>>2)&7]},
+		SkipCross:  b&(1<<5) == 0,
+		SkipBudget: b&(1<<6) == 0,
+		SkipAlias:  b&(1<<7) == 0,
+	}
+}

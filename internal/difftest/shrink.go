@@ -1,0 +1,294 @@
+package difftest
+
+import (
+	"fmt"
+
+	"helixrc/internal/interp"
+	"helixrc/internal/ir"
+	"helixrc/internal/irgen"
+)
+
+// Shrink delta-debugs a failing program down to a minimal reproducer.
+// The predicate is "Check still fails at the same stage"; every
+// candidate mutation that parses, verifies, terminates in the reference
+// interpreter and still fails is kept. The reduction works on parsed
+// copies (the text format is the cloner) with five structural passes run
+// to fixpoint under a trial budget:
+//
+//   - drop whole functions (stale calls fail to re-parse and are
+//     rejected by the predicate automatically);
+//   - delete single non-terminator instructions;
+//   - flatten conditional branches to one side;
+//   - drop blocks no branch references anymore;
+//   - drop unreferenced globals or zero their initializers.
+//
+// Mutations can easily produce non-terminating loops (deleting an
+// induction update, say), so the predicate first bounds the candidate in
+// the interpreter with the matrix budget before running the oracles.
+//
+// Shrink returns the minimized failure (at worst the input failure).
+func Shrink(f *Failure, opt Options, maxTrials int) *Failure {
+	if f == nil || f.Program == "" {
+		return f
+	}
+	opt.fill()
+	if maxTrials <= 0 {
+		maxTrials = 600
+	}
+	s := &shrinker{opt: opt, stage: f.Stage, args: f.Args, trials: maxTrials}
+	best := f.Program
+	for {
+		next, improved := s.sweep(best)
+		if !improved || s.trials <= 0 {
+			break
+		}
+		best = next
+	}
+	out := Check(FromText(best, f.Args), opt)
+	if out == nil {
+		// Cannot happen unless the failure is flaky; keep the original.
+		return f
+	}
+	return out
+}
+
+type shrinker struct {
+	opt    Options
+	stage  string
+	args   []int64
+	trials int
+}
+
+// still reports whether the candidate text still fails at the same
+// stage. Candidates that fail to parse, verify, or terminate within the
+// budget are rejected.
+func (s *shrinker) still(text string) bool {
+	if s.trials <= 0 {
+		return false
+	}
+	s.trials--
+	p, f, err := ir.ParseText(text, irgen.Externs)
+	if err != nil || p.Verify() != nil {
+		return false
+	}
+	if s.stage != "interp" {
+		if _, err := interp.Run(p, f, s.opt.Budget, s.args...); err != nil {
+			return false
+		}
+	}
+	ff := Check(FromText(text, s.args), s.opt)
+	return ff != nil && ff.Stage == s.stage
+}
+
+// sweep runs every reduction pass once and returns the best text.
+func (s *shrinker) sweep(text string) (string, bool) {
+	improved := false
+	for _, reduce := range []func(string) (string, bool){
+		s.dropFunctions,
+		s.dropInstrs,
+		s.flattenBranches,
+		s.dropBlocks,
+		s.dropGlobals,
+	} {
+		next, ok := reduce(text)
+		if ok {
+			text = next
+			improved = true
+		}
+	}
+	return text, improved
+}
+
+// clone reparses the text into a fresh mutable program.
+func (s *shrinker) clone(text string) (*ir.Program, *ir.Function) {
+	p, f, err := ir.ParseText(text, irgen.Externs)
+	if err != nil {
+		return nil, nil
+	}
+	return p, f
+}
+
+// dropFunctions tries removing each non-entry function, sweeping from
+// the back so earlier indices stay valid after a successful removal.
+func (s *shrinker) dropFunctions(text string) (string, bool) {
+	p, entry := s.clone(text)
+	if p == nil {
+		return text, false
+	}
+	improved := false
+	for i := len(p.Funcs) - 1; i >= 0; i-- {
+		if p.Funcs[i] == entry {
+			continue
+		}
+		q, qe := s.clone(text)
+		q.Funcs = append(q.Funcs[:i:i], q.Funcs[i+1:]...)
+		if cand := q.Text(qe); s.still(cand) {
+			text, improved = cand, true
+		}
+	}
+	return text, improved
+}
+
+// dropInstrs tries deleting each non-terminator instruction, sweeping
+// positions from the back of the original clone; positions before the
+// deletion point remain valid in the adopted text.
+func (s *shrinker) dropInstrs(text string) (string, bool) {
+	p, _ := s.clone(text)
+	if p == nil {
+		return text, false
+	}
+	improved := false
+	for fi := len(p.Funcs) - 1; fi >= 0; fi-- {
+		for bi := len(p.Funcs[fi].Blocks) - 1; bi >= 0; bi-- {
+			for ii := len(p.Funcs[fi].Blocks[bi].Instrs) - 1; ii >= 0; ii-- {
+				if p.Funcs[fi].Blocks[bi].Instrs[ii].Op.IsBranch() {
+					continue
+				}
+				q, qe := s.clone(text)
+				qb := q.Funcs[fi].Blocks[bi]
+				qb.Instrs = append(qb.Instrs[:ii:ii], qb.Instrs[ii+1:]...)
+				if cand := q.Text(qe); s.still(cand) {
+					text, improved = cand, true
+				}
+			}
+		}
+	}
+	return text, improved
+}
+
+// flattenBranches rewrites condbr to an unconditional branch to either
+// side. Positions are stable under this rewrite.
+func (s *shrinker) flattenBranches(text string) (string, bool) {
+	p, _ := s.clone(text)
+	if p == nil {
+		return text, false
+	}
+	improved := false
+	for fi := range p.Funcs {
+		for bi, b := range p.Funcs[fi].Blocks {
+			for ii := range b.Instrs {
+				if b.Instrs[ii].Op != ir.OpCondBr {
+					continue
+				}
+				for _, side := range []bool{true, false} {
+					q, qe := s.clone(text)
+					in := &q.Funcs[fi].Blocks[bi].Instrs[ii]
+					if in.Op != ir.OpCondBr {
+						continue // already flattened in an adopted text
+					}
+					tgt := in.Target
+					if !side {
+						tgt = in.Els
+					}
+					*in = ir.NewInstr(ir.OpBr)
+					in.Target = tgt
+					if cand := q.Text(qe); s.still(cand) {
+						text, improved = cand, true
+						break
+					}
+				}
+			}
+		}
+	}
+	return text, improved
+}
+
+// dropBlocks removes blocks that no branch references (flattenBranches
+// creates these). The entry block is never dropped. Each removal
+// re-clones, since reference sets change.
+func (s *shrinker) dropBlocks(text string) (string, bool) {
+	improved := false
+	for {
+		p, _ := s.clone(text)
+		if p == nil {
+			return text, improved
+		}
+		adopted := false
+		for fi, fn := range p.Funcs {
+			referenced := map[*ir.Block]bool{}
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					if t := b.Instrs[i].Target; t != nil {
+						referenced[t] = true
+					}
+					if e := b.Instrs[i].Els; e != nil {
+						referenced[e] = true
+					}
+				}
+			}
+			for bi := len(fn.Blocks) - 1; bi >= 1; bi-- {
+				if referenced[fn.Blocks[bi]] {
+					continue
+				}
+				q, qe := s.clone(text)
+				qf := q.Funcs[fi]
+				qf.Blocks = append(qf.Blocks[:bi:bi], qf.Blocks[bi+1:]...)
+				for j := bi; j < len(qf.Blocks); j++ {
+					qf.Blocks[j].Index = j
+				}
+				if cand := q.Text(qe); s.still(cand) {
+					text, adopted, improved = cand, true, true
+					break
+				}
+			}
+			if adopted {
+				break
+			}
+		}
+		if !adopted {
+			return text, improved
+		}
+	}
+}
+
+// dropGlobals removes globals entirely (keeping layout holes — surviving
+// addresses do not move) and, failing that, zeroes initializers.
+func (s *shrinker) dropGlobals(text string) (string, bool) {
+	p, _ := s.clone(text)
+	if p == nil {
+		return text, false
+	}
+	improved := false
+	for gi := len(p.Globals) - 1; gi >= 0; gi-- {
+		q, qe := s.clone(text)
+		q.Globals = append(q.Globals[:gi:gi], q.Globals[gi+1:]...)
+		if cand := q.Text(qe); s.still(cand) {
+			text, improved = cand, true
+			continue
+		}
+		hasInit := false
+		for _, v := range p.Globals[gi].Init {
+			if v != 0 {
+				hasInit = true
+			}
+		}
+		if !hasInit {
+			continue
+		}
+		q2, qe2 := s.clone(text)
+		q2.Globals[gi].Init = nil
+		if cand := q2.Text(qe2); s.still(cand) {
+			text, improved = cand, true
+		}
+	}
+	return text, improved
+}
+
+// Reproduce formats a failure as a corpus file: the argument vector in a
+// comment header followed by the program text.
+func Reproduce(f *Failure) string {
+	hdr := "# args:"
+	for _, a := range f.Args {
+		hdr += fmt.Sprintf(" %d", a)
+	}
+	return fmt.Sprintf("# stage: %s\n# detail: %s\n%s\n%s", f.Stage, firstLine(f.Detail), hdr, f.Program)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

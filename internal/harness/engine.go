@@ -68,6 +68,14 @@ func ReplayStats() (recordings, replays int64) {
 	return traceRecordings.Load(), traceReplays.Load()
 }
 
+// ParMap runs f(0..n-1) across the engine's worker pool and returns the
+// results in index order. It is the exported face of parMap for other
+// drivers (cmd/helix-fuzz sweeps generator seeds with it); the figure
+// generators use the unexported spelling.
+func ParMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	return parMap(n, f)
+}
+
 // parMap runs f(0..n-1) across the engine's worker pool and returns the
 // results in index order. With one worker (or one job) it runs inline.
 // If any job fails, the lowest-indexed error among executed jobs is

@@ -221,8 +221,13 @@ func Classify(fn *ir.Function, g *cfg.Graph, loop *cfg.Loop, carried []ir.Reg) m
 
 		// (iii) set but not used until after the loop. Checked before the
 		// set-before-use class because a register can satisfy both, and
-		// its live-out value still needs last-writer tracking.
-		if len(ds) > 0 && !usedOutsideOwnDefs(loop, r) {
+		// its live-out value still needs last-writer tracking. A def that
+		// reads r itself (r = r*31, say) disqualifies the class: such a
+		// register carries its value across iterations through its own
+		// updates, and privatizing it would sever the recurrence — only
+		// the accumulator class (checked above) may self-read, because
+		// its combine/identity machinery reconstitutes the chain.
+		if len(ds) > 0 && !usedOutsideOwnDefs(loop, r) && !defsReadSelf(ds, r) {
 			out[r] = Info{Reg: r, Class: ClassLastValue, DefUIDs: defUIDs(ds)}
 			continue
 		}
@@ -307,15 +312,20 @@ func accumulator(loop *cfg.Loop, defs map[ir.Reg][]defSite, r ir.Reg) (ReduceKin
 }
 
 func reduceKindOf(in *ir.Instr, r ir.Reg) (ReduceKind, bool) {
-	usesR := (in.A.IsReg() && in.A.Reg == r) || (in.B.IsReg() && in.B.Reg == r)
-	if in.Dst != r || !usesR {
+	aIsR := in.A.IsReg() && in.A.Reg == r
+	bIsR := in.B.IsReg() && in.B.Reg == r
+	// Exactly one operand may be r. With both (r = r + r, r = r * r) the
+	// update is a recurrence in disguise — doubling, squaring — whose
+	// per-iteration contribution is the accumulator itself; the partial/
+	// combine machinery cannot reconstitute that across cores.
+	if in.Dst != r || aIsR == bIsR {
 		return 0, false
 	}
 	switch in.Op {
 	case ir.OpAdd, ir.OpFAdd:
 		return ReduceAdd, true
 	case ir.OpSub, ir.OpFSub:
-		if in.A.IsReg() && in.A.Reg == r {
+		if aIsR {
 			return ReduceAdd, true // r = r - x accumulates negatively
 		}
 	case ir.OpMul, ir.OpFMul:
@@ -326,6 +336,20 @@ func reduceKindOf(in *ir.Instr, r ir.Reg) (ReduceKind, bool) {
 		return ReduceMax, true
 	}
 	return 0, false
+}
+
+// defsReadSelf reports whether any defining instruction of r also reads
+// r — a cross-iteration recurrence through the register itself.
+func defsReadSelf(ds []defSite, r ir.Reg) bool {
+	for _, d := range ds {
+		var scratch [4]ir.Reg
+		for _, u := range d.in.Uses(scratch[:0]) {
+			if u == r {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // usedOutsideOwnDefs reports whether r is read in the loop by any

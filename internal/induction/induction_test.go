@@ -156,3 +156,90 @@ func TestClassStrings(t *testing.T) {
 		t.Error("accumulator is predictable")
 	}
 }
+
+// TestRecurrenceNotLastValue pins the classification of registers whose
+// loop defs read the register itself with mixed operations — a Horner
+// fold h = h*31 + a[i] is the canonical shape. Such a register is NOT a
+// reduction (mixed ⊕) and must NOT be last-value (its defs consume the
+// previous iteration's value); privatizing it severs the recurrence.
+// Found by differential fuzzing: hccv2/v3 miscompiled these folds at
+// 4+ cores before defsReadSelf existed (each core chained only its own
+// iterations from zero).
+func TestRecurrenceNotLastValue(t *testing.T) {
+	build := func(mutate func(b *ir.Builder, h ir.Reg, v ir.Reg)) (ir.Reg, map[ir.Reg]Info) {
+		p := ir.NewProgram("horner")
+		ty := p.NewType("int")
+		arr := p.AddGlobal("arr", 8, ty)
+		f := p.NewFunction("main", 1)
+		b := ir.NewBuilder(p, f)
+		base := b.GlobalAddr(arr)
+		i := b.Const(0)
+		h := b.Const(0)
+		head, body, exit := b.NewBlock("head"), b.NewBlock("body"), b.NewBlock("exit")
+		b.Br(head)
+		b.SetBlock(head)
+		c := b.Bin(ir.OpCmpLT, ir.R(i), ir.C(8))
+		b.CondBr(ir.R(c), body, exit)
+		b.SetBlock(body)
+		addr := b.Add(ir.R(base), ir.R(i))
+		v := b.Load(ir.R(addr), 0, ir.MemAttrs{Type: ty})
+		mutate(b, h, v)
+		b.BinTo(i, ir.OpAdd, ir.R(i), ir.C(1))
+		b.Br(head)
+		b.SetBlock(exit)
+		b.Ret(ir.R(h))
+		if err := p.Verify(); err != nil {
+			t.Fatalf("verify: %v", err)
+		}
+		p.AssignUIDs()
+		g := cfg.New(f)
+		loop := cfg.FindLoops(g).Loops[0]
+		dg := ddg.Build(p, f, g, loop, alias.New(p, alias.TierLib))
+		return h, Classify(f, g, loop, dg.CarriedRegs)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(b *ir.Builder, h, v ir.Reg)
+		want   Class
+	}{
+		{"horner", func(b *ir.Builder, h, v ir.Reg) {
+			b.BinTo(h, ir.OpMul, ir.R(h), ir.C(31))
+			b.BinTo(h, ir.OpAdd, ir.R(h), ir.R(v))
+		}, ClassShared},
+		{"geometric", func(b *ir.Builder, h, v ir.Reg) {
+			b.BinTo(h, ir.OpMul, ir.R(h), ir.C(3))
+		}, ClassAccum}, // single consistent ⊕ = * is a valid reduction
+		{"flipped-sub", func(b *ir.Builder, h, v ir.Reg) {
+			b.BinTo(h, ir.OpSub, ir.R(v), ir.R(h)) // h = v - h: alternating sign
+		}, ClassShared},
+		{"xor-chain", func(b *ir.Builder, h, v ir.Reg) {
+			b.BinTo(h, ir.OpXor, ir.R(h), ir.R(v)) // xor is not a ReduceKind
+		}, ClassShared},
+		// Both operands are the register itself: these look like
+		// reductions operator-wise but are recurrences (doubling,
+		// squaring, zeroing) whose per-iteration contribution is the
+		// accumulator — also found by differential fuzzing (hccv2
+		// parallel runs dropped the 2^k factor of doubling chains).
+		{"doubling", func(b *ir.Builder, h, v ir.Reg) {
+			b.BinTo(h, ir.OpAdd, ir.R(h), ir.R(h)) // h = h + h = 2h
+		}, ClassShared},
+		{"squaring", func(b *ir.Builder, h, v ir.Reg) {
+			b.BinTo(h, ir.OpMul, ir.R(h), ir.R(h)) // h = h * h
+		}, ClassShared},
+		{"self-sub", func(b *ir.Builder, h, v ir.Reg) {
+			b.BinTo(h, ir.OpSub, ir.R(h), ir.R(h)) // h = h - h = 0
+		}, ClassShared},
+	}
+	for _, tc := range cases {
+		h, infos := build(tc.mutate)
+		info, ok := infos[h]
+		if !ok {
+			t.Errorf("%s: h not in carried-register classification", tc.name)
+			continue
+		}
+		if info.Class != tc.want {
+			t.Errorf("%s: class = %v, want %v", tc.name, info.Class, tc.want)
+		}
+	}
+}

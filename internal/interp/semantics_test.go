@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -136,5 +137,196 @@ func TestShiftMasking(t *testing.T) {
 	}
 	if got := evalBin(t, ir.OpShr, -8, 1); got != -4 {
 		t.Errorf("-8 >> 1 = %d, want -4 (arithmetic shift)", got)
+	}
+	// Negative shift amounts reinterpret as huge unsigned counts and
+	// mask down, matching the hardware barrel shifter: -1 & 63 = 63.
+	if got := evalBin(t, ir.OpShl, 1, -1); got != math.MinInt64 {
+		t.Errorf("1 << -1 (masked to 63) = %d, want %d", got, int64(math.MinInt64))
+	}
+	if got := evalBin(t, ir.OpShr, -1, -1); got != -1 {
+		t.Errorf("-1 >> -1 (masked to 63) = %d, want -1", got)
+	}
+}
+
+// TestDivRemEdges pins the division edge cases the quick-check is
+// unlikely to hit: the overflow pair (MinInt64, -1), division by zero
+// (defined as 0, not a trap), and truncation toward zero for every sign
+// combination.
+func TestDivRemEdges(t *testing.T) {
+	const mn = math.MinInt64
+	cases := []struct {
+		op         ir.Op
+		a, b, want int64
+	}{
+		// Two's-complement overflow wraps (Go semantics, no trap).
+		{ir.OpDiv, mn, -1, mn},
+		{ir.OpRem, mn, -1, 0},
+		// Division by zero yields zero by definition.
+		{ir.OpDiv, 42, 0, 0},
+		{ir.OpRem, 42, 0, 0},
+		{ir.OpDiv, mn, 0, 0},
+		{ir.OpDiv, 0, 0, 0},
+		// Truncation toward zero; remainder takes the dividend's sign.
+		{ir.OpDiv, -7, 2, -3},
+		{ir.OpRem, -7, 2, -1},
+		{ir.OpDiv, 7, -2, -3},
+		{ir.OpRem, 7, -2, 1},
+		{ir.OpDiv, -7, -2, 3},
+		{ir.OpRem, -7, -2, -1},
+		{ir.OpDiv, mn, 2, mn / 2},
+		{ir.OpRem, mn + 1, -1, 0},
+	}
+	for _, tc := range cases {
+		if got := evalBin(t, tc.op, tc.a, tc.b); got != tc.want {
+			t.Errorf("%s(%d, %d) = %d, want %d", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestOffsetAddressing: the instruction-encoded Off field and an
+// explicit address add are the same effective address, including
+// negative offsets, and stores through one form are visible to loads
+// through the other.
+func TestOffsetAddressing(t *testing.T) {
+	p := ir.NewProgram("off")
+	ty := p.NewType("arr")
+	g := p.AddGlobal("g", 8, ty)
+	g.Init = []int64{10, 11, 12, 13, 14, 15, 16, 17}
+	f := p.NewFunction("main", 0)
+	b := ir.NewBuilder(p, f)
+	at := ir.MemAttrs{Type: ty, Path: "g[]"}
+	base := b.Const(g.Addr)
+	// g[3] via Off, g[3] via base+3 with Off 0, and g[5] via base+6 with
+	// Off -1: all must read the initializer values.
+	v3 := b.Load(ir.R(base), 3, at)
+	p3 := b.Add(ir.R(base), ir.C(3))
+	v3b := b.Load(ir.R(p3), 0, at)
+	p6 := b.Add(ir.R(base), ir.C(6))
+	v5 := b.Load(ir.R(p6), -1, at)
+	// Store g[7] through an offset and read it back through a plain add.
+	b.Store(ir.R(base), 7, ir.C(-99), at)
+	p7 := b.Add(ir.R(base), ir.C(7))
+	v7 := b.Load(ir.R(p7), 0, at)
+	// checksum = v3*1e9 + v3b*1e6 + v5*1e3 + v7
+	s := b.Mul(ir.R(v3), ir.C(1_000_000_000))
+	t1 := b.Mul(ir.R(v3b), ir.C(1_000_000))
+	s = b.Add(ir.R(s), ir.R(t1))
+	t2 := b.Mul(ir.R(v5), ir.C(1_000))
+	s = b.Add(ir.R(s), ir.R(t2))
+	s = b.Add(ir.R(s), ir.R(v7))
+	b.Ret(ir.R(s))
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(13*1_000_000_000 + 13*1_000_000 + 15*1_000 - 99)
+	if res.RetValue != want {
+		t.Errorf("checksum = %d, want %d", res.RetValue, want)
+	}
+}
+
+// TestUninitializedMemoryAndRegs: unwritten memory words and unset
+// registers read as zero.
+func TestUninitializedMemoryAndRegs(t *testing.T) {
+	p := ir.NewProgram("zero")
+	ty := p.NewType("arr")
+	g := p.AddGlobal("g", 4, ty) // no Init
+	f := p.NewFunction("main", 0)
+	b := ir.NewBuilder(p, f)
+	at := ir.MemAttrs{Type: ty, Path: "g[]"}
+	base := b.Const(g.Addr)
+	v := b.Load(ir.R(base), 2, at)
+	fresh := f.NewReg() // never written
+	s := b.Add(ir.R(v), ir.R(fresh))
+	b.Ret(ir.R(s))
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetValue != 0 {
+		t.Errorf("uninitialized load+reg = %d, want 0", res.RetValue)
+	}
+}
+
+// TestCallReturnEffects pins the register effects of the three call
+// shapes: a void call must not clobber any caller register, an extern
+// with a Result writes exactly the destination, and a nested internal
+// call returns into the right frame.
+func TestCallReturnEffects(t *testing.T) {
+	p := ir.NewProgram("calls")
+	ty := p.NewType("cell")
+	g := p.AddGlobal("cell", 1, ty)
+	at := ir.MemAttrs{Type: ty, Path: "cell"}
+
+	// void(x): stores x to the cell, returns nothing.
+	void := p.NewFunction("void", 1)
+	vb := ir.NewBuilder(p, void)
+	vbase := vb.Const(g.Addr)
+	vb.Store(ir.R(vbase), 0, ir.R(void.Params[0]), at)
+	vb.RetVoid()
+
+	// twice(x): nested internal call used from main.
+	twice := p.NewFunction("twice", 1)
+	tb := ir.NewBuilder(p, twice)
+	tw := tb.Add(ir.R(twice.Params[0]), ir.R(twice.Params[0]))
+	tb.Ret(ir.R(tw))
+
+	ext := &ir.Extern{
+		Name:     "neg",
+		ArgsOnly: true,
+		Latency:  1,
+		Result:   func(args []int64) int64 { return -args[0] },
+	}
+
+	f := p.NewFunction("main", 1)
+	b := ir.NewBuilder(p, f)
+	sentinel := b.Const(777)
+	// Void call with no destination register: the sentinel must survive.
+	vc := ir.NewInstr(ir.OpCall)
+	vc.Callee = void
+	vc.Args = []ir.Value{ir.C(5)}
+	f.Entry().Instrs = append(f.Entry().Instrs, vc)
+	// Extern result lands in its own register.
+	negv := b.CallExtern(ext, ir.R(f.Params[0]))
+	// Nested internal calls: twice(twice(x)) = 4x.
+	q := b.Call(twice, ir.R(f.Params[0]))
+	q4 := b.Call(twice, ir.R(q))
+	base := b.Const(g.Addr)
+	cell := b.Load(ir.R(base), 0, at)
+	// checksum = sentinel*1e6 + cell*1e4 + (q4 - negv)
+	s := b.Mul(ir.R(sentinel), ir.C(1_000_000))
+	t1 := b.Mul(ir.R(cell), ir.C(10_000))
+	s = b.Add(ir.R(s), ir.R(t1))
+	d := b.Sub(ir.R(q4), ir.R(negv))
+	s = b.Add(ir.R(s), ir.R(d))
+	b.Ret(ir.R(s))
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Void call really has no destination register.
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op == ir.OpCall && in.Callee == void && in.Dst != ir.NoReg {
+				t.Fatalf("void call has Dst=%v, want NoReg", in.Dst)
+			}
+		}
+	}
+
+	res, err := Run(p, f, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sentinel=777, cell=5, twice(twice(9))=36, neg(9)=-9.
+	want := int64(777*1_000_000 + 5*10_000 + 36 + 9)
+	if res.RetValue != want {
+		t.Errorf("checksum = %d, want %d", res.RetValue, want)
 	}
 }

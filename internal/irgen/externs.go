@@ -1,0 +1,56 @@
+package irgen
+
+import "helixrc/internal/ir"
+
+// Externs is the registry of external-function summaries generated
+// programs may call. The corpus format serializes externs by name;
+// difftest resolves them against this map so the Result closures (which
+// cannot be serialized) are reattached at parse time. All results are
+// pure functions of the arguments, keeping programs deterministic.
+var Externs = map[string]*ir.Extern{
+	// mix: a pure arithmetic scramble with a long fixed latency —
+	// ArgsOnly, so HCC may keep calls to it inside parallel iterations.
+	"mix": {
+		Name: "mix", ArgsOnly: true, Latency: 12,
+		Result: func(args []int64) int64 {
+			var h int64 = -7046029254386353131 // int64(0x9e3779b97f4a7c15)
+			for _, a := range args {
+				h = (h ^ a) * 1099511628211
+				h ^= int64(uint64(h) >> 29)
+			}
+			return h
+		},
+	},
+	// clamp: cheap pure helper with a different arity profile.
+	"clamp": {
+		Name: "clamp", ArgsOnly: true, Latency: 3,
+		Result: func(args []int64) int64 {
+			v := args[0]
+			if v < -128 {
+				return -128
+			}
+			if v > 127 {
+				return 127
+			}
+			return v
+		},
+	},
+	// oracle: summarized as reading memory, so loops calling it exercise
+	// HCC's clobber/shared-in-callee rejection paths. The result is still
+	// a pure function of the arguments — the summary is deliberately
+	// conservative, which is the interesting case for the compiler.
+	"oracle": {
+		Name: "oracle", ReadsMem: true, Latency: 20,
+		Result: func(args []int64) int64 {
+			var s int64 = 1
+			for _, a := range args {
+				s = s*31 + a
+			}
+			return s
+		},
+	},
+}
+
+// externNames fixes the iteration order of Externs for the generator's
+// determinism (map range order is randomized by the runtime).
+var externNames = []string{"mix", "clamp", "oracle"}

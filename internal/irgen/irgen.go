@@ -1,0 +1,450 @@
+// Package irgen generates random, well-formed IR loop programs for
+// differential testing. Every program produced by Generate:
+//
+//   - passes ir.Program.Verify;
+//   - terminates on any input (all loops are either counted with a
+//     positive constant step or walk a statically acyclic linked list);
+//   - keeps every memory access inside an allocated object (indices are
+//     And-masked against power-of-two array sizes, never Rem'd, so they
+//     stay in range even when the masked value is derived from arbitrary
+//     arithmetic);
+//   - carries truthful alias metadata: all accesses into an array share
+//     one TypeID and one path string, linked-list fields use distinct
+//     paths at distinct offsets, and accesses that mix fields use the
+//     empty (unknown) path — so every alias tier remains sound by
+//     construction and the difftest superset oracle is meaningful;
+//   - folds all mutated memory into the return value through checksum
+//     epilogue loops, so the single RetValue exposed by the simulator is
+//     a strong functional oracle over the whole store.
+//
+// The shape grammar is documented in DESIGN.md ("Differential testing").
+package irgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helixrc/internal/ir"
+)
+
+// array is one power-of-two indexable object: a global array or an
+// entry-block arena allocation. All accesses into it use base+And(mask).
+type array struct {
+	base ir.Reg // register holding the base address in main
+	mask int64  // size-1
+	at   ir.MemAttrs
+	size int64
+}
+
+// gen carries the generator state for one program.
+type gen struct {
+	rng     *rand.Rand
+	p       *ir.Program
+	b       *ir.Builder
+	f       *ir.Function
+	arrays  []array
+	cells   []array      // size-1 globals accessed at offset 0
+	hcells  []*ir.Global // helper-private cells, folded via bases set in prologue
+	helpers []*ir.Function
+	externs []*ir.Extern
+	nblk    int
+
+	// main-function value state
+	nn   ir.Reg   // input-derived trip-count base, 16..79
+	cs   ir.Reg   // checksum accumulator, becomes the return value
+	accs []ir.Reg // loop-carried accumulators, folded into cs at the end
+	pool []ir.Reg // registers usable as operands at the current point
+}
+
+// Generate builds a deterministic random program from the seed and
+// returns it with its entry function and the argument vector it is meant
+// to run with. The same seed always yields a byte-identical program
+// (ir.Program.Text is stable), so a fuzzer finding is reproducible from
+// the seed alone.
+func Generate(seed uint64) (*ir.Program, *ir.Function, []int64) {
+	g := &gen{
+		rng: rand.New(rand.NewSource(int64(seed))),
+		p:   ir.NewProgram(fmt.Sprintf("gen%d", seed)),
+	}
+	g.buildHelpers()
+	main := g.p.NewFunction("main", 1)
+	g.f = main
+	g.b = ir.NewBuilder(g.p, main)
+
+	g.prologue()
+	for n := 1 + g.rng.Intn(3); n > 0; n-- {
+		switch k := g.rng.Intn(10); {
+		case k < 5:
+			g.countedLoop(false)
+		case k < 8:
+			g.countedLoop(true) // nested pair
+		default:
+			g.chaseLoop()
+		}
+	}
+	g.epilogue()
+
+	if err := g.p.Verify(); err != nil {
+		panic(fmt.Sprintf("irgen: seed %d generated invalid program: %v", seed, err))
+	}
+	return g.p, main, []int64{int64(g.rng.Intn(256))}
+}
+
+func (g *gen) block(stem string) *ir.Block {
+	g.nblk++
+	return g.b.NewBlock(fmt.Sprintf("%s%d", stem, g.nblk))
+}
+
+// val picks a random operand: usually a pool register, sometimes a small
+// immediate.
+func (g *gen) val() ir.Value {
+	if len(g.pool) > 0 && g.rng.Intn(4) != 0 {
+		return ir.R(g.pool[g.rng.Intn(len(g.pool))])
+	}
+	return ir.C(int64(g.rng.Intn(61) - 30))
+}
+
+var arithOps = []ir.Op{
+	ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+	ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+	ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+	ir.OpMin, ir.OpMax, ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv,
+}
+
+var accOps = []ir.Op{ir.OpAdd, ir.OpXor, ir.OpMin, ir.OpMax, ir.OpMul}
+
+// buildHelpers emits 0-2 small leaf functions: pure arithmetic chains,
+// optionally with a diamond, optionally reading (rarely writing) a global
+// cell — the latter makes calling loops carry a cross-iteration memory
+// dependence through the callee, exercising HCC's callee-effect analysis.
+func (g *gen) buildHelpers() {
+	for i, n := 0, g.rng.Intn(3); i < n; i++ {
+		nparams := 1 + g.rng.Intn(2)
+		f := g.p.NewFunction(fmt.Sprintf("h%d", i), nparams)
+		b := ir.NewBuilder(g.p, f)
+		x := f.Params[0]
+		for k := 1 + g.rng.Intn(4); k > 0; k-- {
+			y := ir.Value(ir.C(int64(g.rng.Intn(21) - 10)))
+			if nparams > 1 && g.rng.Intn(2) == 0 {
+				y = ir.R(f.Params[1])
+			}
+			b.BinTo(x, arithOps[g.rng.Intn(len(arithOps))], ir.R(x), y)
+		}
+		if g.rng.Intn(2) == 0 { // diamond: both arms write x
+			t, e, j := b.NewBlock("ht"), b.NewBlock("he"), b.NewBlock("hj")
+			cond := b.Bin(ir.OpAnd, ir.R(x), ir.C(1))
+			b.CondBr(ir.R(cond), t, e)
+			b.SetBlock(t)
+			b.BinTo(x, ir.OpAdd, ir.R(x), ir.C(7))
+			b.Br(j)
+			b.SetBlock(e)
+			b.BinTo(x, ir.OpXor, ir.R(x), ir.C(-1))
+			b.Br(j)
+			b.SetBlock(j)
+		}
+		if g.rng.Intn(3) == 0 {
+			// Touch a helper-private cell: read-modify-write makes any
+			// caller loop a sharedInCallee rejection candidate.
+			cell := g.p.AddGlobal(fmt.Sprintf("hc%d", i), 1, g.p.NewType(fmt.Sprintf("hcell%d", i)))
+			at := ir.MemAttrs{Type: cell.Type, Path: cell.Name}
+			base := b.Const(cell.Addr)
+			v := b.Load(ir.R(base), 0, at)
+			b.BinTo(x, ir.OpAdd, ir.R(x), ir.R(v))
+			if g.rng.Intn(2) == 0 {
+				b.Store(ir.R(base), 0, ir.R(x), at)
+			}
+			g.hcells = append(g.hcells, cell)
+		}
+		b.Ret(ir.R(x))
+		g.helpers = append(g.helpers, f)
+	}
+	for _, name := range externNames {
+		if g.rng.Intn(2) == 0 {
+			g.externs = append(g.externs, Externs[name])
+		}
+	}
+}
+
+// prologue materializes globals, arena allocations, the trip-count base
+// and the accumulators in main's entry block.
+func (g *gen) prologue() {
+	// Trip-count base: nn = (arg0 & 63) + 16, in [16, 79].
+	m := g.b.Bin(ir.OpAnd, ir.R(g.f.Params[0]), ir.C(63))
+	g.nn = g.b.Bin(ir.OpAdd, ir.R(m), ir.C(16))
+	g.cs = g.b.Const(0)
+
+	// 1-3 global arrays with power-of-two sizes and random initializers.
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		size := int64(8 << g.rng.Intn(4)) // 8, 16, 32, 64
+		ty := g.p.NewType(fmt.Sprintf("arr%d", i))
+		gl := g.p.AddGlobal(fmt.Sprintf("g%d", i), size, ty)
+		gl.Init = make([]int64, size)
+		for j := range gl.Init {
+			gl.Init[j] = int64(g.rng.Intn(1024) - 512)
+		}
+		base := g.b.Const(gl.Addr)
+		g.arrays = append(g.arrays, array{
+			base: base, mask: size - 1, size: size,
+			at: ir.MemAttrs{Type: ty, Path: gl.Name + "[]"},
+		})
+	}
+	// 0-2 scalar cells (cross-iteration RMW targets).
+	for i, n := 0, g.rng.Intn(3); i < n; i++ {
+		ty := g.p.NewType(fmt.Sprintf("cell%d", i))
+		gl := g.p.AddGlobal(fmt.Sprintf("c%d", i), 1, ty)
+		gl.Init = []int64{int64(g.rng.Intn(100))}
+		base := g.b.Const(gl.Addr)
+		g.cells = append(g.cells, array{
+			base: base, mask: 0, size: 1,
+			at: ir.MemAttrs{Type: ty, Path: gl.Name},
+		})
+	}
+	// Helper-private cells still need folding; give them bases here.
+	for _, gl := range g.hcells {
+		base := g.b.Const(gl.Addr)
+		g.cells = append(g.cells, array{
+			base: base, mask: 0, size: 1,
+			at: ir.MemAttrs{Type: gl.Type, Path: gl.Name},
+		})
+	}
+	// Optional arena allocation (zero-initialized heap array).
+	if g.rng.Intn(2) == 0 {
+		size := int64(16 << g.rng.Intn(2)) // 16, 32
+		ty := g.p.NewType("heap0")
+		base := g.b.Alloc(size, ty)
+		g.arrays = append(g.arrays, array{
+			base: base, mask: size - 1, size: size,
+			at: ir.MemAttrs{Type: ty, Path: "heap0[]"},
+		})
+	}
+	// Accumulators (loop-carried register dependences / reductions).
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		g.accs = append(g.accs, g.b.Const(int64(g.rng.Intn(50))))
+	}
+	g.pool = append(g.pool, g.nn)
+	g.pool = append(g.pool, g.accs...)
+}
+
+// index emits base + (v & mask) for an in-bounds element address.
+func (g *gen) index(a array, v ir.Value) ir.Reg {
+	idx := g.b.Bin(ir.OpAnd, v, ir.C(a.mask))
+	return g.b.Add(ir.R(a.base), ir.R(idx))
+}
+
+// bodyOp emits one random statement into the current block (possibly
+// splitting it for a diamond) and returns the block the builder ends in.
+// i is the loop's induction register, or NoReg in a chase body.
+func (g *gen) bodyOp(i ir.Reg) {
+	iv := func() ir.Value {
+		if i != ir.NoReg && g.rng.Intn(2) == 0 {
+			return ir.R(i)
+		}
+		return g.val()
+	}
+	switch k := g.rng.Intn(20); {
+	case k < 5: // plain arithmetic into a fresh register
+		r := g.b.Bin(arithOps[g.rng.Intn(len(arithOps))], iv(), g.val())
+		g.pool = append(g.pool, r)
+	case k < 8: // accumulate (loop-carried register dependence)
+		acc := g.accs[g.rng.Intn(len(g.accs))]
+		g.b.BinTo(acc, accOps[g.rng.Intn(len(accOps))], ir.R(acc), iv())
+	case k < 11: // array load
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		r := g.b.Load(ir.R(g.index(a, iv())), 0, a.at)
+		g.pool = append(g.pool, r)
+	case k < 14: // array store
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		g.b.Store(ir.R(g.index(a, iv())), 0, g.val(), a.at)
+	case k < 16: // scalar cell read-modify-write (cross-iteration mem dep)
+		if len(g.cells) == 0 {
+			r := g.b.Bin(ir.OpXor, iv(), g.val())
+			g.pool = append(g.pool, r)
+			return
+		}
+		c := g.cells[g.rng.Intn(len(g.cells))]
+		v := g.b.Load(ir.R(c.base), 0, c.at)
+		w := g.b.Bin(accOps[g.rng.Intn(len(accOps))], ir.R(v), iv())
+		g.b.Store(ir.R(c.base), 0, ir.R(w), c.at)
+	case k < 17: // indirect masked indexing through a loaded value
+		a1 := g.arrays[g.rng.Intn(len(g.arrays))]
+		a2 := g.arrays[g.rng.Intn(len(g.arrays))]
+		idx := g.b.Load(ir.R(g.index(a1, iv())), 0, a1.at)
+		addr := g.index(a2, ir.R(idx))
+		if g.rng.Intn(2) == 0 {
+			r := g.b.Load(ir.R(addr), 0, a2.at)
+			g.pool = append(g.pool, r)
+		} else {
+			g.b.Store(ir.R(addr), 0, g.val(), a2.at)
+		}
+	case k < 18: // call
+		if len(g.helpers) > 0 && g.rng.Intn(2) == 0 {
+			h := g.helpers[g.rng.Intn(len(g.helpers))]
+			args := make([]ir.Value, len(h.Params))
+			for j := range args {
+				args[j] = iv()
+			}
+			r := g.b.Call(h, args...)
+			g.pool = append(g.pool, r)
+		} else if len(g.externs) > 0 {
+			ext := g.externs[g.rng.Intn(len(g.externs))]
+			r := g.b.CallExtern(ext, iv(), g.val())
+			g.pool = append(g.pool, r)
+		} else {
+			r := g.b.Bin(ir.OpMin, iv(), g.val())
+			g.pool = append(g.pool, r)
+		}
+	default: // diamond: both arms write the same pre-existing register
+		tgt := g.accs[g.rng.Intn(len(g.accs))]
+		t, e, j := g.block("dt"), g.block("de"), g.block("dj")
+		cond := g.b.Bin(ir.OpAnd, iv(), ir.C(1))
+		g.b.CondBr(ir.R(cond), t, e)
+		g.b.SetBlock(t)
+		g.b.BinTo(tgt, accOps[g.rng.Intn(len(accOps))], ir.R(tgt), g.val())
+		if g.rng.Intn(2) == 0 && len(g.arrays) > 0 {
+			a := g.arrays[g.rng.Intn(len(g.arrays))]
+			g.b.Store(ir.R(g.index(a, iv())), 0, ir.R(tgt), a.at)
+		}
+		g.b.Br(j)
+		g.b.SetBlock(e)
+		g.b.BinTo(tgt, ir.OpSub, ir.R(tgt), iv())
+		g.b.Br(j)
+		g.b.SetBlock(j)
+	}
+}
+
+// countedLoop emits head/body/latch/exit with i stepping by a positive
+// constant; when nested is set the body additionally contains an inner
+// counted loop with a small constant bound. Occasionally the body gets a
+// data-dependent early break (a second loop exit).
+func (g *gen) countedLoop(nested bool) {
+	poolMark := len(g.pool)
+	i := g.b.Const(int64(g.rng.Intn(3)))
+	step := int64(1 + g.rng.Intn(3))
+	bound := ir.R(g.nn)
+	if g.rng.Intn(3) == 0 {
+		bound = ir.C(int64(16 + g.rng.Intn(48)))
+	}
+	head, body, latch, exit := g.block("head"), g.block("body"), g.block("latch"), g.block("exit")
+	g.b.Br(head)
+	g.b.SetBlock(head)
+	t := g.b.Bin(ir.OpCmpLT, ir.R(i), bound)
+	g.b.CondBr(ir.R(t), body, exit)
+
+	g.b.SetBlock(body)
+	if g.rng.Intn(4) == 0 { // early break to a distinct exit target
+		brk := g.block("brk")
+		cont := g.block("cont")
+		c := g.b.Bin(ir.OpCmpEQ, ir.R(g.index(g.arrays[0], ir.R(i))), ir.C(-7777))
+		g.b.CondBr(ir.R(c), brk, cont)
+		g.b.SetBlock(brk)
+		g.b.BinTo(g.cs, ir.OpAdd, ir.R(g.cs), ir.C(99))
+		g.b.Br(exit)
+		g.b.SetBlock(cont)
+	}
+	for n := 2 + g.rng.Intn(4); n > 0; n-- {
+		g.bodyOp(i)
+	}
+	if nested {
+		inner := g.b.Mov(ir.C(0))
+		ihead, ibody, ilatch, iexit := g.block("ihead"), g.block("ibody"), g.block("ilatch"), g.block("iexit")
+		g.b.Br(ihead)
+		g.b.SetBlock(ihead)
+		it := g.b.Bin(ir.OpCmpLT, ir.R(inner), ir.C(int64(4+g.rng.Intn(5))))
+		g.b.CondBr(ir.R(it), ibody, iexit)
+		g.b.SetBlock(ibody)
+		for n := 1 + g.rng.Intn(3); n > 0; n-- {
+			g.bodyOp(inner)
+		}
+		g.b.Br(ilatch)
+		g.b.SetBlock(ilatch)
+		g.b.BinTo(inner, ir.OpAdd, ir.R(inner), ir.C(1))
+		g.b.Br(ihead)
+		g.b.SetBlock(iexit)
+	}
+	g.b.Br(latch)
+	g.b.SetBlock(latch)
+	g.b.BinTo(i, ir.OpAdd, ir.R(i), ir.C(step))
+	g.b.Br(head)
+	g.b.SetBlock(exit)
+	g.pool = g.pool[:poolMark] // body-defined regs die with the loop
+}
+
+// chaseLoop builds a statically acyclic linked list in a fresh global
+// (stride-2 nodes: next pointer at offset 0, value at offset 1) and walks
+// it, folding values into an accumulator — a pointer-carried
+// cross-iteration dependence with a data-dependent trip count.
+func (g *gen) chaseLoop() {
+	nodes := int64(8 << g.rng.Intn(3)) // 8, 16, 32
+	ty := g.p.NewType(fmt.Sprintf("node%d", g.nblk))
+	gl := g.p.AddGlobal(fmt.Sprintf("list%d", g.nblk), 2*nodes, ty)
+	perm := g.rng.Perm(int(nodes))
+	gl.Init = make([]int64, 2*nodes)
+	for k, node := range perm {
+		next := int64(0)
+		if k+1 < len(perm) {
+			next = gl.Addr + 2*int64(perm[k+1])
+		}
+		gl.Init[2*node] = next
+		gl.Init[2*node+1] = int64(g.rng.Intn(1000) - 500)
+	}
+	nextAt := ir.MemAttrs{Type: ty, Path: "node.next"}
+	valAt := ir.MemAttrs{Type: ty, Path: "node.val"}
+
+	ptr := g.b.Const(gl.Addr + 2*int64(perm[0]))
+	head, body, exit := g.block("chead"), g.block("cbody"), g.block("cexit")
+	g.b.Br(head)
+	g.b.SetBlock(head)
+	t := g.b.Bin(ir.OpCmpNE, ir.R(ptr), ir.C(0))
+	g.b.CondBr(ir.R(t), body, exit)
+	g.b.SetBlock(body)
+	v := g.b.Load(ir.R(ptr), 1, valAt)
+	acc := g.accs[g.rng.Intn(len(g.accs))]
+	g.b.BinTo(acc, ir.OpAdd, ir.R(acc), ir.R(v))
+	if g.rng.Intn(2) == 0 { // value update through the pointer
+		w := g.b.Bin(ir.OpXor, ir.R(v), g.val())
+		g.b.Store(ir.R(ptr), 1, ir.R(w), valAt)
+	}
+	g.b.LoadTo(ptr, ir.R(ptr), 0, nextAt)
+	g.b.Br(head)
+	g.b.SetBlock(exit)
+
+	// Fold the whole node array in the epilogue with the unknown path
+	// (it mixes next and val fields), keeping the path tier truthful.
+	base := g.b.Const(gl.Addr)
+	g.arrays = append(g.arrays, array{
+		base: base, mask: 2*nodes - 1, size: 2 * nodes,
+		at: ir.MemAttrs{Type: ty, Path: ""},
+	})
+}
+
+// epilogue folds every array, cell and accumulator into cs and returns
+// it. The fold loops are themselves parallelization candidates
+// (reductions over shared memory).
+func (g *gen) epilogue() {
+	for _, a := range g.arrays {
+		j := g.b.Const(0)
+		head, body, exit := g.block("fhead"), g.block("fbody"), g.block("fexit")
+		g.b.Br(head)
+		g.b.SetBlock(head)
+		t := g.b.Bin(ir.OpCmpLT, ir.R(j), ir.C(a.size))
+		g.b.CondBr(ir.R(t), body, exit)
+		g.b.SetBlock(body)
+		addr := g.b.Add(ir.R(a.base), ir.R(j))
+		v := g.b.Load(ir.R(addr), 0, a.at)
+		g.b.BinTo(g.cs, ir.OpMul, ir.R(g.cs), ir.C(31))
+		g.b.BinTo(g.cs, ir.OpAdd, ir.R(g.cs), ir.R(v))
+		g.b.BinTo(j, ir.OpAdd, ir.R(j), ir.C(1))
+		g.b.Br(head)
+		g.b.SetBlock(exit)
+	}
+	for _, c := range g.cells {
+		v := g.b.Load(ir.R(c.base), 0, c.at)
+		g.b.BinTo(g.cs, ir.OpMul, ir.R(g.cs), ir.C(31))
+		g.b.BinTo(g.cs, ir.OpAdd, ir.R(g.cs), ir.R(v))
+	}
+	for _, acc := range g.accs {
+		g.b.BinTo(g.cs, ir.OpMul, ir.R(g.cs), ir.C(31))
+		g.b.BinTo(g.cs, ir.OpXor, ir.R(g.cs), ir.R(acc))
+	}
+	g.b.Ret(ir.R(g.cs))
+}

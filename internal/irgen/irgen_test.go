@@ -1,0 +1,84 @@
+package irgen
+
+import (
+	"testing"
+
+	"helixrc/internal/interp"
+	"helixrc/internal/ir"
+)
+
+const testBudget = 2_000_000
+
+// TestGenerateWellFormed checks the generator's contract over a seed
+// sweep: programs verify, terminate within a generous budget, and are
+// bit-deterministic (same seed, same text, same result).
+func TestGenerateWellFormed(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		p, f, args := Generate(seed)
+		if err := p.Verify(); err != nil {
+			t.Fatalf("seed %d: Verify: %v", seed, err)
+		}
+		res, err := interp.Run(p, f, testBudget, args...)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+		p2, f2, args2 := Generate(seed)
+		if p.Text(f) != p2.Text(f2) {
+			t.Fatalf("seed %d: non-deterministic program text", seed)
+		}
+		if len(args) != len(args2) || args[0] != args2[0] {
+			t.Fatalf("seed %d: non-deterministic args", seed)
+		}
+		res2, err := interp.Run(p2, f2, testBudget, args2...)
+		if err != nil || res2.RetValue != res.RetValue {
+			t.Fatalf("seed %d: rerun mismatch: %d vs %d (%v)", seed, res.RetValue, res2.RetValue, err)
+		}
+	}
+}
+
+// TestTextRoundTrip parses each generated program back from its textual
+// form and checks the reparse is byte-identical and functionally
+// equivalent.
+func TestTextRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p, f, args := Generate(seed)
+		text := p.Text(f)
+		q, qf, err := ir.ParseText(text, Externs)
+		if err != nil {
+			t.Fatalf("seed %d: ParseText: %v\n%s", seed, err, text)
+		}
+		if err := q.Verify(); err != nil {
+			t.Fatalf("seed %d: reparsed program invalid: %v", seed, err)
+		}
+		if got := q.Text(qf); got != text {
+			t.Fatalf("seed %d: text not stable under round-trip:\n--- first\n%s\n--- second\n%s", seed, text, got)
+		}
+		want, err := interp.Run(p, f, testBudget, args...)
+		if err != nil {
+			t.Fatalf("seed %d: interp original: %v", seed, err)
+		}
+		got, err := interp.Run(q, qf, testBudget, args...)
+		if err != nil || got.RetValue != want.RetValue {
+			t.Fatalf("seed %d: reparsed result %d != %d (%v)", seed, got.RetValue, want.RetValue, err)
+		}
+	}
+}
+
+// TestGenerateSizes keeps the generator honest about program scale: it
+// must produce programs big enough to contain loops worth parallelizing
+// but small enough that a fuzz execution stays fast.
+func TestGenerateSizes(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		p, f, args := Generate(seed)
+		res, err := interp.Run(p, f, testBudget, args...)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Steps < 50 {
+			t.Errorf("seed %d: only %d dynamic instructions", seed, res.Steps)
+		}
+		if res.Steps > 500_000 {
+			t.Errorf("seed %d: %d dynamic instructions (too slow for fuzzing)", seed, res.Steps)
+		}
+	}
+}

@@ -13,3 +13,8 @@ go test -race ./...
 # End-to-end determinism smoke: one small figure, hash-compared against
 # the checked-in benchmark report (exercises the record/replay path).
 go run ./cmd/helix-bench -only fig9 -verify BENCH_2026-08-05.json >/dev/null
+
+# Differential fuzzing smoke: a fixed-seed sweep of generated loop
+# programs cross-checked through interp, HCC parallelization, the sim
+# fast path and trace replay. Deterministic, ~5s.
+go run ./cmd/helix-fuzz -start 0 -seeds 24 -quick -parallel 0
