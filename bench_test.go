@@ -10,6 +10,7 @@
 package helixrc_test
 
 import (
+	"context"
 	"testing"
 
 	"helixrc/internal/harness"
@@ -19,7 +20,7 @@ import (
 // hardware (paper shape: FP 2.4x -> 11x, INT flat ~2x).
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure1(16)
+		f, err := harness.Figure1(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -32,7 +33,7 @@ func BenchmarkFigure1(b *testing.B) {
 // alias tier (paper shape: 48% -> 81%).
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure2()
+		f, err := harness.Figure2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func BenchmarkFigure2(b *testing.B) {
 // communication (paper shape: 15% of register communication remains).
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := harness.Figure3()
+		r, err := harness.Figure3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkFigure3(b *testing.B) {
 // and consumer counts of the small hot loops.
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := harness.Figure4()
+		r, err := harness.Figure4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func BenchmarkFigure4(b *testing.B) {
 // compiler generation.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Table1()
+		rows, err := harness.Table1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func BenchmarkTable1(b *testing.B) {
 // (paper shape: INT 2.2x -> 6.85x; FP 11.4x -> ~12x).
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure7(16)
+		f, err := harness.Figure7(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func BenchmarkFigure7(b *testing.B) {
 // BenchmarkFigure8 regenerates Figure 8: the decoupling breakdown.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure8(16)
+		f, err := harness.Figure8(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func BenchmarkFigure8(b *testing.B) {
 // ring-cache hardware.
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure9(16)
+		f, err := harness.Figure9(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkFigure9(b *testing.B) {
 // BenchmarkFigure10 regenerates Figure 10: speedups by core type.
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure10(16)
+		f, err := harness.Figure10(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func BenchmarkFigure11(b *testing.B) {
 		p := p
 		b.Run(p.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				f, err := harness.Figure11(p.which)
+				f, err := harness.Figure11(context.Background(), p.which)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -179,7 +180,7 @@ func BenchmarkFigure11(b *testing.B) {
 // BenchmarkFigure12 regenerates Figure 12: the overhead taxonomy.
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure12(16)
+		rows, err := harness.Figure12(context.Background(), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func BenchmarkFigure12(b *testing.B) {
 // TLP 6.4 -> 14.2; instructions per segment 8.5 -> 3.2).
 func BenchmarkTLP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := harness.TLP()
+		r, err := harness.TLP(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,25 +10,40 @@
 //	helix-bench -slowsim           # use the retained reference simulator stepper
 //	helix-bench -noreplay          # disable the trace record/replay fast path
 //	helix-bench -verify FILE       # compare output hashes against a BENCH_*.json
+//	helix-bench -timeout 10m       # bound the whole run's wall clock
+//	helix-bench -celltimeout 30s   # bound each experiment cell (partial figures)
+//	helix-bench -quiet             # silence cache-eviction diagnostics
 //
 // Experiment names: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10
 // fig11a fig11b fig11c fig11d fig12 tlp.
 //
 // Figure output is byte-identical at every -parallel level and with or
 // without -slowsim/-noreplay; only wall-clock changes.
+//
+// SIGINT/SIGTERM (and -timeout expiry) cancel in-flight work: workers
+// drain, the run stops after the current cells return, and -json still
+// writes a valid report flagged "interrupted" with the experiments that
+// completed. -celltimeout instead degrades individual slow cells: the
+// figure completes with zero values in the timed-out cells and a
+// PARTIAL FIGURE note naming them.
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"helixrc/internal/atomicio"
 	"helixrc/internal/harness"
 )
 
@@ -39,6 +54,9 @@ type expReport struct {
 	WallMillis   float64 `json:"wall_ms"`
 	OutputSHA256 string  `json:"output_sha256"`
 	Output       string  `json:"output"`
+	// Partial marks a figure with timed-out, degraded cells (the output
+	// carries the PARTIAL FIGURE note naming them).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // runtimeSnapshot captures the Go runtime state at the end of a run.
@@ -75,6 +93,14 @@ type benchReport struct {
 	Experiments []expReport     `json:"experiments"`
 	Replay      *replayReport   `json:"replay,omitempty"`
 	Runtime     runtimeSnapshot `json:"runtime"`
+	// Interrupted marks a run cut short by SIGINT/SIGTERM or -timeout;
+	// Experiments then holds only the figures that completed.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Partial marks a run where at least one figure degraded cells on
+	// the -celltimeout deadline.
+	Partial bool `json:"partial,omitempty"`
+	// Error records the failure that ended the run early, if any.
+	Error string `json:"error,omitempty"`
 }
 
 func main() {
@@ -87,12 +113,29 @@ func main() {
 	cacheBudget := flag.Int64("cachebudget", harness.DefaultCacheBudget>>20, "harness memo-cache byte budget in MB (0 = unbounded)")
 	verify := flag.String("verify", "", "BENCH_*.json file to verify output hashes against (exit 1 on mismatch)")
 	label := flag.String("label", "", "free-form label recorded in the JSON report")
+	timeout := flag.Duration("timeout", 0, "bound the whole run's wall clock (0 = none)")
+	cellTimeout := flag.Duration("celltimeout", 0, "bound each experiment cell; slow cells degrade to zero values in a flagged partial figure (0 = none)")
+	quiet := flag.Bool("quiet", false, "silence engine diagnostics (cache evictions)")
 	flag.Parse()
 
 	harness.SetParallelism(*parallel)
 	harness.SetSlowSim(*slowSim)
 	harness.SetNoReplay(*noReplay)
 	harness.SetCacheBudget(*cacheBudget << 20)
+	harness.SetCellTimeout(*cellTimeout)
+	if *quiet {
+		harness.SetQuiet()
+	}
+
+	// SIGINT/SIGTERM cancel in-flight experiment cells; the pool drains
+	// and the report below is still written (flagged interrupted).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var wantSHA map[string]string
 	if *verify != "" {
@@ -104,15 +147,26 @@ func main() {
 
 	var reports []expReport
 	mismatches := 0
+	interrupted := false
+	var runErr error
 	start := time.Now()
 	for _, e := range harness.Experiments(*cores) {
 		if *only != "" && e.Name != *only {
 			continue
 		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		expStart := time.Now()
-		out, err := e.Run()
+		out, err := e.Run(ctx)
 		if err != nil {
-			log.Fatalf("%s: %v", e.Name, err)
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				interrupted = true
+				break
+			}
+			runErr = fmt.Errorf("%s: %w", e.Name, err)
+			break
 		}
 		wall := time.Since(expStart)
 		fmt.Printf("==== %s ====\n%s\n", e.Name, out)
@@ -133,6 +187,7 @@ func main() {
 			WallMillis:   float64(wall.Microseconds()) / 1e3,
 			OutputSHA256: sha,
 			Output:       out,
+			Partial:      strings.Contains(out, "PARTIAL FIGURE:"),
 		})
 	}
 	total := time.Since(start)
@@ -140,6 +195,14 @@ func main() {
 	if *jsonOut {
 		recordings, replays := harness.ReplayStats()
 		evictions, evictedBytes := harness.CacheStats()
+		anyPartial := false
+		for _, r := range reports {
+			anyPartial = anyPartial || r.Partial
+		}
+		errText := ""
+		if runErr != nil {
+			errText = runErr.Error()
+		}
 		if err := appendReport(benchReport{
 			Label:       *label,
 			Timestamp:   time.Now().Format(time.RFC3339),
@@ -155,12 +218,21 @@ func main() {
 				CacheEvictions: evictions,
 				CacheEvictedMB: float64(evictedBytes) / (1 << 20),
 			},
-			Runtime: snapshotRuntime(),
+			Runtime:     snapshotRuntime(),
+			Interrupted: interrupted,
+			Partial:     anyPartial,
+			Error:       errText,
 		}); err != nil {
 			log.Fatalf("writing benchmark report: %v", err)
 		}
 	}
 
+	if runErr != nil {
+		log.Fatalf("%v", runErr)
+	}
+	if interrupted {
+		log.Fatalf("interrupted after %.1fs with %d experiment(s) complete", total.Seconds(), len(reports))
+	}
 	if mismatches > 0 {
 		log.Fatalf("verify: %d experiment(s) diverge from %s", mismatches, *verify)
 	}
@@ -175,7 +247,8 @@ func main() {
 
 // loadExpectedHashes builds the experiment -> output_sha256 map from a
 // BENCH_*.json file. Later runs in the array win, so the reference is
-// the most recent recording of each experiment.
+// the most recent recording of each experiment. Interrupted or partial
+// runs never contribute reference hashes.
 func loadExpectedHashes(path string) (map[string]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -187,6 +260,9 @@ func loadExpectedHashes(path string) (map[string]string, error) {
 	}
 	want := map[string]string{}
 	for _, r := range runs {
+		if r.Interrupted || r.Partial || r.Error != "" {
+			continue
+		}
 		for _, e := range r.Experiments {
 			want[e.Name] = e.OutputSHA256
 		}
@@ -212,8 +288,11 @@ func snapshotRuntime() runtimeSnapshot {
 	}
 }
 
-// appendReport appends the run to BENCH_<date>.json, which holds a JSON
-// array of runs so before/after comparisons live side by side.
+// appendReport appends the run to BENCH_<date>.json. The file holds a
+// JSON array of runs so before/after comparisons live side by side; the
+// read-modify-write goes through an atomic rename so a crash or signal
+// mid-write leaves either the old array or the new one, never a torn
+// file.
 func appendReport(r benchReport) error {
 	path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	var runs []benchReport
@@ -227,7 +306,7 @@ func appendReport(r benchReport) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("benchmark report appended to %s\n", path)

@@ -12,11 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"syscall"
 
 	"helixrc/internal/difftest"
 	"helixrc/internal/harness"
@@ -39,17 +45,30 @@ func main() {
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallel)
+	if !*verbose {
+		// Cache-eviction notices would interleave with sweep output.
+		harness.SetQuiet()
+	}
 
 	if *repro != "" {
 		os.Exit(reproduceFile(*repro, *budget))
 	}
 
-	failures := 0
+	// SIGINT/SIGTERM cancel in-flight seed checks; the pool drains and
+	// the failures found so far are still reported (flagged interrupted).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	type verdict struct {
 		seed uint64
 		fail *difftest.Failure
 	}
-	results, err := harness.ParMap(int(*seeds), func(i int) (verdict, error) {
+	// Failures are collected out-of-band so an interrupted sweep still
+	// reports everything found before the cancellation.
+	var mu sync.Mutex
+	var found []verdict
+	swept := 0
+	_, err := harness.ParMap(ctx, int(*seeds), func(ctx context.Context, i int) (struct{}, error) {
 		seed := *start + uint64(i)
 		opt := difftest.Options{Budget: *budget}
 		if *quick {
@@ -57,9 +76,9 @@ func main() {
 			opt.Cores = []int{[]int{1, 2, 4, 8, 16}[seed%5]}
 			opt.SkipCross = true
 		}
-		f := difftest.Check(difftest.FromSeed(seed), opt)
+		f := difftest.Check(ctx, difftest.FromSeed(seed), opt)
 		if f != nil {
-			f = difftest.Shrink(f, opt, *trials)
+			f = difftest.Shrink(ctx, f, opt, *trials)
 		}
 		if *verbose {
 			status := "ok"
@@ -68,16 +87,24 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "seed %d: %s\n", seed, status)
 		}
-		return verdict{seed, f}, nil
+		mu.Lock()
+		if ctx.Err() == nil {
+			swept++
+		}
+		if f != nil {
+			found = append(found, verdict{seed, f})
+		}
+		mu.Unlock()
+		return struct{}{}, nil
 	})
-	if err != nil {
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, v := range results {
-		if v.fail == nil {
-			continue
-		}
+	sort.Slice(found, func(i, j int) bool { return found[i].seed < found[j].seed })
+	failures := 0
+	for _, v := range found {
 		failures++
 		fmt.Printf("seed %d: %v\n", v.seed, v.fail)
 		if *out != "" {
@@ -92,11 +119,15 @@ func main() {
 			}
 		}
 	}
-	if *emit != "" {
+	if *emit != "" && !interrupted {
 		if err := emitCorpus(*emit, *start, *seeds, *budget); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+	}
+	if interrupted {
+		fmt.Printf("INTERRUPTED: swept %d of %d seeds from %d: %d failures\n", swept, *seeds, *start, failures)
+		os.Exit(1)
 	}
 	fmt.Printf("swept %d seeds from %d: %d failures\n", *seeds, *start, failures)
 	if failures > 0 {
@@ -116,7 +147,7 @@ func reproduceFile(path string, budget int64) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	if f := difftest.Check(difftest.FromText(text, args), difftest.Options{Budget: budget}); f != nil {
+	if f := difftest.Check(context.Background(), difftest.FromText(text, args), difftest.Options{Budget: budget}); f != nil {
 		fmt.Printf("%s: %v\n", path, f)
 		return 1
 	}

@@ -21,6 +21,15 @@ func main() {
 	cores := flag.Int("cores", 16, "target core count")
 	flag.Parse()
 
+	// Validate numeric flags at the edge so a typo fails with the
+	// accepted range instead of a confusing downstream error.
+	if *level < 1 || *level > 3 {
+		log.Fatalf("-level %d: accepted range is 1..3 (HCCv1, HCCv2, HCCv3)", *level)
+	}
+	if *cores < 1 || *cores > 1024 {
+		log.Fatalf("-cores %d: accepted range is 1..1024", *cores)
+	}
+
 	w, err := helixrc.LoadWorkload(*bench)
 	if err != nil {
 		log.Fatal(err)

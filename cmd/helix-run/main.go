@@ -6,11 +6,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"helixrc"
 	"helixrc/internal/sim"
@@ -31,6 +34,27 @@ func main() {
 		fmt.Println(strings.Join(helixrc.Workloads(), "\n"))
 		return
 	}
+
+	// Validate numeric flags at the edge so a typo fails with the
+	// accepted range instead of a confusing downstream error.
+	if *level < 1 || *level > 3 {
+		log.Fatalf("-level %d: accepted range is 1..3 (HCCv1, HCCv2, HCCv3)", *level)
+	}
+	if *cores < 1 || *cores > 1024 {
+		log.Fatalf("-cores %d: accepted range is 1..1024", *cores)
+	}
+	if *link < 0 {
+		log.Fatalf("-link %d: accepted range is 0.. (cycles)", *link)
+	}
+	if *sigbw < 0 {
+		log.Fatalf("-sigbw %d: accepted range is 0.. (0 = unbounded)", *sigbw)
+	}
+	if *nodeKB < 0 {
+		log.Fatalf("-nodebytes %d: accepted range is 0.. (0 = unbounded)", *nodeKB)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	w, err := helixrc.LoadWorkload(*bench)
 	if err != nil {
@@ -53,11 +77,11 @@ func main() {
 		arch = helixrc.Conventional(*cores)
 	}
 
-	seq, err := helixrc.Simulate(w.Prog, nil, w.Entry, helixrc.Conventional(*cores), w.RefArgs...)
+	seq, err := helixrc.SimulateContext(ctx, w.Prog, nil, w.Entry, helixrc.Conventional(*cores), w.RefArgs...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	par, err := helixrc.Simulate(w.Prog, comp, w.Entry, arch, w.RefArgs...)
+	par, err := helixrc.SimulateContext(ctx, w.Prog, comp, w.Entry, arch, w.RefArgs...)
 	if err != nil {
 		log.Fatal(err)
 	}

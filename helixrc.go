@@ -25,6 +25,8 @@
 package helixrc
 
 import (
+	"context"
+
 	"helixrc/internal/hcc"
 	"helixrc/internal/interp"
 	"helixrc/internal/ir"
@@ -137,7 +139,15 @@ func Compile(prog *Program, entry *Function, opts Options) (*Compiled, error) {
 // sequential baseline. The functional result and cycle counts are exact
 // and deterministic.
 func Simulate(prog *Program, comp *Compiled, entry *Function, platform Platform, args ...int64) (*Result, error) {
-	return sim.Run(prog, comp, entry, platform, args...)
+	return sim.Run(context.Background(), prog, comp, entry, platform, args...)
+}
+
+// SimulateContext is Simulate with a cancellation context: the simulator
+// polls ctx on its step-accounting path and returns ctx.Err() promptly
+// (with a partial Result's worth of progress discarded) when the context
+// is cancelled or its deadline passes.
+func SimulateContext(ctx context.Context, prog *Program, comp *Compiled, entry *Function, platform Platform, args ...int64) (*Result, error) {
+	return sim.Run(ctx, prog, comp, entry, platform, args...)
 }
 
 // Interpret executes entry(args...) functionally (no timing) and returns

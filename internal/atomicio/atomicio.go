@@ -1,0 +1,51 @@
+// Package atomicio writes files atomically: readers (and crashes) see
+// either the previous contents or the new contents, never a torn mix.
+// cmd/helix-bench uses it for its read-modify-write of BENCH_<date>.json
+// so an interrupted run cannot corrupt the accumulated report array.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically by writing a temporary file
+// in the same directory, syncing it, and renaming it over path. The
+// rename is atomic on POSIX filesystems; on any error the temporary
+// file is removed and path is left untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("atomicio: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	tmp = nil // the deferred cleanup must not remove a renamed file
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteFile(path, []byte(`["run1"]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `["run1"]` {
+		t.Fatalf("content = %q", got)
+	}
+	if fi, _ := os.Stat(path); fi.Mode().Perm() != 0o644 {
+		t.Fatalf("perm = %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+func TestWriteFileReplacesWhole(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	// Old content longer than the new one: a non-atomic in-place write
+	// would leave a torn tail.
+	if err := WriteFile(path, []byte(strings.Repeat("x", 4096)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "short" {
+		t.Fatalf("content = %q, want full replacement", got)
+	}
+}
+
+// TestWriteFileFailureLeavesOld: when the write cannot complete (the
+// destination directory refuses the rename), the previous file survives
+// untouched and no temp files are left behind — the old-or-new
+// guarantee helix-bench relies on for its report array.
+func TestWriteFileFailureLeavesOld(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("directory permissions do not bind as root")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := WriteFile(path, []byte("new"), 0o644); err == nil {
+		t.Fatal("write into read-only directory succeeded")
+	}
+	os.Chmod(dir, 0o755)
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Fatalf("content = %q, want old content intact", got)
+	}
+}
+
+// TestWriteFileNoTempLitter: successful writes leave exactly the target
+// file in the directory.
+func TestWriteFileNoTempLitter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	for i := 0; i < 3; i++ {
+		if err := WriteFile(path, []byte("v"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "report.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want [report.json]", names)
+	}
+}

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -48,7 +49,7 @@ func TestReproduceRoundTrip(t *testing.T) {
 		t.Fatal("program text lost in Reproduce round-trip")
 	}
 	// The harness must accept the reproduced text verbatim.
-	if ff := Check(FromText(text, gotArgs), Options{SkipCross: true, SkipBudget: true, SkipAlias: true}); ff != nil {
+	if ff := Check(context.Background(), FromText(text, gotArgs), Options{SkipCross: true, SkipBudget: true, SkipAlias: true}); ff != nil {
 		t.Fatalf("reproduced program diverges: %v", ff)
 	}
 }
@@ -71,7 +72,7 @@ func TestCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if f := Check(FromText(text, args), corpusOptions()); f != nil {
+			if f := Check(context.Background(), FromText(text, args), corpusOptions()); f != nil {
 				t.Fatalf("%v\nargs %v\n%s", f, f.Args, f.Program)
 			}
 		})

@@ -20,6 +20,7 @@
 package difftest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -107,7 +108,23 @@ func (f *Failure) Error() string {
 // every invariant holds, a *Failure otherwise. Programs that exhaust the
 // reference interpreter budget are treated as uninteresting inputs and
 // pass vacuously.
-func Check(build Builder, opt Options) *Failure {
+//
+// A cancelled ctx aborts the matrix early and returns nil: an
+// interrupted check yields no verdict, never a fabricated Failure
+// (simulator runs cut short by cancellation would otherwise read as
+// oracle violations).
+func Check(ctx context.Context, build Builder, opt Options) *Failure {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f := check(ctx, build, opt)
+	if ctx.Err() != nil {
+		return nil
+	}
+	return f
+}
+
+func check(ctx context.Context, build Builder, opt Options) *Failure {
 	opt.fill()
 	fail := func(stage, format string, a ...any) *Failure {
 		p, f, args, err := build()
@@ -142,7 +159,10 @@ func Check(build Builder, opt Options) *Failure {
 	// Oracles 1-3 across the compile matrix.
 	for _, level := range opt.Levels {
 		for _, cores := range opt.Cores {
-			if f := checkConfig(build, opt, level, cores, ref.RetValue, fail); f != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if f := checkConfig(ctx, build, opt, level, cores, ref.RetValue, fail); f != nil {
 				return f
 			}
 		}
@@ -191,7 +211,7 @@ func checkAlias(build Builder, opt Options, fail func(string, string, ...any) *F
 // checkConfig compiles a fresh copy at (level, cores) and drives the
 // functional, fast/slow and record/replay oracles, including the
 // cross-architecture sweep and budget probes.
-func checkConfig(build Builder, opt Options, level hcc.Level, cores int,
+func checkConfig(ctx context.Context, build Builder, opt Options, level hcc.Level, cores int,
 	want int64, fail func(string, string, ...any) *Failure) *Failure {
 
 	compile := func() (*ir.Program, *hcc.Compiled, *ir.Function, *Failure) {
@@ -227,7 +247,7 @@ func checkConfig(build Builder, opt Options, level hcc.Level, cores int,
 	helix.MaxSteps = opt.Budget
 
 	tag := fmt.Sprintf("L%d/%dc", level, cores)
-	fast, err := sim.Run(p, comp, f, helix, args...)
+	fast, err := sim.Run(ctx, p, comp, f, helix, args...)
 	if err != nil {
 		return fail("functional", "%s: parallel run failed: %v", tag, err)
 	}
@@ -237,7 +257,7 @@ func checkConfig(build Builder, opt Options, level hcc.Level, cores int,
 	}
 
 	// Oracle 2: reference stepper, fresh program copy.
-	if f := runBothWays(compile, helix, fast, tag, args, fail); f != nil {
+	if f := runBothWays(ctx, compile, helix, fast, tag, args, fail); f != nil {
 		return f
 	}
 
@@ -246,14 +266,14 @@ func checkConfig(build Builder, opt Options, level hcc.Level, cores int,
 	if ff != nil {
 		return ff
 	}
-	rec, tr, err := sim.Record(pr, comp2, fr, helix, args...)
+	rec, tr, err := sim.Record(ctx, pr, comp2, fr, helix, args...)
 	if err != nil {
 		return fail("replay", "%s: record failed: %v", tag, err)
 	}
 	if *rec != *fast {
 		return fail("replay", "%s: recording run diverges from plain run:\n%s", tag, diffResult(rec, fast))
 	}
-	if rp, err := sim.Replay(tr, helix); err != nil {
+	if rp, err := sim.Replay(ctx, tr, helix); err != nil {
 		return fail("replay", "%s: replay failed: %v", tag, err)
 	} else if *rp != *fast {
 		return fail("replay", "%s: replay diverges from execution:\n%s", tag, diffResult(rp, fast))
@@ -263,21 +283,24 @@ func checkConfig(build Builder, opt Options, level hcc.Level, cores int,
 	// configs must match fresh execution-driven runs (fast and slow).
 	if !opt.SkipCross {
 		for _, cross := range crossConfigs(cores, opt.Budget) {
+			if ctx.Err() != nil {
+				return nil
+			}
 			px, compx, fx, ff := compile()
 			if ff != nil {
 				return ff
 			}
-			fastX, errX := sim.Run(px, compx, fx, cross.cfg, args...)
+			fastX, errX := sim.Run(ctx, px, compx, fx, cross.cfg, args...)
 			if errX != nil {
 				return fail("functional", "%s/%s: run failed: %v", tag, cross.name, errX)
 			}
 			if fastX.RetValue != want {
 				return fail("functional", "%s/%s: RetValue %d != %d", tag, cross.name, fastX.RetValue, want)
 			}
-			if f := runBothWays(compile, cross.cfg, fastX, tag+"/"+cross.name, args, fail); f != nil {
+			if f := runBothWays(ctx, compile, cross.cfg, fastX, tag+"/"+cross.name, args, fail); f != nil {
 				return f
 			}
-			rpX, err := sim.Replay(tr, cross.cfg)
+			rpX, err := sim.Replay(ctx, tr, cross.cfg)
 			if err != nil {
 				return fail("replay", "%s/%s: replay failed: %v", tag, cross.name, err)
 			}
@@ -292,21 +315,24 @@ func checkConfig(build Builder, opt Options, level hcc.Level, cores int,
 	// with identical partial results.
 	if !opt.SkipBudget && fast.Instrs > 16 {
 		for _, frac := range []int64{3, 2} {
+			if ctx.Err() != nil {
+				return nil
+			}
 			limited := helix
 			limited.MaxSteps = fast.Instrs / frac
 			pb, compb, fb, ff := compile()
 			if ff != nil {
 				return ff
 			}
-			partialFast, errFast := sim.Run(pb, compb, fb, limited, args...)
+			partialFast, errFast := sim.Run(ctx, pb, compb, fb, limited, args...)
 			ps, comps, fs, ff := compile()
 			if ff != nil {
 				return ff
 			}
 			slowLimited := limited
 			slowLimited.SlowStep = true
-			partialSlow, errSlow := sim.Run(ps, comps, fs, slowLimited, args...)
-			partialReplay, errReplay := sim.Replay(tr, limited)
+			partialSlow, errSlow := sim.Run(ctx, ps, comps, fs, slowLimited, args...)
+			partialReplay, errReplay := sim.Replay(ctx, tr, limited)
 			if !errors.Is(errFast, sim.ErrBudget) || !errors.Is(errSlow, sim.ErrBudget) || !errors.Is(errReplay, sim.ErrBudget) {
 				return fail("budget", "%s: MaxSteps=%d want ErrBudget from all paths, got fast=%v slow=%v replay=%v",
 					tag, limited.MaxSteps, errFast, errSlow, errReplay)
@@ -326,7 +352,7 @@ func checkConfig(build Builder, opt Options, level hcc.Level, cores int,
 
 // runBothWays re-runs a configuration through the reference stepper and
 // compares against the fast-path result bit for bit.
-func runBothWays(compile func() (*ir.Program, *hcc.Compiled, *ir.Function, *Failure),
+func runBothWays(ctx context.Context, compile func() (*ir.Program, *hcc.Compiled, *ir.Function, *Failure),
 	cfg sim.Config, fast *sim.Result, tag string, args []int64,
 	fail func(string, string, ...any) *Failure) *Failure {
 
@@ -336,7 +362,7 @@ func runBothWays(compile func() (*ir.Program, *hcc.Compiled, *ir.Function, *Fail
 	}
 	slowCfg := cfg
 	slowCfg.SlowStep = true
-	slow, err := sim.Run(ps, comps, fs, slowCfg, args...)
+	slow, err := sim.Run(ctx, ps, comps, fs, slowCfg, args...)
 	if err != nil {
 		return fail("fast-slow", "%s: reference stepper failed: %v", tag, err)
 	}

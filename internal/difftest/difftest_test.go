@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"context"
 	"testing"
 
 	"helixrc/internal/hcc"
@@ -15,7 +16,7 @@ func TestCheckSeeds(t *testing.T) {
 		n = 3
 	}
 	for seed := uint64(0); seed < n; seed++ {
-		if f := Check(FromSeed(seed), Options{}); f != nil {
+		if f := Check(context.Background(), FromSeed(seed), Options{}); f != nil {
 			t.Fatalf("seed %d: %v\nargs %v\n%s", seed, f, f.Args, f.Program)
 		}
 	}
@@ -34,7 +35,7 @@ func TestCheckSingleConfig(t *testing.T) {
 			SkipCross:  true,
 			SkipBudget: seed%2 == 0,
 		}
-		if f := Check(FromSeed(seed), opt); f != nil {
+		if f := Check(context.Background(), FromSeed(seed), opt); f != nil {
 			t.Fatalf("seed %d: %v\nargs %v\n%s", seed, f, f.Args, f.Program)
 		}
 	}

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"context"
 	"testing"
 
 	"helixrc/internal/hcc"
@@ -22,7 +23,7 @@ func FuzzDifferential(f *testing.F) {
 	f.Add(uint64(1<<40), byte(0xff))
 	f.Fuzz(func(t *testing.T, seed uint64, cfg byte) {
 		opt := optionsFromByte(cfg)
-		if fail := Check(FromSeed(seed), opt); fail != nil {
+		if fail := Check(context.Background(), FromSeed(seed), opt); fail != nil {
 			t.Fatalf("seed %d cfg %#x: %v\nargs %v\n%s",
 				seed, cfg, fail, fail.Args, fail.Program)
 		}

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 
 	"helixrc/internal/interp"
@@ -26,25 +27,34 @@ import (
 // induction update, say), so the predicate first bounds the candidate in
 // the interpreter with the matrix budget before running the oracles.
 //
-// Shrink returns the minimized failure (at worst the input failure).
-func Shrink(f *Failure, opt Options, maxTrials int) *Failure {
+// Shrink returns the minimized failure (at worst the input failure). A
+// cancelled ctx stops the reduction and returns the best failure found
+// so far — still a genuine reproducer, just less minimal.
+func Shrink(ctx context.Context, f *Failure, opt Options, maxTrials int) *Failure {
 	if f == nil || f.Program == "" {
 		return f
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	opt.fill()
 	if maxTrials <= 0 {
 		maxTrials = 600
 	}
-	s := &shrinker{opt: opt, stage: f.Stage, args: f.Args, trials: maxTrials}
+	s := &shrinker{ctx: ctx, opt: opt, stage: f.Stage, args: f.Args, trials: maxTrials}
 	best := f.Program
 	for {
 		next, improved := s.sweep(best)
-		if !improved || s.trials <= 0 {
+		if !improved || s.trials <= 0 || ctx.Err() != nil {
 			break
 		}
 		best = next
 	}
-	out := Check(FromText(best, f.Args), opt)
+	if ctx.Err() != nil {
+		// Interrupted: don't pay for a final re-check, keep the input.
+		return f
+	}
+	out := Check(context.Background(), FromText(best, f.Args), opt)
 	if out == nil {
 		// Cannot happen unless the failure is flaky; keep the original.
 		return f
@@ -53,6 +63,7 @@ func Shrink(f *Failure, opt Options, maxTrials int) *Failure {
 }
 
 type shrinker struct {
+	ctx    context.Context
 	opt    Options
 	stage  string
 	args   []int64
@@ -63,7 +74,7 @@ type shrinker struct {
 // stage. Candidates that fail to parse, verify, or terminate within the
 // budget are rejected.
 func (s *shrinker) still(text string) bool {
-	if s.trials <= 0 {
+	if s.trials <= 0 || s.ctx.Err() != nil {
 		return false
 	}
 	s.trials--
@@ -76,7 +87,7 @@ func (s *shrinker) still(text string) bool {
 			return false
 		}
 	}
-	ff := Check(FromText(text, s.args), s.opt)
+	ff := Check(s.ctx, FromText(text, s.args), s.opt)
 	return ff != nil && ff.Stage == s.stage
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"helixrc/internal/hcc"
@@ -15,7 +16,7 @@ func TestCalibration(t *testing.T) {
 		t.Skip("calibration table is slow")
 	}
 	for _, name := range workloads.Names() {
-		v3, err := Evaluate(name, hcc.V3, sim.HelixRC(16), true)
+		v3, err := Evaluate(context.Background(), name, hcc.V3, sim.HelixRC(16), true)
 		if err != nil {
 			t.Errorf("%s V3: %v", name, err)
 			continue
@@ -23,17 +24,17 @@ func TestCalibration(t *testing.T) {
 		w, _ := workloads.Get(name)
 		// HCCv3 code on conventional hardware (Figure 9 C bars).
 		wc, comp, _ := Compile(name, hcc.V3, 16)
-		conv, err := sim.Run(wc.Prog, comp, wc.Entry, sim.Conventional(16), wc.RefArgs...)
+		conv, err := sim.Run(context.Background(), wc.Prog, comp, wc.Entry, sim.Conventional(16), wc.RefArgs...)
 		if err != nil {
 			t.Errorf("%s V3conv: %v", name, err)
 			continue
 		}
-		v2, err := Evaluate(name, hcc.V2, sim.Conventional(16), true)
+		v2, err := Evaluate(context.Background(), name, hcc.V2, sim.Conventional(16), true)
 		if err != nil {
 			t.Errorf("%s V2: %v", name, err)
 			continue
 		}
-		v1, err := Evaluate(name, hcc.V1, sim.Conventional(16), true)
+		v1, err := Evaluate(context.Background(), name, hcc.V1, sim.Conventional(16), true)
 		if err != nil {
 			t.Errorf("%s V1: %v", name, err)
 			continue

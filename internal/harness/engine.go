@@ -7,12 +7,35 @@ package harness
 // singleflight-style memoization so concurrent figures never compile
 // the same configuration twice. Results are always assembled in cell
 // order, so output is byte-identical at any parallelism level.
+//
+// Robustness contract (see DESIGN.md "Robustness"):
+//
+//   - Cancellation: every entry point takes a context. Workers check it
+//     between jobs, memo waiters select on it, and the simulator polls
+//     it on the step-accounting path, so a cancelled sweep returns
+//     promptly and parMap always drains its own workers before
+//     returning — no goroutine outlives the call that started it except
+//     memo computations, which exit as soon as their waiters are gone.
+//   - Panic isolation: a panicking cell fails only its own figure. The
+//     worker converts the panic into a *PanicError carrying the job
+//     index, the cell identity (workload x level x arch config, when
+//     the figure provides a labeler) and the stack.
+//   - Deadlines: SetCellTimeout bounds each cell's wall clock. A
+//     timed-out cell degrades into its zero value and is reported on
+//     the figure's Partials collector instead of failing the figure.
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
 	"log"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // parallelism is the configured worker count; <= 0 means GOMAXPROCS.
@@ -55,6 +78,47 @@ func SetNoReplay(v bool) { noReplay.Store(v) }
 // NoReplay reports whether record/replay is disabled.
 func NoReplay() bool { return noReplay.Load() }
 
+// cellTimeoutNS is the per-cell wall-clock deadline in nanoseconds;
+// <= 0 disables it.
+var cellTimeoutNS atomic.Int64
+
+// SetCellTimeout bounds the wall clock of every experiment cell.
+// d <= 0 (the default) disables the bound. A cell that exceeds its
+// deadline is reaped without aborting its siblings: when the enclosing
+// figure carries a Partials collector (Experiments installs one), the
+// cell degrades into its zero value and is listed as degraded; without
+// a collector the deadline error fails the figure like any other error,
+// so a partial table can never masquerade as a complete one.
+func SetCellTimeout(d time.Duration) { cellTimeoutNS.Store(int64(d)) }
+
+// CellTimeout returns the configured per-cell deadline (0 = none).
+func CellTimeout() time.Duration { return time.Duration(cellTimeoutNS.Load()) }
+
+// engineLogger is the injectable destination for engine diagnostics
+// (cache evictions today). nil means the default stderr logger.
+var engineLogger atomic.Pointer[log.Logger]
+
+// SetLogger routes engine diagnostics (cache-eviction notices and other
+// non-fatal events) to l. nil restores the default stderr logger; pass
+// log.New(io.Discard, "", 0) — or call SetQuiet — to silence the engine
+// entirely (helix-bench -quiet does, and tests do).
+func SetLogger(l *log.Logger) { engineLogger.Store(l) }
+
+// SetQuiet discards all engine diagnostics.
+func SetQuiet() { SetLogger(log.New(io.Discard, "", 0)) }
+
+// defaultLogger is the stderr logger used when none is injected.
+var defaultLogger = log.New(os.Stderr, "", log.LstdFlags)
+
+// logf writes one engine diagnostic line through the injected logger.
+func logf(format string, args ...any) {
+	l := engineLogger.Load()
+	if l == nil {
+		l = defaultLogger
+	}
+	l.Printf(format, args...)
+}
+
 // traceRecordings / traceReplays count how harness simulations were
 // served: by recording a fresh trace (full execution) or by replaying a
 // cached one. Cumulative across ResetCaches; helix-bench reports them.
@@ -68,22 +132,108 @@ func ReplayStats() (recordings, replays int64) {
 	return traceRecordings.Load(), traceReplays.Load()
 }
 
-// ParMap runs f(0..n-1) across the engine's worker pool and returns the
-// results in index order. It is the exported face of parMap for other
-// drivers (cmd/helix-fuzz sweeps generator seeds with it); the figure
-// generators use the unexported spelling.
-func ParMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
-	return parMap(n, f)
+// PanicError is a recovered worker panic, converted into an error so a
+// panicking experiment cell fails its own figure — with the cell's
+// identity attached — instead of killing the process with a bare
+// goroutine trace.
+type PanicError struct {
+	Job   int    // job index within the parMap call
+	Cell  string // cell identity (workload x level x arch), "" if unknown
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine
 }
 
-// parMap runs f(0..n-1) across the engine's worker pool and returns the
-// results in index order. With one worker (or one job) it runs inline.
-// If any job fails, the lowest-indexed error among executed jobs is
-// returned and remaining unstarted jobs are skipped.
-func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
+func (e *PanicError) Error() string {
+	id := fmt.Sprintf("job %d", e.Job)
+	if e.Cell != "" {
+		id = fmt.Sprintf("job %d (cell %s)", e.Job, e.Cell)
+	}
+	return fmt.Sprintf("harness: %s panicked: %v\n%s", id, e.Value, e.Stack)
+}
+
+// Partials collects the identities of cells that were degraded (timed
+// out and replaced by zero values) while generating one figure. A
+// figure generated with a Partials collector in its context never fails
+// on a per-cell deadline; it completes with the surviving cells and the
+// collector names the holes.
+type Partials struct {
+	mu    sync.Mutex
+	cells []string
+}
+
+// add records one degraded cell.
+func (p *Partials) add(cell string) {
+	p.mu.Lock()
+	p.cells = append(p.cells, cell)
+	p.mu.Unlock()
+}
+
+// Cells returns the degraded cell identities in completion order.
+func (p *Partials) Cells() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.cells...)
+}
+
+// Note renders the degradation report appended to a partial figure, or
+// "" when every cell completed (so complete figures stay byte-identical
+// to runs without a collector).
+func (p *Partials) Note() string {
+	cells := p.Cells()
+	if len(cells) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("PARTIAL FIGURE: %d cell(s) timed out after %v and hold zero values: %v\n",
+		len(cells), CellTimeout(), cells)
+}
+
+type partialsKey struct{}
+
+// WithPartials installs a fresh Partials collector, opting the figure
+// generated under the returned context into graceful degradation of
+// timed-out cells.
+func WithPartials(ctx context.Context) (context.Context, *Partials) {
+	p := &Partials{}
+	return context.WithValue(ctx, partialsKey{}, p), p
+}
+
+// partialsFrom returns the installed collector, or nil.
+func partialsFrom(ctx context.Context) *Partials {
+	p, _ := ctx.Value(partialsKey{}).(*Partials)
+	return p
+}
+
+// ParMap runs f(ctx, 0..n-1) across the engine's worker pool and
+// returns the results in index order. It is the exported face of parMap
+// for other drivers (cmd/helix-fuzz sweeps generator seeds with it);
+// the figure generators use the unexported spellings.
+func ParMap[T any](ctx context.Context, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return parMap(ctx, n, f)
+}
+
+// parMap is parMapCells without cell labels.
+func parMap[T any](ctx context.Context, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return parMapCells(ctx, n, nil, f)
+}
+
+// parMapCells runs f(ctx, 0..n-1) across the engine's worker pool and
+// returns the results in index order. With one worker (or one job) it
+// runs inline. If any job fails, the lowest-indexed error among
+// executed jobs is returned and remaining unstarted jobs are skipped.
+//
+// cell, when non-nil, names job i's experiment cell for error
+// attribution and degradation reports. Each job runs under the per-cell
+// deadline (SetCellTimeout) with panic recovery; see runCell. Workers
+// observe ctx between jobs and the call always drains its own workers
+// before returning, so cancellation returns ctx.Err() promptly and
+// leaks nothing.
+func parMapCells[T any](ctx context.Context, n int, cell func(int) string, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	w := Parallelism()
 	if w > n {
@@ -91,7 +241,10 @@ func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := f(i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := runCell(ctx, i, cell, f)
 			if err != nil {
 				return nil, err
 			}
@@ -109,10 +262,10 @@ func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				v, err := f(i)
+				v, err := runCell(ctx, i, cell, f)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -128,17 +281,61 @@ func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// runCell executes one parMap job: under the per-cell deadline when one
+// is configured, with panics recovered into *PanicError. A job that
+// fails with its own cell deadline (the parent context is still live)
+// degrades into the zero value and is recorded on the context's
+// Partials collector; without a collector the deadline error propagates
+// like any other failure.
+func runCell[T any](ctx context.Context, i int, cell func(int) string, f func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	cctx := ctx
+	d := CellTimeout()
+	if d > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			pe := &PanicError{Job: i, Value: p, Stack: debug.Stack()}
+			if cell != nil {
+				pe.Cell = cell(i)
+			}
+			var zero T
+			v, err = zero, pe
+		}
+	}()
+	v, err = f(cctx, i)
+	if err != nil && d > 0 && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+		if p := partialsFrom(ctx); p != nil {
+			label := fmt.Sprintf("job %d", i)
+			if cell != nil {
+				label = cell(i)
+			}
+			p.add(label)
+			var zero T
+			return zero, nil
+		}
+	}
+	return v, err
 }
 
 // memoCall is one in-flight or completed memoized computation. Completed
 // successful entries are threaded on the group's intrusive LRU list.
 type memoCall[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
+	done   chan struct{}
+	val    V
+	err    error
+	cancel context.CancelFunc // cancels the computation's context
 
 	key        string
+	waiters    int // guarded by g.mu; last detaching waiter cancels
 	cost       int64
 	prev, next *memoCall[V]
 	linked     bool
@@ -147,6 +344,14 @@ type memoCall[V any] struct {
 // memoGroup is a concurrency-safe memoization table with singleflight
 // semantics: concurrent Do calls for the same key share one execution,
 // and completed results (including errors) are cached until reset.
+//
+// Cancellation never poisons the cache. The computation runs on its own
+// goroutine under a context detached from any single caller, so a
+// cancelled waiter simply stops waiting while the in-flight entry keeps
+// serving everyone else. Only when the last waiter detaches is the
+// computation's context cancelled and the entry dropped, and a
+// computation that returns a context error is never cached — the next
+// caller recomputes from scratch.
 //
 // When a cost function and a byte budget are configured, completed
 // successful entries additionally form an LRU: once their summed cost
@@ -171,37 +376,97 @@ type memoGroup[V any] struct {
 }
 
 // Do returns the memoized result for key, computing it with fn exactly
-// once per reset no matter how many goroutines ask concurrently.
-func (g *memoGroup[V]) Do(key string, fn func() (V, error)) (V, error) {
+// once per reset no matter how many goroutines ask concurrently. The
+// wait is bounded by ctx: a cancelled waiter detaches with ctx.Err()
+// while the computation keeps running for the remaining waiters. fn
+// receives the computation's own context, which is cancelled only when
+// every waiter has detached.
+func (g *memoGroup[V]) Do(ctx context.Context, key string, fn func(ctx context.Context) (V, error)) (V, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*memoCall[V]{}
 	}
-	if c, ok := g.m[key]; ok {
+	c, ok := g.m[key]
+	if ok {
 		if c.linked {
 			g.moveToFront(c)
 		}
-		g.mu.Unlock()
-		<-c.done
-		return c.val, c.err
+	} else {
+		// The computation's context survives this caller: derived from
+		// ctx for its values only, cancelled by the last detaching
+		// waiter rather than by any one caller's cancellation.
+		cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		c = &memoCall[V]{done: make(chan struct{}), key: key, cancel: cancel}
+		g.m[key] = c
+		go g.compute(c, cctx, fn)
 	}
-	c := &memoCall[V]{done: make(chan struct{}), key: key}
-	g.m[key] = c
+	c.waiters++
 	g.mu.Unlock()
-	c.val, c.err = fn()
+
+	select {
+	case <-c.done:
+		g.mu.Lock()
+		c.waiters--
+		g.mu.Unlock()
+		return c.val, c.err
+	case <-ctx.Done():
+		g.detach(c)
+		var zero V
+		return zero, ctx.Err()
+	}
+}
+
+// compute runs one memoized computation to completion and publishes the
+// result: successes are cached (and LRU-accounted), context errors are
+// dropped so an abandoned or reaped computation never poisons the key,
+// and other errors stay cached until reset exactly as before.
+func (g *memoGroup[V]) compute(c *memoCall[V], cctx context.Context, fn func(ctx context.Context) (V, error)) {
+	c.val, c.err = fn(cctx)
 	close(c.done)
+	c.cancel()
 
 	g.mu.Lock()
 	// Only account the entry if it is still the table's (a concurrent
-	// reset may have dropped it) and it succeeded.
-	if g.m[key] == c && c.err == nil && g.cost != nil {
-		c.cost = g.cost(c.val)
-		g.used += c.cost
-		g.linkFront(c)
-		g.evict()
+	// reset — or the last waiter detaching — may have dropped it).
+	if g.m[c.key] == c {
+		switch {
+		case c.err != nil && (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)):
+			delete(g.m, c.key)
+		case c.err == nil && g.cost != nil:
+			c.cost = g.cost(c.val)
+			g.used += c.cost
+			g.linkFront(c)
+			g.evict()
+		}
 	}
 	g.mu.Unlock()
-	return c.val, c.err
+}
+
+// detach removes one cancelled waiter from an entry. When the last
+// waiter of a still-running computation detaches, the computation's
+// context is cancelled (so a stuck cell is reaped) and the entry is
+// dropped from the table so later callers start a fresh computation
+// instead of joining a dying one.
+func (g *memoGroup[V]) detach(c *memoCall[V]) {
+	g.mu.Lock()
+	c.waiters--
+	if c.waiters == 0 {
+		select {
+		case <-c.done:
+			// Already finished; compute published the result.
+		default:
+			if g.m[c.key] == c {
+				delete(g.m, c.key)
+			}
+			g.mu.Unlock()
+			c.cancel()
+			return
+		}
+	}
+	g.mu.Unlock()
 }
 
 func (g *memoGroup[V]) linkFront(c *memoCall[V]) {
@@ -249,7 +514,7 @@ func (g *memoGroup[V]) evict() {
 		g.used -= t.cost
 		g.evictions.Add(1)
 		g.evictedBytes.Add(t.cost)
-		log.Printf("harness: %s cache evicted %s (%d KB, %d/%d KB in use)",
+		logf("harness: %s cache evicted %s (%d KB, %d/%d KB in use)",
 			g.name, t.key, t.cost>>10, g.used>>10, g.budget>>10)
 	}
 }

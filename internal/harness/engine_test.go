@@ -1,17 +1,55 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"os"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// TestMain silences engine diagnostics (cache-eviction notices) for the
+// whole package's tests.
+func TestMain(m *testing.M) {
+	SetQuiet()
+	os.Exit(m.Run())
+}
+
+// checkGoroutineLeaks snapshots the goroutine count and returns a
+// function that fails the test if the count has not settled back by the
+// deferred call (with a grace period for runtime bookkeeping goroutines
+// to exit).
+func checkGoroutineLeaks(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			runtime.GC()
+			after := runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
 
 func TestParMapOrder(t *testing.T) {
 	SetParallelism(8)
 	defer SetParallelism(0)
-	out, err := parMap(100, func(i int) (int, error) { return i * 3, nil })
+	out, err := parMap(context.Background(), 100, func(_ context.Context, i int) (int, error) { return i * 3, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +64,7 @@ func TestParMapInline(t *testing.T) {
 	SetParallelism(1)
 	defer SetParallelism(0)
 	var order []int
-	_, err := parMap(5, func(i int) (int, error) {
+	_, err := parMap(context.Background(), 5, func(_ context.Context, i int) (int, error) {
 		order = append(order, i) // safe: single worker runs inline
 		return i, nil
 	})
@@ -44,7 +82,7 @@ func TestParMapError(t *testing.T) {
 	SetParallelism(4)
 	defer SetParallelism(0)
 	boom := errors.New("boom")
-	_, err := parMap(50, func(i int) (int, error) {
+	_, err := parMap(context.Background(), 50, func(_ context.Context, i int) (int, error) {
 		if i == 17 {
 			return 0, fmt.Errorf("cell %d: %w", i, boom)
 		}
@@ -52,6 +90,127 @@ func TestParMapError(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+// TestParMapPanic pins the panic-isolation contract: a panicking job at
+// parallelism 8 fails the call cleanly with a *PanicError naming the job
+// index and cell identity, and no worker goroutine leaks.
+func TestParMapPanic(t *testing.T) {
+	defer checkGoroutineLeaks(t)()
+	SetParallelism(8)
+	defer SetParallelism(0)
+	cell := func(i int) string { return fmt.Sprintf("wl%d/L3/conv16", i) }
+	_, err := parMapCells(context.Background(), 64, cell, func(_ context.Context, i int) (int, error) {
+		if i == 13 {
+			panic("cell exploded")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Job != 13 {
+		t.Errorf("Job = %d, want 13", pe.Job)
+	}
+	if pe.Cell != "wl13/L3/conv16" {
+		t.Errorf("Cell = %q, want wl13/L3/conv16", pe.Cell)
+	}
+	if !strings.Contains(err.Error(), "job 13 (cell wl13/L3/conv16)") {
+		t.Errorf("error text missing cell identity: %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+}
+
+// TestParMapCancel pins promptness: cancelling the context mid-call
+// returns context.Canceled quickly, with all workers drained.
+func TestParMapCancel(t *testing.T) {
+	defer checkGoroutineLeaks(t)()
+	SetParallelism(4)
+	defer SetParallelism(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	go func() {
+		for started.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	start := time.Now()
+	_, err := parMap(ctx, 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		<-ctx.Done() // a well-behaved cell observes cancellation
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancelled parMap took %v, want < 2s", d)
+	}
+}
+
+// TestCellTimeoutDegradation pins graceful degradation: with a per-cell
+// deadline and a Partials collector installed, a cell that exceeds its
+// deadline yields the zero value and is reported, and the call succeeds.
+func TestCellTimeoutDegradation(t *testing.T) {
+	SetParallelism(2)
+	defer SetParallelism(0)
+	SetCellTimeout(20 * time.Millisecond)
+	defer SetCellTimeout(0)
+	ctx, partial := WithPartials(context.Background())
+	cell := func(i int) string { return fmt.Sprintf("wl%d/L3/rc16", i) }
+	out, err := parMapCells(ctx, 4, cell, func(cctx context.Context, i int) (int, error) {
+		if i == 2 { // a slow cell that honours its deadline
+			<-cctx.Done()
+			return 0, cctx.Err()
+		}
+		return i + 100, nil
+	})
+	if err != nil {
+		t.Fatalf("degraded call failed: %v", err)
+	}
+	want := []int{100, 101, 0, 103}
+	for i, v := range out {
+		if v != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+	cells := partial.Cells()
+	if len(cells) != 1 || cells[0] != "wl2/L3/rc16" {
+		t.Fatalf("Partials.Cells() = %v, want [wl2/L3/rc16]", cells)
+	}
+	if note := partial.Note(); !strings.Contains(note, "PARTIAL FIGURE") || !strings.Contains(note, "wl2/L3/rc16") {
+		t.Errorf("Note() = %q, want PARTIAL FIGURE naming the cell", note)
+	}
+}
+
+// TestCellTimeoutWithoutCollectorFails: without a Partials collector the
+// deadline error propagates, so a partial table can never silently pass
+// for a complete one.
+func TestCellTimeoutWithoutCollectorFails(t *testing.T) {
+	SetParallelism(1)
+	defer SetParallelism(0)
+	SetCellTimeout(10 * time.Millisecond)
+	defer SetCellTimeout(0)
+	_, err := parMapCells(context.Background(), 1, nil, func(cctx context.Context, i int) (int, error) {
+		<-cctx.Done()
+		return 0, cctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestPartialsNoteEmpty: a complete figure renders no degradation note,
+// keeping default-run output byte-identical.
+func TestPartialsNoteEmpty(t *testing.T) {
+	_, partial := WithPartials(context.Background())
+	if note := partial.Note(); note != "" {
+		t.Fatalf("Note() = %q for a complete figure, want empty", note)
 	}
 }
 
@@ -66,7 +225,7 @@ func TestMemoGroupSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := g.Do("key", func() (int, error) {
+			v, err := g.Do(context.Background(), "key", func(context.Context) (int, error) {
 				calls.Add(1)
 				return 42, nil
 			})
@@ -90,22 +249,113 @@ func TestMemoGroupSingleflight(t *testing.T) {
 func TestMemoGroupErrorCachedUntilReset(t *testing.T) {
 	var g memoGroup[int]
 	var calls atomic.Int32
-	fail := func() (int, error) { calls.Add(1); return 0, errors.New("nope") }
-	if _, err := g.Do("k", fail); err == nil {
+	fail := func(context.Context) (int, error) { calls.Add(1); return 0, errors.New("nope") }
+	if _, err := g.Do(context.Background(), "k", fail); err == nil {
 		t.Fatal("want error")
 	}
-	if _, err := g.Do("k", fail); err == nil {
+	if _, err := g.Do(context.Background(), "k", fail); err == nil {
 		t.Fatal("want cached error")
 	}
 	if c := calls.Load(); c != 1 {
 		t.Fatalf("fn ran %d times before reset, want 1", c)
 	}
 	g.reset()
-	if _, err := g.Do("k", fail); err == nil {
+	if _, err := g.Do(context.Background(), "k", fail); err == nil {
 		t.Fatal("want error after reset")
 	}
 	if c := calls.Load(); c != 2 {
 		t.Fatalf("fn ran %d times after reset, want 2", c)
+	}
+}
+
+// TestMemoGroupWaiterCancelDetaches pins the non-poisoning contract: a
+// cancelled waiter detaches with its own ctx.Err() while the in-flight
+// computation completes for the remaining waiters and is cached normally.
+func TestMemoGroupWaiterCancelDetaches(t *testing.T) {
+	var g memoGroup[int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+	fn := func(context.Context) (int, error) {
+		calls.Add(1)
+		<-release
+		return 42, nil
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Do(ctx1, "k", fn)
+		errc <- err
+	}()
+	// Second waiter joins the same in-flight computation.
+	valc := make(chan int, 1)
+	go func() {
+		v, err := g.Do(context.Background(), "k", fn)
+		if err != nil {
+			t.Errorf("surviving waiter: %v", err)
+		}
+		valc <- v
+	}()
+	// Let both waiters attach before cancelling the first.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	cancel1()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not detach promptly")
+	}
+	close(release)
+	if v := <-valc; v != 42 {
+		t.Fatalf("surviving waiter got %d, want 42", v)
+	}
+	// The completed result is cached — no poisoning, no recompute.
+	v, err := g.Do(context.Background(), "k", fn)
+	if err != nil || v != 42 {
+		t.Fatalf("post-cancel Do = %d, %v; want 42, nil", v, err)
+	}
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times, want 1", c)
+	}
+}
+
+// TestMemoGroupAbandonedComputeNotCached: when every waiter detaches, the
+// computation's context is cancelled and its (context-error) result is
+// dropped, so the next caller recomputes from scratch.
+func TestMemoGroupAbandonedComputeNotCached(t *testing.T) {
+	defer checkGoroutineLeaks(t)()
+	var g memoGroup[int]
+	var calls atomic.Int32
+	started := make(chan struct{})
+	fn := func(cctx context.Context) (int, error) {
+		calls.Add(1)
+		close(started)
+		<-cctx.Done() // reaped when the last waiter detaches
+		return 0, cctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Do(ctx, "k", fn)
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter got %v, want context.Canceled", err)
+	}
+	// The key recomputes: the dying computation never poisoned it.
+	v, err := g.Do(context.Background(), "k", func(context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("recompute = %d, %v; want 7, nil", v, err)
+	}
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("abandoned fn ran %d times, want 1", c)
 	}
 }
 
@@ -120,7 +370,7 @@ func TestMemoGroupConcurrentReset(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				v, err := g.Do(fmt.Sprintf("k%d", i%5), func() (int, error) { return i, nil })
+				v, err := g.Do(context.Background(), fmt.Sprintf("k%d", i%5), func(context.Context) (int, error) { return i, nil })
 				if err != nil || v < 0 {
 					t.Errorf("worker %d: %v", k, err)
 					return
@@ -138,24 +388,55 @@ func TestMemoGroupConcurrentReset(t *testing.T) {
 	wg.Wait()
 }
 
+// TestFigureCancelMidRun pins the sweep-level promptness guarantee:
+// cancelling a figure generation from cold caches returns
+// context.Canceled well within two seconds.
+func TestFigureCancelMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a full Figure 7 generation")
+	}
+	defer checkGoroutineLeaks(t)()
+	ResetCaches()
+	defer ResetCaches()
+	SetParallelism(4)
+	defer SetParallelism(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Figure7(ctx, 16)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancelled Figure7 returned after %v, want < 2s", elapsed)
+	}
+}
+
 // TestParallelDeterminism is the engine's headline guarantee: the
 // rendered evaluation is byte-identical no matter how many workers run
 // the experiment cells. Figure 7 (speedup table with geomeans) and
 // Table 1 (coverage) are generated sequentially and at 8 workers from
-// cold caches and compared as strings.
+// cold caches and compared as strings. The goroutine-leak check wraps
+// the whole run: the engine must not strand workers or memo
+// computations.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("regenerates Figure 7 and Table 1 twice")
 	}
+	defer checkGoroutineLeaks(t)()
 	gen := func(workers int) (string, string) {
 		t.Helper()
 		ResetCaches()
 		SetParallelism(workers)
-		f7, err := Figure7(16)
+		f7, err := Figure7(context.Background(), 16)
 		if err != nil {
 			t.Fatalf("parallel=%d: Figure7: %v", workers, err)
 		}
-		t1, err := Table1()
+		t1, err := Table1(context.Background())
 		if err != nil {
 			t.Fatalf("parallel=%d: Table1: %v", workers, err)
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -97,10 +98,17 @@ type compEntry struct {
 // CachedCompile memoizes Compile per (name, level, cores). Safe for
 // concurrent use; duplicate concurrent requests share one compilation.
 // The returned workload and compilation are shared — callers must treat
-// them as read-only (sim.Run does).
-func CachedCompile(name string, level hcc.Level, cores int) (*workloads.Workload, *hcc.Compiled, error) {
+// them as read-only (sim.Run does). A cancelled ctx detaches this
+// caller from the shared compilation without aborting it for others.
+func CachedCompile(ctx context.Context, name string, level hcc.Level, cores int) (*workloads.Workload, *hcc.Compiled, error) {
 	key := fmt.Sprintf("%s/%d/%d", name, level, cores)
-	e, err := compGroup.Do(key, func() (*compEntry, error) {
+	e, err := compGroup.Do(ctx, key, func(cctx context.Context) (*compEntry, error) {
+		// hcc.Compile is not interruptible mid-flight (its profiling is
+		// bounded by ProfileBudget); honour an already-dead context
+		// before starting the work.
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
 		w, comp, err := Compile(name, level, cores)
 		if err != nil {
 			return nil, err
@@ -118,14 +126,14 @@ func CachedCompile(name string, level hcc.Level, cores int) (*workloads.Workload
 // (name, ref) alone — a baseline has no parallel loops, so its trace is
 // independent of the core model and count and each new core model only
 // pays a replay.
-func CachedBaseline(name string, arch sim.Config, ref bool) (*sim.Result, error) {
+func CachedBaseline(ctx context.Context, name string, arch sim.Config, ref bool) (*sim.Result, error) {
 	key := fmt.Sprintf("%s/%s/%v", name, arch.Core.Name, ref)
-	return seqGroup.Do(key, func() (*sim.Result, error) {
+	return seqGroup.Do(ctx, key, func(cctx context.Context) (*sim.Result, error) {
 		w, err := workloads.Get(name)
 		if err != nil {
 			return nil, err
 		}
-		return simWithTrace(fmt.Sprintf("base/%s/%v", name, ref), w, nil, arch, args(w, ref))
+		return simWithTrace(cctx, fmt.Sprintf("base/%s/%v", name, ref), w, nil, arch, args(w, ref))
 	})
 }
 
@@ -146,13 +154,13 @@ func ResetCaches() {
 // program identity (workload, level, cores) and input — while timing
 // parameters stay out of it. SlowSim, SetNoReplay and arch.NoReplay
 // bypass the cache entirely.
-func simWithTrace(key string, w *workloads.Workload, comp *hcc.Compiled, arch sim.Config, a []int64) (*sim.Result, error) {
+func simWithTrace(ctx context.Context, key string, w *workloads.Workload, comp *hcc.Compiled, arch sim.Config, a []int64) (*sim.Result, error) {
 	if SlowSim() || NoReplay() || arch.NoReplay {
-		return sim.Run(w.Prog, comp, w.Entry, applySlow(arch), a...)
+		return sim.Run(ctx, w.Prog, comp, w.Entry, applySlow(arch), a...)
 	}
 	var recorded *sim.Result
-	tr, err := traceGroup.Do(key, func() (*sim.Trace, error) {
-		res, tr, err := sim.Record(w.Prog, comp, w.Entry, arch, a...)
+	tr, err := traceGroup.Do(ctx, key, func(cctx context.Context) (*sim.Trace, error) {
+		res, tr, err := sim.Record(cctx, w.Prog, comp, w.Entry, arch, a...)
 		if err != nil {
 			return nil, err
 		}
@@ -169,18 +177,18 @@ func simWithTrace(key string, w *workloads.Workload, comp *hcc.Compiled, arch si
 		return recorded, nil
 	}
 	traceReplays.Add(1)
-	return sim.Replay(tr, arch)
+	return sim.Replay(ctx, tr, arch)
 }
 
 // runOn compiles (cached) and simulates one configuration, replaying a
 // cached trace when one exists for this (workload, level, cores, input).
-func runOn(name string, level hcc.Level, arch sim.Config, ref bool) (*sim.Result, *hcc.Compiled, error) {
-	w, comp, err := CachedCompile(name, level, arch.Cores)
+func runOn(ctx context.Context, name string, level hcc.Level, arch sim.Config, ref bool) (*sim.Result, *hcc.Compiled, error) {
+	w, comp, err := CachedCompile(ctx, name, level, arch.Cores)
 	if err != nil {
 		return nil, nil, err
 	}
 	key := fmt.Sprintf("%s/%d/%d/%v", name, level, arch.Cores, ref)
-	res, err := simWithTrace(key, w, comp, arch, args(w, ref))
+	res, err := simWithTrace(ctx, key, w, comp, arch, args(w, ref))
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -241,7 +249,7 @@ func geomeanColumn(rows []SpeedupRow, col int) float64 {
 
 // Figure1 compares HCCv1 and HCCv2 on the conventional 16-core platform
 // with the optimistic 10-cycle coherence latency.
-func Figure1(cores int) (*FigureResult, error) {
+func Figure1(ctx context.Context, cores int) (*FigureResult, error) {
 	f := &FigureResult{
 		Title:  "Figure 1: HCCv1 vs HCCv2 program speedup (conventional hardware)",
 		Series: []string{"HCCv1", "HCCv2"},
@@ -249,13 +257,16 @@ func Figure1(cores int) (*FigureResult, error) {
 	}
 	names := workloads.Names()
 	levels := []hcc.Level{hcc.V1, hcc.V2}
-	vals, err := parMap(len(names)*len(levels), func(i int) (float64, error) {
+	cell := func(i int) string {
+		return fmt.Sprintf("%s/L%d/conv%d", names[i/len(levels)], levels[i%len(levels)], cores)
+	}
+	vals, err := parMapCells(ctx, len(names)*len(levels), cell, func(ctx context.Context, i int) (float64, error) {
 		name, level := names[i/len(levels)], levels[i%len(levels)]
-		res, _, err := runOn(name, level, sim.Conventional(cores), true)
+		res, _, err := runOn(ctx, name, level, sim.Conventional(cores), true)
 		if err != nil {
 			return 0, err
 		}
-		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
+		seq, err := CachedBaseline(ctx, name, sim.Conventional(cores), true)
 		if err != nil {
 			return 0, err
 		}
@@ -275,7 +286,7 @@ func Figure1(cores int) (*FigureResult, error) {
 // hot loops HCCv3 selects in the CINT2000 analogues (the paper's "small
 // hot loops"). Accuracy is actual/reported loop-carried dependences,
 // scored against the profiler's dynamic oracle.
-func Figure2() (*FigureResult, error) {
+func Figure2(ctx context.Context) (*FigureResult, error) {
 	f := &FigureResult{
 		Title: "Figure 2: dependence analysis accuracy for small hot loops (CINT2000)",
 		Notes: "Paper shape: 48% (VLLPA) rising to 81% (+lib calls). Mean of per-loop actual/reported.",
@@ -289,9 +300,10 @@ func Figure2() (*FigureResult, error) {
 	// analyses mutate the workload's functions (cfg.New renumbers
 	// blocks), so all tiers of one workload must stay on one goroutine.
 	names := workloads.IntNames()
-	rows, err := parMap(len(names), func(i int) ([]float64, error) {
+	cell := func(i int) string { return fmt.Sprintf("%s/L%d/alias", names[i], hcc.V3) }
+	rows, err := parMapCells(ctx, len(names), cell, func(ctx context.Context, i int) ([]float64, error) {
 		name := names[i]
-		w, comp, err := CachedCompile(name, hcc.V3, 16)
+		w, comp, err := CachedCompile(ctx, name, hcc.V3, 16)
 		if err != nil {
 			return nil, err
 		}
@@ -375,14 +387,15 @@ func (r *Figure3Result) Format() string {
 
 // Figure3 runs the predictability census over the HCCv3-selected loops of
 // the CINT2000 analogues.
-func Figure3() (*Figure3Result, error) {
+func Figure3(ctx context.Context) (*Figure3Result, error) {
 	out := &Figure3Result{ByClass: map[string]int{}}
 	// One cell per workload (the analyses mutate the workload's
 	// functions); integer partial counts merge order-independently.
 	names := workloads.IntNames()
-	parts, err := parMap(len(names), func(i int) (*Figure3Result, error) {
+	cell := func(i int) string { return fmt.Sprintf("%s/L%d/census", names[i], hcc.V3) }
+	parts, err := parMapCells(ctx, len(names), cell, func(ctx context.Context, i int) (*Figure3Result, error) {
 		p := &Figure3Result{ByClass: map[string]int{}}
-		w, comp, err := CachedCompile(names[i], hcc.V3, 16)
+		w, comp, err := CachedCompile(ctx, names[i], hcc.V3, 16)
 		if err != nil {
 			return nil, err
 		}
@@ -466,7 +479,7 @@ func (r *Figure4Result) Format() string {
 
 // Figure4 collects iteration-length, hop-distance and consumer statistics
 // over the HCCv3-selected CINT2000 loops.
-func Figure4() (*Figure4Result, error) {
+func Figure4(ctx context.Context) (*Figure4Result, error) {
 	out := &Figure4Result{
 		IterCyclesBounds: []int64{10, 25, 50, 75, 110, 260, 1 << 30},
 		HopDist:          make([]float64, 9),
@@ -490,13 +503,14 @@ func Figure4() (*Figure4Result, error) {
 		iters, hopTotal, consTotal int64
 	}
 	names := workloads.IntNames()
-	parts, err := parMap(len(names), func(i int) (*part, error) {
+	cell := func(i int) string { return fmt.Sprintf("%s/L%d/loopstats", names[i], hcc.V3) }
+	parts, err := parMapCells(ctx, len(names), cell, func(ctx context.Context, i int) (*part, error) {
 		p := &part{
 			cdf:  make([]int64, len(out.IterCyclesBounds)),
 			hops: make([]int64, len(hops)),
 			cons: make([]int64, len(cons)),
 		}
-		_, comp, err := CachedCompile(names[i], hcc.V3, 16)
+		_, comp, err := CachedCompile(ctx, names[i], hcc.V3, 16)
 		if err != nil {
 			return nil, err
 		}
@@ -573,7 +587,7 @@ type Table1Row struct {
 }
 
 // Table1 reports parallelized-loop coverage per compiler generation.
-func Table1() ([]Table1Row, error) {
+func Table1(ctx context.Context) ([]Table1Row, error) {
 	names := workloads.Names()
 	levels := []hcc.Level{hcc.V1, hcc.V2, hcc.V3}
 	// One cell per (workload, level); the phases column rides with the
@@ -582,7 +596,10 @@ func Table1() ([]Table1Row, error) {
 		coverage float64
 		phases   int
 	}
-	cells, err := parMap(len(names)*len(levels), func(i int) (cell, error) {
+	label := func(i int) string {
+		return fmt.Sprintf("%s/L%d/coverage", names[i/len(levels)], levels[i%len(levels)])
+	}
+	cells, err := parMapCells(ctx, len(names)*len(levels), label, func(ctx context.Context, i int) (cell, error) {
 		name, li := names[i/len(levels)], i%len(levels)
 		var c cell
 		if li == 0 {
@@ -592,7 +609,7 @@ func Table1() ([]Table1Row, error) {
 			}
 			c.phases = w.Phases
 		}
-		_, comp, err := CachedCompile(name, levels[li], 16)
+		_, comp, err := CachedCompile(ctx, name, levels[li], 16)
 		if err != nil {
 			return c, err
 		}
@@ -627,26 +644,32 @@ func FormatTable1(rows []Table1Row) string {
 
 // Figure7 is the headline result: HCCv2 on conventional hardware vs
 // HELIX-RC (HCCv3 + ring cache), both against sequential execution.
-func Figure7(cores int) (*FigureResult, error) {
+func Figure7(ctx context.Context, cores int) (*FigureResult, error) {
 	f := &FigureResult{
 		Title:  "Figure 7: HELIX-RC triples the speedup obtained by HCCv2",
 		Series: []string{"HCCv2", "HELIX-RC"},
 		Notes:  "Paper shape: CINT geomean 2.2x -> 6.85x; CFP 11.4x -> ~12x.",
 	}
 	names := workloads.Names()
+	cell := func(i int) string {
+		if i%2 == 0 {
+			return fmt.Sprintf("%s/L%d/conv%d", names[i/2], hcc.V2, cores)
+		}
+		return fmt.Sprintf("%s/L%d/rc%d", names[i/2], hcc.V3, cores)
+	}
 	// One cell per (workload, series); the shared sequential baseline is
 	// deduplicated by CachedBaseline's singleflight.
-	vals, err := parMap(len(names)*2, func(i int) (float64, error) {
+	vals, err := parMapCells(ctx, len(names)*2, cell, func(ctx context.Context, i int) (float64, error) {
 		name := names[i/2]
-		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
+		seq, err := CachedBaseline(ctx, name, sim.Conventional(cores), true)
 		if err != nil {
 			return 0, err
 		}
 		var res *sim.Result
 		if i%2 == 0 {
-			res, _, err = runOn(name, hcc.V2, sim.Conventional(cores), true)
+			res, _, err = runOn(ctx, name, hcc.V2, sim.Conventional(cores), true)
 		} else {
-			res, _, err = runOn(name, hcc.V3, sim.HelixRC(cores), true)
+			res, _, err = runOn(ctx, name, hcc.V3, sim.HelixRC(cores), true)
 		}
 		if err != nil {
 			return 0, err
@@ -665,7 +688,7 @@ func Figure7(cores int) (*FigureResult, error) {
 
 // Figure8 breaks down the benefit of decoupling each communication class
 // (registers, synchronization, memory) for the CINT2000 analogues.
-func Figure8(cores int) (*FigureResult, error) {
+func Figure8(ctx context.Context, cores int) (*FigureResult, error) {
 	f := &FigureResult{
 		Title: "Figure 8: breakdown of benefits of decoupling communication",
 		Series: []string{
@@ -687,9 +710,12 @@ func Figure8(cores int) (*FigureResult, error) {
 	}
 	names := workloads.IntNames()
 	// One cell per (workload, decoupling variant).
-	vals, err := parMap(len(names)*len(configs), func(i int) (float64, error) {
+	cell := func(i int) string {
+		return fmt.Sprintf("%s/%s/%dcores", names[i/len(configs)], f.Series[i%len(configs)], cores)
+	}
+	vals, err := parMapCells(ctx, len(names)*len(configs), cell, func(ctx context.Context, i int) (float64, error) {
 		name, ci := names[i/len(configs)], i%len(configs)
-		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
+		seq, err := CachedBaseline(ctx, name, sim.Conventional(cores), true)
 		if err != nil {
 			return 0, err
 		}
@@ -697,7 +723,7 @@ func Figure8(cores int) (*FigureResult, error) {
 		if ci == 0 {
 			level = hcc.V2
 		}
-		res, _, err := runOn(name, level, configs[ci], true)
+		res, _, err := runOn(ctx, name, level, configs[ci], true)
 		if err != nil {
 			return 0, err
 		}
@@ -718,18 +744,25 @@ func Figure8(cores int) (*FigureResult, error) {
 
 // Figure9 runs HCCv3-generated code on conventional hardware (C) and on
 // the ring cache (R), reporting execution time as % of sequential.
-func Figure9(cores int) (*FigureResult, error) {
+func Figure9(ctx context.Context, cores int) (*FigureResult, error) {
 	f := &FigureResult{
 		Title:  "Figure 9: HCCv3 code on conventional hardware (C) vs ring cache (R), % of sequential time",
 		Series: []string{"C %time", "R %time"},
 		Notes:  "Paper shape: C bars at or above 100% (no better than sequential); R bars far below.",
 	}
 	names := workloads.IntNames()
+	cell := func(i int) string {
+		hw := "conv"
+		if i%2 == 1 {
+			hw = "rc"
+		}
+		return fmt.Sprintf("%s/L%d/%s%d", names[i/2], hcc.V3, hw, cores)
+	}
 	// One cell per (workload, hardware): HCCv3 code on conventional
 	// coherence vs on the ring cache.
-	vals, err := parMap(len(names)*2, func(i int) (float64, error) {
+	vals, err := parMapCells(ctx, len(names)*2, cell, func(ctx context.Context, i int) (float64, error) {
 		name := names[i/2]
-		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
+		seq, err := CachedBaseline(ctx, name, sim.Conventional(cores), true)
 		if err != nil {
 			return 0, err
 		}
@@ -737,7 +770,7 @@ func Figure9(cores int) (*FigureResult, error) {
 		if i%2 == 1 {
 			arch = sim.HelixRC(cores)
 		}
-		res, _, err := runOn(name, hcc.V3, arch, true)
+		res, _, err := runOn(ctx, name, hcc.V3, arch, true)
 		if err != nil {
 			return 0, err
 		}

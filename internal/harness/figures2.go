@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,7 +23,7 @@ func inductionClassify(pl *hcc.ParallelLoop, g *cfg.Graph, dg *ddg.Graph) map[ir
 // and 4-way out-of-order. The second series block reports each core's
 // sequential time normalized to the 4-way OoO core (the paper's lower
 // panel).
-func Figure10(cores int) (*FigureResult, error) {
+func Figure10(ctx context.Context, cores int) (*FigureResult, error) {
 	f := &FigureResult{
 		Title: "Figure 10: speedup by core type (upper) and sequential time vs 4-way OoO (lower)",
 		Series: []string{
@@ -39,17 +40,20 @@ func Figure10(cores int) (*FigureResult, error) {
 		speedup   float64
 		seqCycles int64
 	}
-	cells, err := parMap(len(names)*len(coreCfgs), func(i int) (cell, error) {
+	label := func(i int) string {
+		return fmt.Sprintf("%s/L%d/%s", names[i/len(coreCfgs)], hcc.V3, coreCfgs[i%len(coreCfgs)].Name)
+	}
+	cells, err := parMapCells(ctx, len(names)*len(coreCfgs), label, func(ctx context.Context, i int) (cell, error) {
 		name, cc := names[i/len(coreCfgs)], coreCfgs[i%len(coreCfgs)]
 		arch := sim.HelixRC(cores)
 		arch.Core = cc
 		seqArch := sim.Conventional(cores)
 		seqArch.Core = cc
-		seq, err := CachedBaseline(name, seqArch, true)
+		seq, err := CachedBaseline(ctx, name, seqArch, true)
 		if err != nil {
 			return cell{}, err
 		}
-		res, _, err := runOn(name, hcc.V3, arch, true)
+		res, _, err := runOn(ctx, name, hcc.V3, arch, true)
 		if err != nil {
 			return cell{}, err
 		}
@@ -79,7 +83,7 @@ func Figure10(cores int) (*FigureResult, error) {
 // Figure11 sweeps one architectural parameter of the ring cache at a time
 // over the CINT2000 analogues. which selects the panel: "cores", "link",
 // "signals" or "memory".
-func Figure11(which string) (*FigureResult, error) {
+func Figure11(ctx context.Context, which string) (*FigureResult, error) {
 	type variant struct {
 		label string
 		arch  func() sim.Config
@@ -148,14 +152,17 @@ func Figure11(which string) (*FigureResult, error) {
 	}
 	names := workloads.IntNames()
 	// One cell per (workload, sweep point).
-	vals, err := parMap(len(names)*len(variants), func(i int) (float64, error) {
+	cell := func(i int) string {
+		return fmt.Sprintf("%s/%s/%s", names[i/len(variants)], which, variants[i%len(variants)].label)
+	}
+	vals, err := parMapCells(ctx, len(names)*len(variants), cell, func(ctx context.Context, i int) (float64, error) {
 		name, v := names[i/len(variants)], variants[i%len(variants)]
 		arch := v.arch()
-		seq, err := CachedBaseline(name, sim.Conventional(arch.Cores), true)
+		seq, err := CachedBaseline(ctx, name, sim.Conventional(arch.Cores), true)
 		if err != nil {
 			return 0, err
 		}
-		res, _, err := runOn(name, hcc.V3, arch, true)
+		res, _, err := runOn(ctx, name, hcc.V3, arch, true)
 		if err != nil {
 			return 0, err
 		}
@@ -182,15 +189,16 @@ type Figure12Row struct {
 }
 
 // Figure12 categorizes every overhead cycle that prevents ideal speedup.
-func Figure12(cores int) ([]Figure12Row, error) {
+func Figure12(ctx context.Context, cores int) ([]Figure12Row, error) {
 	names := workloads.Names()
-	return parMap(len(names), func(i int) (Figure12Row, error) {
+	cell := func(i int) string { return fmt.Sprintf("%s/L%d/rc%d", names[i], hcc.V3, cores) }
+	return parMapCells(ctx, len(names), cell, func(ctx context.Context, i int) (Figure12Row, error) {
 		name := names[i]
-		seq, err := CachedBaseline(name, sim.Conventional(cores), true)
+		seq, err := CachedBaseline(ctx, name, sim.Conventional(cores), true)
 		if err != nil {
 			return Figure12Row{}, err
 		}
-		res, _, err := runOn(name, hcc.V3, sim.HelixRC(cores), true)
+		res, _, err := runOn(ctx, name, hcc.V3, sim.HelixRC(cores), true)
 		if err != nil {
 			return Figure12Row{}, err
 		}
@@ -245,7 +253,7 @@ func (r *TLPResult) Format() string {
 // TLP measures thread-level parallelism on the abstract machine for
 // HCCv2-style merged segments vs HCCv3 aggressive splitting, over the
 // CINT2000 analogues.
-func TLP() (*TLPResult, error) {
+func TLP(ctx context.Context) (*TLPResult, error) {
 	out := &TLPResult{}
 	names := workloads.IntNames()
 	levels := []hcc.Level{hcc.V2, hcc.V3}
@@ -256,7 +264,10 @@ func TLP() (*TLPResult, error) {
 		tlp, seg float64
 		hasSeg   bool
 	}
-	cells, err := parMap(len(names)*len(levels), func(i int) (cell, error) {
+	label := func(i int) string {
+		return fmt.Sprintf("%s/L%d/abstract16", names[i/len(levels)], levels[i%len(levels)])
+	}
+	cells, err := parMapCells(ctx, len(names)*len(levels), label, func(ctx context.Context, i int) (cell, error) {
 		name, level := names[i/len(levels)], levels[i%len(levels)]
 		w, err := workloads.Get(name)
 		if err != nil {
@@ -270,7 +281,7 @@ func TLP() (*TLPResult, error) {
 		if err != nil {
 			return cell{}, err
 		}
-		res, err := sim.Run(w.Prog, comp, w.Entry, applySlow(sim.Abstract(16)), w.RefArgs...)
+		res, err := sim.Run(ctx, w.Prog, comp, w.Entry, applySlow(sim.Abstract(16)), w.RefArgs...)
 		if err != nil {
 			return cell{}, err
 		}

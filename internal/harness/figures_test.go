@@ -1,13 +1,14 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"helixrc/internal/sim"
 )
 
 func TestFigure7Shape(t *testing.T) {
-	f, err := Figure7(16)
+	f, err := Figure7(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure1Shape(t *testing.T) {
-	f, err := Figure1(16)
+	f, err := Figure1(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestFigure2Ladder(t *testing.T) {
-	f, err := Figure2()
+	f, err := Figure2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFigure2Ladder(t *testing.T) {
 }
 
 func TestFigure3Predictability(t *testing.T) {
-	r, err := Figure3()
+	r, err := Figure3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFigure3Predictability(t *testing.T) {
 }
 
 func TestFigure4Stats(t *testing.T) {
-	r, err := Figure4()
+	r, err := Figure4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFigure4Stats(t *testing.T) {
 }
 
 func TestTable1Coverage(t *testing.T) {
-	rows, err := Table1()
+	rows, err := Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTable1Coverage(t *testing.T) {
 }
 
 func TestFigure8Monotonic(t *testing.T) {
-	f, err := Figure8(16)
+	f, err := Figure8(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestFigure8Monotonic(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
-	f, err := Figure9(16)
+	f, err := Figure9(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
-	f, err := Figure10(16)
+	f, err := Figure10(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestFigure10Shape(t *testing.T) {
 
 func TestFigure11Sweeps(t *testing.T) {
 	for _, panel := range []string{"cores", "link", "signals", "memory"} {
-		f, err := Figure11(panel)
+		f, err := Figure11(context.Background(), panel)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,7 +240,7 @@ func TestFigure11Sweeps(t *testing.T) {
 }
 
 func TestFigure12Overheads(t *testing.T) {
-	rows, err := Figure12(16)
+	rows, err := Figure12(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestFigure12Overheads(t *testing.T) {
 }
 
 func TestTLPStat(t *testing.T) {
-	r, err := TLP()
+	r, err := TLP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestTLPStat(t *testing.T) {
 
 func TestDecoupledVariantsFunctional(t *testing.T) {
 	// Every decoupling variant must produce the same result.
-	w, comp, err := CachedCompile("164.gzip", 3, 16)
+	w, comp, err := CachedCompile(context.Background(), "164.gzip", 3, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestDecoupledVariantsFunctional(t *testing.T) {
 	for _, arch := range []sim.Config{
 		sim.HelixRC(16), sim.Conventional(16), sim.Abstract(16),
 	} {
-		res, err := sim.Run(w.Prog, comp, w.Entry, arch, w.RefArgs...)
+		res, err := sim.Run(context.Background(), w.Prog, comp, w.Entry, arch, w.RefArgs...)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,12 +36,12 @@ func applySlow(arch sim.Config) sim.Config {
 }
 
 // Baseline simulates the unparallelized program.
-func Baseline(name string, arch sim.Config, ref bool) (*sim.Result, error) {
+func Baseline(ctx context.Context, name string, arch sim.Config, ref bool) (*sim.Result, error) {
 	w, err := workloads.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(w.Prog, nil, w.Entry, applySlow(arch), args(w, ref)...)
+	return sim.Run(ctx, w.Prog, nil, w.Entry, applySlow(arch), args(w, ref)...)
 }
 
 func args(w *workloads.Workload, ref bool) []int64 {
@@ -68,16 +69,16 @@ func Compile(name string, level hcc.Level, cores int) (*workloads.Workload, *hcc
 
 // Evaluate compiles the workload at the level and simulates both the
 // sequential baseline and the parallel run on arch.
-func Evaluate(name string, level hcc.Level, arch sim.Config, ref bool) (*Outcome, error) {
+func Evaluate(ctx context.Context, name string, level hcc.Level, arch sim.Config, ref bool) (*Outcome, error) {
 	w, comp, err := Compile(name, level, arch.Cores)
 	if err != nil {
 		return nil, err
 	}
-	par, err := sim.Run(w.Prog, comp, w.Entry, applySlow(arch), args(w, ref)...)
+	par, err := sim.Run(ctx, w.Prog, comp, w.Entry, applySlow(arch), args(w, ref)...)
 	if err != nil {
 		return nil, fmt.Errorf("%s parallel: %w", name, err)
 	}
-	seq, err := Baseline(name, arch, ref)
+	seq, err := Baseline(ctx, name, arch, ref)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", name, err)
 	}

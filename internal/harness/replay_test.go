@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -16,14 +17,14 @@ func TestMemoGroupBudget(t *testing.T) {
 
 	get := func(key string, v int) {
 		t.Helper()
-		got, err := g.Do(key, func() (int, error) { return v, nil })
+		got, err := g.Do(context.Background(), key, func(context.Context) (int, error) { return v, nil })
 		if err != nil || got != v {
 			t.Fatalf("Do(%s) = %d, %v", key, got, err)
 		}
 	}
 	recomputed := func(key string) bool {
 		fresh := false
-		if _, err := g.Do(key, func() (int, error) { fresh = true; return 0, nil }); err != nil {
+		if _, err := g.Do(context.Background(), key, func(context.Context) (int, error) { fresh = true; return 0, nil }); err != nil {
 			t.Fatal(err)
 		}
 		return fresh
@@ -62,7 +63,7 @@ func TestMemoGroupBudget(t *testing.T) {
 	ub.cost = func(v int) int64 { return int64(v) }
 	for i := 0; i < 32; i++ {
 		get := fmt.Sprintf("k%d", i)
-		if _, err := ub.Do(get, func() (int, error) { return 1 << 20, nil }); err != nil {
+		if _, err := ub.Do(context.Background(), get, func(context.Context) (int, error) { return 1 << 20, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -82,12 +83,12 @@ func TestReplayMatchesNoReplayFigures(t *testing.T) {
 	gen := func() string {
 		ResetCaches()
 		var sb strings.Builder
-		f10, err := Figure10(16)
+		f10, err := Figure10(context.Background(), 16)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sb.WriteString(f10.Format())
-		f11, err := Figure11("signals")
+		f11, err := Figure11(context.Background(), "signals")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -50,17 +50,17 @@ const (
 
 // instrMeta is everything the stepper needs per static instruction.
 type instrMeta struct {
-	lat     int64  // result latency for non-memory instructions
-	dst     ir.Reg // destination register or ir.NoReg
-	lastVal ir.Reg // last-value register this instruction defines, or ir.NoReg
+	lat      int64  // result latency for non-memory instructions
+	dst      ir.Reg // destination register or ir.NoReg
+	lastVal  ir.Reg // last-value register this instruction defines, or ir.NoReg
 	seg      int32  // segment id for wait/signal/shared classes
 	cls      mClass
 	isStore  bool
 	branches bool // interp.Branches(in): whether Step reports Branched
 	added    bool // compiler-added (Origin < 0, non-sync): counts as AddedInstr overhead
 	nuses    uint8
-	uses    [2]ir.Reg
-	more    []ir.Reg // register operands beyond the first two (calls)
+	uses     [2]ir.Reg
+	more     []ir.Reg // register operands beyond the first two (calls)
 }
 
 // decodeInstr derives the metadata the reference stepper re-computes per
@@ -315,8 +315,10 @@ func (r *runner) runSequentialFast(entry *ir.Function, args []int64) error {
 	var recBase uint32
 	branchCost := int64(r.arch.Core.BranchCost)
 	for !ctx.Done() {
-		if r.steps >= r.maxSteps {
-			return ErrBudget
+		if r.steps >= r.check {
+			if err := r.checkStep(); err != nil {
+				return err
+			}
 		}
 		_, blk, idx := ctx.Frame()
 		if idx == 0 {
@@ -390,8 +392,10 @@ func (r *runner) runIterationFast(pl *hcc.ParallelLoop, ls *loopStatic,
 	var meta []instrMeta
 	var recBase uint32
 	for !bctx.Done() {
-		if r.steps >= r.maxSteps {
-			return 0, ErrBudget
+		if r.steps >= r.check {
+			if err := r.checkStep(); err != nil {
+				return 0, err
+			}
 		}
 		_, blk, idx := bctx.Frame()
 		if blk != curBlk {

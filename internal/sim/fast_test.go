@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"helixrc/internal/hcc"
@@ -49,19 +50,19 @@ func TestFastMatchesSlowGolden(t *testing.T) {
 		run  func(sel Config) (*Result, error)
 	}{
 		{"mixed/helixrc", func(sel Config) (*Result, error) {
-			return Run(pm, compM, fm, withSlow(HelixRC(16), sel), 600)
+			return Run(context.Background(), pm, compM, fm, withSlow(HelixRC(16), sel), 600)
 		}},
 		{"mixed/conventional", func(sel Config) (*Result, error) {
-			return Run(pm, compM, fm, withSlow(Conventional(16), sel), 600)
+			return Run(context.Background(), pm, compM, fm, withSlow(Conventional(16), sel), 600)
 		}},
 		{"mixed/abstract", func(sel Config) (*Result, error) {
-			return Run(pm, compM, fm, withSlow(Abstract(16), sel), 600)
+			return Run(context.Background(), pm, compM, fm, withSlow(Abstract(16), sel), 600)
 		}},
 		{"mixed/baseline", func(sel Config) (*Result, error) {
-			return Run(pm, nil, fm, withSlow(Conventional(16), sel), 600)
+			return Run(context.Background(), pm, nil, fm, withSlow(Conventional(16), sel), 600)
 		}},
 		{"chase/helixrc", func(sel Config) (*Result, error) {
-			return Run(pc, compC, fc, withSlow(HelixRC(16), sel))
+			return Run(context.Background(), pc, compC, fc, withSlow(HelixRC(16), sel))
 		}},
 	}
 	for _, tc := range cases {
@@ -93,7 +94,7 @@ func TestFastMatchesSlowWorkload(t *testing.T) {
 		cfg := cfg
 		t.Run(cfg.name, func(t *testing.T) {
 			runBoth(t, cfg.name, func(sel Config) (*Result, error) {
-				return Run(w.Prog, comp, w.Entry, withSlow(cfg.arch, sel), w.RefArgs...)
+				return Run(context.Background(), w.Prog, comp, w.Entry, withSlow(cfg.arch, sel), w.RefArgs...)
 			})
 		})
 	}
@@ -125,7 +126,7 @@ func benchmarkHotLoop(b *testing.B, sel Config) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(w.Prog, comp, w.Entry, arch, w.RefArgs...)
+		res, err := Run(context.Background(), w.Prog, comp, w.Entry, arch, w.RefArgs...)
 		if err != nil {
 			b.Fatal(err)
 		}

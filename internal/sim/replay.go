@@ -11,6 +11,7 @@ package sim
 // Result as a fresh run would.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -26,7 +27,13 @@ import (
 // has no parallel loops, which makes it core-count independent) — and
 // implicitly the compiled program, which the caller keys the trace by.
 // SlowStep and TraceIters need the real stepper and are rejected.
-func Replay(tr *Trace, arch Config) (*Result, error) {
+//
+// Like Run, Replay polls ctx on the step-accounting path and returns
+// ctx.Err() with the partial Result when cancelled.
+func Replay(ctx context.Context, tr *Trace, arch Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if arch.SlowStep || arch.TraceIters > 0 {
 		return nil, errors.New("sim: cannot replay with SlowStep or TraceIters")
 	}
@@ -36,7 +43,7 @@ func Replay(tr *Trace, arch Config) (*Result, error) {
 	if len(tr.loops) > 0 && arch.Cores != tr.cores {
 		return nil, fmt.Errorf("sim: trace recorded with %d cores cannot replay with %d", tr.cores, arch.Cores)
 	}
-	rep := &replayer{tr: tr, arch: arch, maxSteps: arch.MaxSteps}
+	rep := &replayer{ctx: ctx, tr: tr, arch: arch, maxSteps: arch.MaxSteps}
 	if rep.maxSteps <= 0 {
 		rep.maxSteps = 1 << 32
 	}
@@ -54,9 +61,11 @@ func Replay(tr *Trace, arch Config) (*Result, error) {
 		if ev.loop >= 0 {
 			// The stepper's top-of-loop budget check fires once on the
 			// loop-header dispatch.
-			if rep.steps >= rep.maxSteps {
-				rep.reclaim()
-				return &rep.res, ErrBudget
+			if rep.steps >= rep.check {
+				if err := rep.checkStep(); err != nil {
+					rep.reclaim()
+					return &rep.res, err
+				}
 			}
 			if err := rep.replayLoop(&tr.loops[ev.loop], seqCore); err != nil {
 				rep.reclaim()
@@ -78,6 +87,7 @@ func Replay(tr *Trace, arch Config) (*Result, error) {
 // buffers and pooled rings/hierarchies, but its only inputs are the
 // trace cursors.
 type replayer struct {
+	ctx  context.Context
 	tr   *Trace
 	arch Config
 	hier *memsys.Hierarchy
@@ -85,6 +95,7 @@ type replayer struct {
 	now      int64
 	steps    int64
 	maxSteps int64
+	check    int64 // next steps value at which checkStep must run
 	res      Result
 
 	runCursor  int // next entry of tr.runs
@@ -97,6 +108,22 @@ type replayer struct {
 	stopped  []bool
 	convSig  []int64
 	scr      segScratch
+}
+
+// checkStep mirrors runner.checkStep: real budget test plus a context
+// poll, entered only when steps crosses the precomputed check bound.
+func (rep *replayer) checkStep() error {
+	if rep.steps >= rep.maxSteps {
+		return ErrBudget
+	}
+	if err := rep.ctx.Err(); err != nil {
+		return err
+	}
+	rep.check = rep.steps + ctxCheckEvery
+	if rep.check > rep.maxSteps {
+		rep.check = rep.maxSteps
+	}
+	return nil
 }
 
 func (rep *replayer) memLat(core int, addr int64, write bool) int64 {
@@ -153,8 +180,10 @@ func (rep *replayer) seqSpan(core *cpu.Core, nruns int) error {
 		run := tr.runs[rep.runCursor]
 		rep.runCursor++
 		for off := run.off; off < run.off+run.n; off++ {
-			if rep.steps >= rep.maxSteps {
-				return ErrBudget
+			if rep.steps >= rep.check {
+				if err := rep.checkStep(); err != nil {
+					return err
+				}
 			}
 			m := &tr.metas[off]
 			lat := m.lat
@@ -308,8 +337,10 @@ func (rep *replayer) replayIteration(it *iterTrace, ring *ringcache.Ring,
 		run := tr.runs[rep.runCursor]
 		rep.runCursor++
 		for off := run.off; off < run.off+run.n; off++ {
-			if rep.steps >= rep.maxSteps {
-				return ErrBudget
+			if rep.steps >= rep.check {
+				if err := rep.checkStep(); err != nil {
+					return err
+				}
 			}
 			m := &tr.metas[off]
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -26,7 +27,7 @@ func checkRecordReplay(t *testing.T, name string, build func(arch Config) (*Resu
 	if *recorded != *slow {
 		t.Errorf("%s: recording run diverges from reference:\nrec:  %+v\nslow: %+v", name, recorded, slow)
 	}
-	replayed, err := Replay(tr, recArch)
+	replayed, err := Replay(context.Background(), tr, recArch)
 	if err != nil {
 		t.Fatalf("%s: replay: %v", name, err)
 	}
@@ -52,38 +53,38 @@ func TestReplayMatchesRunGolden(t *testing.T) {
 	}{
 		{"mixed/helixrc", HelixRC(16), func(arch Config) (*Result, *Trace, error) {
 			if arch.SlowStep {
-				res, err := Run(pm, compM, fm, arch, 600)
+				res, err := Run(context.Background(), pm, compM, fm, arch, 600)
 				return res, nil, err
 			}
-			return Record(pm, compM, fm, arch, 600)
+			return Record(context.Background(), pm, compM, fm, arch, 600)
 		}},
 		{"mixed/conventional", Conventional(16), func(arch Config) (*Result, *Trace, error) {
 			if arch.SlowStep {
-				res, err := Run(pm, compM, fm, arch, 600)
+				res, err := Run(context.Background(), pm, compM, fm, arch, 600)
 				return res, nil, err
 			}
-			return Record(pm, compM, fm, arch, 600)
+			return Record(context.Background(), pm, compM, fm, arch, 600)
 		}},
 		{"mixed/abstract", Abstract(16), func(arch Config) (*Result, *Trace, error) {
 			if arch.SlowStep {
-				res, err := Run(pm, compM, fm, arch, 600)
+				res, err := Run(context.Background(), pm, compM, fm, arch, 600)
 				return res, nil, err
 			}
-			return Record(pm, compM, fm, arch, 600)
+			return Record(context.Background(), pm, compM, fm, arch, 600)
 		}},
 		{"mixed/baseline", Conventional(16), func(arch Config) (*Result, *Trace, error) {
 			if arch.SlowStep {
-				res, err := Run(pm, nil, fm, arch, 600)
+				res, err := Run(context.Background(), pm, nil, fm, arch, 600)
 				return res, nil, err
 			}
-			return Record(pm, nil, fm, arch, 600)
+			return Record(context.Background(), pm, nil, fm, arch, 600)
 		}},
 		{"chase/helixrc", HelixRC(16), func(arch Config) (*Result, *Trace, error) {
 			if arch.SlowStep {
-				res, err := Run(pc, compC, fc, arch)
+				res, err := Run(context.Background(), pc, compC, fc, arch)
 				return res, nil, err
 			}
-			return Record(pc, compC, fc, arch)
+			return Record(context.Background(), pc, compC, fc, arch)
 		}},
 	}
 	for _, tc := range cases {
@@ -100,7 +101,7 @@ func TestReplayMatchesRunGolden(t *testing.T) {
 func TestReplayCrossConfig(t *testing.T) {
 	pm, fm := buildMixed(t, 600)
 	comp := compileFor(t, pm, fm, hcc.V3, 600)
-	_, tr, err := Record(pm, comp, fm, HelixRC(16), 600)
+	_, tr, err := Record(context.Background(), pm, comp, fm, HelixRC(16), 600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +130,11 @@ func TestReplayCrossConfig(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			slowArch := tc.arch
 			slowArch.SlowStep = true
-			want, err := Run(pm, comp, fm, slowArch, 600)
+			want, err := Run(context.Background(), pm, comp, fm, slowArch, 600)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := Replay(tr, tc.arch)
+			got, err := Replay(context.Background(), tr, tc.arch)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -157,7 +158,7 @@ func TestTraceConfigInvariance(t *testing.T) {
 
 	var ref *Trace
 	for i, arch := range configs {
-		_, tr, err := Record(pm, comp, fm, arch, 400)
+		_, tr, err := Record(context.Background(), pm, comp, fm, arch, 400)
 		if err != nil {
 			t.Fatalf("config %d: %v", i, err)
 		}
@@ -189,22 +190,22 @@ func TestReplayAllWorkloads(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			recorded, tr, err := Record(w.Prog, comp, w.Entry, HelixRC(16), w.RefArgs...)
+			recorded, tr, err := Record(context.Background(), w.Prog, comp, w.Entry, HelixRC(16), w.RefArgs...)
 			if err != nil {
 				t.Fatal(err)
 			}
-			replayed, err := Replay(tr, HelixRC(16))
+			replayed, err := Replay(context.Background(), tr, HelixRC(16))
 			if err != nil {
 				t.Fatal(err)
 			}
 			if *replayed != *recorded {
 				t.Errorf("replay diverges from recording:\nreplay: %+v\nrec:    %+v", replayed, recorded)
 			}
-			conv, err := Run(w.Prog, comp, w.Entry, Conventional(16), w.RefArgs...)
+			conv, err := Run(context.Background(), w.Prog, comp, w.Entry, Conventional(16), w.RefArgs...)
 			if err != nil {
 				t.Fatal(err)
 			}
-			convReplay, err := Replay(tr, Conventional(16))
+			convReplay, err := Replay(context.Background(), tr, Conventional(16))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -218,23 +219,23 @@ func TestReplayAllWorkloads(t *testing.T) {
 func TestReplayCoresMismatch(t *testing.T) {
 	pm, fm := buildMixed(t, 200)
 	comp := compileFor(t, pm, fm, hcc.V3, 200)
-	_, tr, err := Record(pm, comp, fm, HelixRC(16), 200)
+	_, tr, err := Record(context.Background(), pm, comp, fm, HelixRC(16), 200)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Replay(tr, HelixRC(8)); err == nil {
+	if _, err := Replay(context.Background(), tr, HelixRC(8)); err == nil {
 		t.Error("replaying a 16-core trace with 8 cores should fail")
 	}
 	// Baseline traces have no loops and replay at any core count.
-	_, btr, err := Record(pm, nil, fm, Conventional(16), 200)
+	_, btr, err := Record(context.Background(), pm, nil, fm, Conventional(16), 200)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := Run(pm, nil, fm, Conventional(4), 200)
+	want, err := Run(context.Background(), pm, nil, fm, Conventional(4), 200)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Replay(btr, Conventional(4))
+	got, err := Replay(context.Background(), btr, Conventional(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,14 +246,14 @@ func TestReplayCoresMismatch(t *testing.T) {
 
 func TestReplayRejectsSlowStep(t *testing.T) {
 	pm, fm := buildMixed(t, 100)
-	if _, _, err := Record(pm, nil, fm, Config{SlowStep: true}, 100); err == nil {
+	if _, _, err := Record(context.Background(), pm, nil, fm, Config{SlowStep: true}, 100); err == nil {
 		t.Error("Record with SlowStep should fail")
 	}
-	_, tr, err := Record(pm, nil, fm, Conventional(16), 100)
+	_, tr, err := Record(context.Background(), pm, nil, fm, Conventional(16), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Replay(tr, Config{SlowStep: true}); err == nil {
+	if _, err := Replay(context.Background(), tr, Config{SlowStep: true}); err == nil {
 		t.Error("Replay with SlowStep should fail")
 	}
 }
@@ -262,15 +263,15 @@ func TestReplayRejectsSlowStep(t *testing.T) {
 func TestReplayBudget(t *testing.T) {
 	pm, fm := buildMixed(t, 600)
 	comp := compileFor(t, pm, fm, hcc.V3, 600)
-	full, tr, err := Record(pm, comp, fm, HelixRC(16), 600)
+	full, tr, err := Record(context.Background(), pm, comp, fm, HelixRC(16), 600)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, budget := range []int64{full.Instrs / 2, full.Instrs / 7, 100} {
 		arch := HelixRC(16)
 		arch.MaxSteps = budget
-		want, werr := Run(pm, comp, fm, arch, 600)
-		got, gerr := Replay(tr, arch)
+		want, werr := Run(context.Background(), pm, comp, fm, arch, 600)
+		got, gerr := Replay(context.Background(), tr, arch)
 		if !errors.Is(werr, ErrBudget) || !errors.Is(gerr, ErrBudget) {
 			t.Fatalf("budget %d: want ErrBudget from both, got run=%v replay=%v", budget, werr, gerr)
 		}

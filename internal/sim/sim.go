@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,8 +17,21 @@ import (
 // ErrBudget is returned when the simulation exceeds its step budget.
 var ErrBudget = errors.New("sim: step budget exceeded")
 
+// ctxCheckEvery is how many simulated instructions pass between context
+// polls on the budget-check path. At fast-path speeds (millions of
+// instructions per second) 64k steps is well under a millisecond, so a
+// cancelled or deadline-expired context is observed promptly without a
+// measurable per-step cost: the hot loops compare steps against a single
+// precomputed bound exactly as the pure budget check did.
+const ctxCheckEvery = 1 << 16
+
 // Run simulates entry(args...) on the platform. comp may be nil, in which
 // case the program runs purely sequentially on core 0 (the baseline).
+//
+// Run watches ctx on the step-accounting path: a cancelled context makes
+// it return ctx.Err() (with the partial Result accumulated so far),
+// bounded by ctxCheckEvery simulated instructions of delay. A nil ctx is
+// treated as context.Background().
 //
 // Two steppers implement the same timing model. The default fast path
 // pre-decodes per-instruction metadata once per block and pools simulator
@@ -25,19 +39,23 @@ var ErrBudget = errors.New("sim: step budget exceeded")
 // Config.SlowStep selects the retained reference stepper, which
 // re-derives everything per dynamic instruction. Both produce
 // bit-identical Results.
-func Run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, args ...int64) (*Result, error) {
-	res, _, err := run(prog, comp, entry, arch, nil, args)
+func Run(ctx context.Context, prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, args ...int64) (*Result, error) {
+	res, _, err := run(ctx, prog, comp, entry, arch, nil, args)
 	return res, err
 }
 
 // run is the shared implementation behind Run and Record. rec, when
 // non-nil, receives the dynamic trace (fast path only); the returned int
 // is the register-file width, which Replay needs for the sequential core.
-func run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, rec *recorder, args []int64) (*Result, int, error) {
+func run(ctx context.Context, prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, rec *recorder, args []int64) (*Result, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if arch.Cores <= 0 {
 		arch.Cores = 16
 	}
 	r := &runner{
+		ctx:  ctx,
 		prog: prog, comp: comp, arch: arch,
 		mem:       interp.NewMemory(prog),
 		headerMap: map[*ir.Block]*hcc.ParallelLoop{},
@@ -78,6 +96,7 @@ func run(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, 
 }
 
 type runner struct {
+	ctx  context.Context
 	prog *ir.Program
 	comp *hcc.Compiled
 	arch Config
@@ -90,6 +109,7 @@ type runner struct {
 	now      int64
 	steps    int64
 	maxSteps int64
+	check    int64 // next steps value at which checkStep must run
 	res      Result
 
 	// slow selects the reference stepper; the fields below are the fast
@@ -113,6 +133,25 @@ type runner struct {
 	rec *recorder
 }
 
+// checkStep is the slow half of the per-step guard: the steppers compare
+// steps against r.check (initially 0, so the first instruction lands
+// here) and only then pay for the real budget test and a context poll.
+// Because check never exceeds maxSteps, ErrBudget fires at exactly the
+// same instruction as the original direct comparison did.
+func (r *runner) checkStep() error {
+	if r.steps >= r.maxSteps {
+		return ErrBudget
+	}
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	r.check = r.steps + ctxCheckEvery
+	if r.check > r.maxSteps {
+		r.check = r.maxSteps
+	}
+	return nil
+}
+
 // memLat returns the latency of a private (non-ring) access.
 func (r *runner) memLat(core int, addr int64, write bool) int64 {
 	if r.arch.PerfectMem {
@@ -132,8 +171,10 @@ func (r *runner) runSequential(entry *ir.Function, args []int64) error {
 	l1 := int64(r.arch.Mem.L1Latency)
 
 	for !ctx.Done() {
-		if r.steps >= r.maxSteps {
-			return ErrBudget
+		if r.steps >= r.check {
+			if err := r.checkStep(); err != nil {
+				return err
+			}
 		}
 		_, blk, idx := ctx.Frame()
 		if idx == 0 {
@@ -483,8 +524,10 @@ func (r *runner) runIteration(pl *hcc.ParallelLoop, ring *ringcache.Ring,
 	traceIters := r.arch.TraceIters
 
 	for !bctx.Done() {
-		if r.steps >= r.maxSteps {
-			return 0, ErrBudget
+		if r.steps >= r.check {
+			if err := r.checkStep(); err != nil {
+				return 0, err
+			}
 		}
 		in := bctx.Next()
 		opReady := core.OpReady(in)

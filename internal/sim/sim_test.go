@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"helixrc/internal/hcc"
@@ -150,7 +151,7 @@ func TestParallelMatchesSequentialMixed(t *testing.T) {
 		}
 		t.Fatalf("selected %d loops", len(comp.Loops))
 	}
-	res, err := Run(p, comp, f, HelixRC(16), 600)
+	res, err := Run(context.Background(), p, comp, f, HelixRC(16), 600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestParallelMatchesSequentialMixed(t *testing.T) {
 func TestParallelSpeedsUpMixed(t *testing.T) {
 	p, f := buildMixed(t, 2000)
 	comp := compileFor(t, p, f, hcc.V3, 2000)
-	seq, err := Run(p, nil, f, Conventional(16), 2000)
+	seq, err := Run(context.Background(), p, nil, f, Conventional(16), 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Run(p, comp, f, HelixRC(16), 2000)
+	par, err := Run(context.Background(), p, comp, f, HelixRC(16), 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestParallelSpeedsUpMixed(t *testing.T) {
 	}
 	// Conventional hardware running the same aggressively-split code must
 	// do much worse (Figure 9's shape).
-	conv, err := Run(p, comp, f, Conventional(16), 2000)
+	conv, err := Run(context.Background(), p, comp, f, Conventional(16), 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestParallelMatchesSequentialChase(t *testing.T) {
 	if pl.Counted {
 		t.Error("pointer chase must use the ctl protocol")
 	}
-	res, err := Run(p, comp, f, HelixRC(16))
+	res, err := Run(context.Background(), p, comp, f, HelixRC(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,15 +233,15 @@ func TestDecouplingVariantsOrdering(t *testing.T) {
 	noMem.DecoupleMem = false
 	noneDecoupled := Conventional(16)
 
-	rFull, err := Run(p, comp, f, full, 2000)
+	rFull, err := Run(context.Background(), p, comp, f, full, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rNoMem, err := Run(p, comp, f, noMem, 2000)
+	rNoMem, err := Run(context.Background(), p, comp, f, noMem, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rNone, err := Run(p, comp, f, noneDecoupled, 2000)
+	rNone, err := Run(context.Background(), p, comp, f, noneDecoupled, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestCoreCountScaling(t *testing.T) {
 	var prev int64 = 1 << 62
 	for _, n := range []int{2, 4, 8, 16} {
 		comp := compileFor(t, p, f, hcc.V3, 2000)
-		res, err := Run(p, comp, f, HelixRC(n), 2000)
+		res, err := Run(context.Background(), p, comp, f, HelixRC(n), 2000)
 		if err != nil {
 			t.Fatalf("cores=%d: %v", n, err)
 		}
@@ -273,7 +274,7 @@ func TestCoreCountScaling(t *testing.T) {
 func TestAbstractTLP(t *testing.T) {
 	p, f := buildMixed(t, 2000)
 	comp := compileFor(t, p, f, hcc.V3, 2000)
-	res, err := Run(p, comp, f, Abstract(16), 2000)
+	res, err := Run(context.Background(), p, comp, f, Abstract(16), 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestAbstractTLP(t *testing.T) {
 func TestOverheadAccounting(t *testing.T) {
 	p, f := buildMixed(t, 600)
 	comp := compileFor(t, p, f, hcc.V3, 600)
-	res, err := Run(p, comp, f, HelixRC(16), 600)
+	res, err := Run(context.Background(), p, comp, f, HelixRC(16), 600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,11 +315,11 @@ func TestOverheadAccounting(t *testing.T) {
 
 func TestSequentialBaselineDeterministic(t *testing.T) {
 	p, f := buildMixed(t, 300)
-	r1, err := Run(p, nil, f, Conventional(16), 300)
+	r1, err := Run(context.Background(), p, nil, f, Conventional(16), 300)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(p, nil, f, Conventional(16), 300)
+	r2, err := Run(context.Background(), p, nil, f, Conventional(16), 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +343,7 @@ func TestLowTripCountLoop(t *testing.T) {
 	if len(comp.Loops) == 0 {
 		t.Skip("tiny loop not selected")
 	}
-	res, err := Run(p, comp, f, HelixRC(16), 5)
+	res, err := Run(context.Background(), p, comp, f, HelixRC(16), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +362,7 @@ func TestLinkLatencySensitivity(t *testing.T) {
 	for _, lat := range []int{1, 8, 32} {
 		arch := HelixRC(16)
 		arch.Ring.LinkLatency = lat
-		res, err := Run(p, comp, f, arch, 2000)
+		res, err := Run(context.Background(), p, comp, f, arch, 2000)
 		if err != nil {
 			t.Fatal(err)
 		}

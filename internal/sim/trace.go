@@ -19,6 +19,7 @@ package sim
 // timing configs and requiring identical traces.
 
 import (
+	"context"
 	"errors"
 
 	"helixrc/internal/hcc"
@@ -266,7 +267,7 @@ func sortRegVals(rv []regVal) {
 // bit-identical to Run's; the Trace replays under any Config with the
 // same core count (or any core count for baseline traces) via Replay.
 // Recording requires the fast stepper; errors abort without a trace.
-func Record(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, args ...int64) (*Result, *Trace, error) {
+func Record(ctx context.Context, prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Config, args ...int64) (*Result, *Trace, error) {
 	if arch.SlowStep || arch.TraceIters > 0 {
 		return nil, nil, errors.New("sim: cannot record a trace with SlowStep or TraceIters")
 	}
@@ -274,7 +275,7 @@ func Record(prog *ir.Program, comp *hcc.Compiled, entry *ir.Function, arch Confi
 		arch.Cores = 16
 	}
 	rec := newRecorder()
-	res, maxRegs, err := run(prog, comp, entry, arch, rec, args)
+	res, maxRegs, err := run(ctx, prog, comp, entry, arch, rec, args)
 	if err != nil {
 		return res, nil, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestFaultInjectionMissingWait(t *testing.T) {
 			}
 		}
 	}
-	_, err := Run(p, comp, f, HelixRC(16), 600)
+	_, err := Run(context.Background(), p, comp, f, HelixRC(16), 600)
 	var verr *ValidationError
 	if !errors.As(err, &verr) {
 		t.Fatalf("expected a validation error, got %v", err)
@@ -66,7 +67,7 @@ outer:
 			}
 		}
 	}
-	_, err := Run(p, comp, f, HelixRC(16), 600)
+	_, err := Run(context.Background(), p, comp, f, HelixRC(16), 600)
 	var verr *ValidationError
 	if !errors.As(err, &verr) {
 		t.Fatalf("expected a validation error, got %v", err)
@@ -90,7 +91,7 @@ func TestFaultInjectionLeakedSharedAccess(t *testing.T) {
 	if !cleared {
 		t.Fatal("no shared store found")
 	}
-	_, err := Run(p, comp, f, HelixRC(16), 600)
+	_, err := Run(context.Background(), p, comp, f, HelixRC(16), 600)
 	var verr *ValidationError
 	if !errors.As(err, &verr) {
 		t.Fatalf("expected a validation error, got %v", err)
@@ -102,7 +103,7 @@ func TestStepBudgetEnforced(t *testing.T) {
 	p, f := buildMixed(t, 600)
 	arch := Conventional(16)
 	arch.MaxSteps = 100
-	_, err := Run(p, nil, f, arch, 600)
+	_, err := Run(context.Background(), p, nil, f, arch, 600)
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("want ErrBudget, got %v", err)
 	}
@@ -121,11 +122,11 @@ func TestOoOCoresRunParallelLoops(t *testing.T) {
 		arch.Core.OoO = true
 		arch.Core.Width = 4
 		arch.Core.Window = 96
-		seq, err := Run(p, nil, f, arch, 1000)
+		seq, err := Run(context.Background(), p, nil, f, arch, 1000)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := Run(p, comp, f, arch, 1000)
+		par, err := Run(context.Background(), p, comp, f, arch, 1000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,11 +147,11 @@ func TestPerfectMemAbstractMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	real, err := Run(p, comp, f, HelixRC(16), 1000)
+	real, err := Run(context.Background(), p, comp, f, HelixRC(16), 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	abs, err := Run(p, comp, f, Abstract(16), 1000)
+	abs, err := Run(context.Background(), p, comp, f, Abstract(16), 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestRingStatsAccumulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(p, comp, f, HelixRC(16), 600)
+	res, err := Run(context.Background(), p, comp, f, HelixRC(16), 600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestSequentialOnlyProgram(t *testing.T) {
 	b := ir.NewBuilder(p, f)
 	v := b.Mul(ir.R(f.Params[0]), ir.C(3))
 	b.Ret(ir.R(v))
-	res, err := Run(p, nil, f, HelixRC(16), 14)
+	res, err := Run(context.Background(), p, nil, f, HelixRC(16), 14)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,7 +8,9 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go test -race ./...
+# Hard wall-clock bound: a hung cancellation path fails the gate instead
+# of wedging it.
+go test -race -timeout 10m ./...
 
 # End-to-end determinism smoke: one small figure, hash-compared against
 # the checked-in benchmark report (exercises the record/replay path).
