@@ -13,6 +13,8 @@
 //	helix-bench -timeout 10m       # bound the whole run's wall clock
 //	helix-bench -celltimeout 30s   # bound each experiment cell (partial figures)
 //	helix-bench -quiet             # silence cache-eviction diagnostics
+//	helix-bench -cachedir .cache   # persist traces + baselines across runs
+//	helix-bench -cachedir .cache -cacheclear   # wipe the disk tier first
 //
 // Experiment names: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10
 // fig11a fig11b fig11c fig11d fig12 tlp.
@@ -44,6 +46,7 @@ import (
 	"time"
 
 	"helixrc/internal/atomicio"
+	"helixrc/internal/cliutil"
 	"helixrc/internal/harness"
 )
 
@@ -72,10 +75,18 @@ type runtimeSnapshot struct {
 }
 
 // replayReport summarizes how harness simulations were served: fresh
-// recordings (full execution) vs trace replays, plus cache pressure.
+// recordings (full execution) vs trace replays, per-tier hit/miss
+// counters of the artifact stores, plus cache pressure. A warm
+// -cachedir run shows recordings=0 and disk_hits>0.
 type replayReport struct {
 	Recordings     int64   `json:"recordings"`
 	Replays        int64   `json:"replays"`
+	MemHits        int64   `json:"mem_hits"`
+	MemMisses      int64   `json:"mem_misses"`
+	DiskHits       int64   `json:"disk_hits,omitempty"`
+	DiskMisses     int64   `json:"disk_misses,omitempty"`
+	DiskWrites     int64   `json:"disk_writes,omitempty"`
+	DiskLoadMS     float64 `json:"disk_load_ms,omitempty"`
 	CacheEvictions int64   `json:"cache_evictions"`
 	CacheEvictedMB float64 `json:"cache_evicted_mb"`
 }
@@ -116,8 +127,13 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "bound the whole run's wall clock (0 = none)")
 	cellTimeout := flag.Duration("celltimeout", 0, "bound each experiment cell; slow cells degrade to zero values in a flagged partial figure (0 = none)")
 	quiet := flag.Bool("quiet", false, "silence engine diagnostics (cache evictions)")
+	cacheDir := flag.String("cachedir", "", "disk tier for recorded traces and baseline results; a warm run re-times them without re-simulating")
+	cacheClear := flag.Bool("cacheclear", false, "wipe the -cachedir disk tier before running")
 	flag.Parse()
 
+	if err := cliutil.CheckCores(*cores); err != nil {
+		log.Fatal(err)
+	}
 	harness.SetParallelism(*parallel)
 	harness.SetSlowSim(*slowSim)
 	harness.SetNoReplay(*noReplay)
@@ -125,6 +141,9 @@ func main() {
 	harness.SetCellTimeout(*cellTimeout)
 	if *quiet {
 		harness.SetQuiet()
+	}
+	if err := cliutil.SetupCacheDir(*cacheDir, *cacheClear); err != nil {
+		log.Fatal(err)
 	}
 
 	// SIGINT/SIGTERM cancel in-flight experiment cells; the pool drains
@@ -194,7 +213,7 @@ func main() {
 
 	if *jsonOut {
 		recordings, replays := harness.ReplayStats()
-		evictions, evictedBytes := harness.CacheStats()
+		cs := harness.CacheStats()
 		anyPartial := false
 		for _, r := range reports {
 			anyPartial = anyPartial || r.Partial
@@ -215,8 +234,14 @@ func main() {
 			Replay: &replayReport{
 				Recordings:     recordings,
 				Replays:        replays,
-				CacheEvictions: evictions,
-				CacheEvictedMB: float64(evictedBytes) / (1 << 20),
+				MemHits:        cs.MemHits,
+				MemMisses:      cs.MemMisses,
+				DiskHits:       cs.DiskHits,
+				DiskMisses:     cs.DiskMisses,
+				DiskWrites:     cs.DiskWrites,
+				DiskLoadMS:     float64(cs.DiskLoadNS) / 1e6,
+				CacheEvictions: cs.Evictions,
+				CacheEvictedMB: float64(cs.EvictedBytes) / (1 << 20),
 			},
 			Runtime:     snapshotRuntime(),
 			Interrupted: interrupted,

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"syscall"
 
+	"helixrc/internal/cliutil"
 	"helixrc/internal/difftest"
 	"helixrc/internal/harness"
 	"helixrc/internal/hcc"
@@ -41,6 +42,7 @@ func main() {
 		trials   = flag.Int("shrink", 600, "max shrink trials per failure")
 		parallel = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 		quick    = flag.Bool("quick", false, "narrow oracle matrix (single level/core pair per seed)")
+		cacheDir = flag.String("cachedir", "", "artifact store disk tier (shared with helix-bench/helix-run)")
 		verbose  = flag.Bool("v", false, "log every seed")
 	)
 	flag.Parse()
@@ -48,6 +50,10 @@ func main() {
 	if !*verbose {
 		// Cache-eviction notices would interleave with sweep output.
 		harness.SetQuiet()
+	}
+	if err := cliutil.SetupCacheDir(*cacheDir, false); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	if *repro != "" {

@@ -13,21 +13,26 @@ import (
 	"log"
 
 	"helixrc"
+	"helixrc/internal/cliutil"
 )
 
 func main() {
 	bench := flag.String("bench", "164.gzip", "benchmark name")
 	level := flag.Int("level", 3, "compiler generation: 1, 2 or 3")
 	cores := flag.Int("cores", 16, "target core count")
+	cacheDir := flag.String("cachedir", "", "artifact store disk tier (shared with helix-bench/helix-run)")
 	flag.Parse()
 
 	// Validate numeric flags at the edge so a typo fails with the
 	// accepted range instead of a confusing downstream error.
-	if *level < 1 || *level > 3 {
-		log.Fatalf("-level %d: accepted range is 1..3 (HCCv1, HCCv2, HCCv3)", *level)
+	if err := cliutil.CheckLevel(*level); err != nil {
+		log.Fatal(err)
 	}
-	if *cores < 1 || *cores > 1024 {
-		log.Fatalf("-cores %d: accepted range is 1..1024", *cores)
+	if err := cliutil.CheckCores(*cores); err != nil {
+		log.Fatal(err)
+	}
+	if err := cliutil.SetupCacheDir(*cacheDir, false); err != nil {
+		log.Fatal(err)
 	}
 
 	w, err := helixrc.LoadWorkload(*bench)

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	helix-run -bench 175.vpr -level 3 -cores 16 [-ring=false] [-link 1]
+//	helix-run -bench 175.vpr -cachedir .cache   # reuse persisted traces
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"syscall"
 
 	"helixrc"
+	"helixrc/internal/cliutil"
+	"helixrc/internal/harness"
 	"helixrc/internal/sim"
 )
 
@@ -27,6 +30,7 @@ func main() {
 	link := flag.Int("link", 1, "ring link latency in cycles")
 	sigbw := flag.Int("sigbw", 5, "ring signal bandwidth (0 = unbounded)")
 	nodeKB := flag.Int("nodebytes", 1024, "ring node array bytes (0 = unbounded)")
+	cacheDir := flag.String("cachedir", "", "artifact store disk tier; warm runs replay persisted traces instead of re-simulating")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -37,35 +41,23 @@ func main() {
 
 	// Validate numeric flags at the edge so a typo fails with the
 	// accepted range instead of a confusing downstream error.
-	if *level < 1 || *level > 3 {
-		log.Fatalf("-level %d: accepted range is 1..3 (HCCv1, HCCv2, HCCv3)", *level)
+	for _, err := range []error{
+		cliutil.CheckLevel(*level),
+		cliutil.CheckCores(*cores),
+		cliutil.CheckNonNegative("link", *link, "cycles"),
+		cliutil.CheckNonNegative("sigbw", *sigbw, "0 = unbounded"),
+		cliutil.CheckNonNegative("nodebytes", *nodeKB, "0 = unbounded"),
+	} {
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	if *cores < 1 || *cores > 1024 {
-		log.Fatalf("-cores %d: accepted range is 1..1024", *cores)
-	}
-	if *link < 0 {
-		log.Fatalf("-link %d: accepted range is 0.. (cycles)", *link)
-	}
-	if *sigbw < 0 {
-		log.Fatalf("-sigbw %d: accepted range is 0.. (0 = unbounded)", *sigbw)
-	}
-	if *nodeKB < 0 {
-		log.Fatalf("-nodebytes %d: accepted range is 0.. (0 = unbounded)", *nodeKB)
+	if err := cliutil.SetupCacheDir(*cacheDir, false); err != nil {
+		log.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	w, err := helixrc.LoadWorkload(*bench)
-	if err != nil {
-		log.Fatal(err)
-	}
-	comp, err := helixrc.Compile(w.Prog, w.Entry, helixrc.Options{
-		Level: helixrc.Level(*level), Cores: *cores, TrainArgs: w.TrainArgs,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	var arch helixrc.Platform
 	if *ring {
@@ -77,13 +69,48 @@ func main() {
 		arch = helixrc.Conventional(*cores)
 	}
 
-	seq, err := helixrc.SimulateContext(ctx, w.Prog, nil, w.Entry, helixrc.Conventional(*cores), w.RefArgs...)
-	if err != nil {
-		log.Fatal(err)
-	}
-	par, err := helixrc.SimulateContext(ctx, w.Prog, comp, w.Entry, arch, w.RefArgs...)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		w    *helixrc.Workload
+		comp *helixrc.Compiled
+		seq  *helixrc.Result
+		par  *helixrc.Result
+		err  error
+	)
+	if *cacheDir != "" {
+		// Cached path: compilations, sequential baselines and parallel
+		// traces all go through the harness artifact stores, so a warm
+		// run replays persisted traces instead of re-simulating.
+		w, err = helixrc.LoadWorkload(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq, err = harness.CachedBaseline(ctx, *bench, helixrc.Conventional(*cores), true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		par, comp, err = harness.CachedRun(ctx, *bench, helixrc.Level(*level), arch, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		w, err = helixrc.LoadWorkload(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comp, err = helixrc.Compile(w.Prog, w.Entry, helixrc.Options{
+			Level: helixrc.Level(*level), Cores: *cores, TrainArgs: w.TrainArgs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq, err = helixrc.SimulateContext(ctx, w.Prog, nil, w.Entry, helixrc.Conventional(*cores), w.RefArgs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		par, err = helixrc.SimulateContext(ctx, w.Prog, comp, w.Entry, arch, w.RefArgs...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if seq.RetValue != par.RetValue {
 		fmt.Fprintf(os.Stderr, "FUNCTIONAL MISMATCH: %d != %d\n", par.RetValue, seq.RetValue)

@@ -1,0 +1,322 @@
+package artifact
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"helixrc/internal/atomicio"
+)
+
+// envelope format for one disk entry:
+//
+//	magic "hxart" | u32 envelope version | u32 len + scheme string |
+//	u32 len + full key | u64 len + payload | sha256 of all prior bytes
+//
+// The scheme string pins the fingerprint schemes and payload codec
+// versions the writer used; a reader with a different scheme treats the
+// entry as a miss (version skew is recomputation, never an error). The
+// full key is stored so a filename-hash collision or a key-derivation
+// change can never serve the wrong artifact. Any truncation, bit flip
+// or version bump fails the checksum/field checks and degrades to a
+// miss.
+const (
+	envMagic   = "hxart"
+	envVersion = 1
+)
+
+// Codec serializes artifacts for the disk tier. Encode must be
+// deterministic for a given value; Decode must reject corrupt input
+// with an error (it is allowed to be paranoid — a decode error is just
+// a cache miss).
+type Codec[V any] struct {
+	Encode func(V) ([]byte, error)
+	Decode func([]byte) (V, error)
+}
+
+// Stats is a Store's cumulative counter snapshot. Memory hits/misses
+// count Get calls served by the memory tier vs those that ran the
+// disk-or-compute path; disk hits/misses split the latter (disk
+// counters stay zero while the disk tier is disabled). Eviction
+// counters cover the memory tier's byte-budget LRU.
+type Stats struct {
+	MemHits      int64
+	MemMisses    int64
+	DiskHits     int64
+	DiskMisses   int64
+	DiskWrites   int64
+	DiskLoadNS   int64 // wall time spent reading+decoding disk hits
+	Evictions    int64
+	EvictedBytes int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.MemHits += o.MemHits
+	s.MemMisses += o.MemMisses
+	s.DiskHits += o.DiskHits
+	s.DiskMisses += o.DiskMisses
+	s.DiskWrites += o.DiskWrites
+	s.DiskLoadNS += o.DiskLoadNS
+	s.Evictions += o.Evictions
+	s.EvictedBytes += o.EvictedBytes
+}
+
+// Store is a two-tier content-addressed artifact store: a Memo memory
+// tier (singleflight + byte-budget LRU) over an optional disk tier of
+// atomic, checksummed files. A Get that misses memory consults disk
+// before computing; a computed value is written back to disk
+// best-effort (a failed write never fails the Get). The disk tier is
+// disabled until SetDir installs a root directory.
+//
+// All disk entries carry the store's scheme string; entries written
+// under a different scheme or envelope version are treated as misses,
+// so fingerprint-scheme evolution can never serve a stale artifact.
+type Store[V any] struct {
+	memo   Memo[V]
+	kind   string // subdirectory under the cache root
+	scheme string
+	codec  *Codec[V] // nil = memory-only store
+
+	dir atomic.Pointer[string]
+
+	memHits, memMisses       atomic.Int64
+	diskHits, diskMisses     atomic.Int64
+	diskWrites, diskLoadNano atomic.Int64
+}
+
+// NewStore returns a store whose disk entries live under
+// <root>/<kind>/ once SetDir is called. cost drives the memory tier's
+// byte-budget LRU (nil disables it); codec serializes values for the
+// disk tier (nil keeps the store memory-only even with a directory
+// set); scheme names the fingerprint/codec scheme the keys and
+// payloads were derived under.
+func NewStore[V any](kind, scheme string, cost func(V) int64, codec *Codec[V]) *Store[V] {
+	return &Store[V]{memo: Memo[V]{name: kind, cost: cost}, kind: kind, scheme: scheme, codec: codec}
+}
+
+// SetDir installs (or, with "", removes) the disk tier's root
+// directory. Entries are stored under <dir>/<kind>/. Safe to call
+// concurrently with Get.
+func (s *Store[V]) SetDir(dir string) {
+	if dir == "" {
+		s.dir.Store(nil)
+		return
+	}
+	s.dir.Store(&dir)
+}
+
+// Dir returns the disk tier root, or "" when disabled.
+func (s *Store[V]) Dir() string {
+	if p := s.dir.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetBudget bounds the memory tier's summed cost (<= 0 for unbounded).
+func (s *Store[V]) SetBudget(b int64) { s.memo.SetBudget(b) }
+
+// Reset drops the memory tier. Disk entries and counters survive.
+func (s *Store[V]) Reset() { s.memo.Reset() }
+
+// Stats returns the cumulative counter snapshot.
+func (s *Store[V]) Stats() Stats {
+	ev, evB := s.memo.EvictionStats()
+	return Stats{
+		MemHits:      s.memHits.Load(),
+		MemMisses:    s.memMisses.Load(),
+		DiskHits:     s.diskHits.Load(),
+		DiskMisses:   s.diskMisses.Load(),
+		DiskWrites:   s.diskWrites.Load(),
+		DiskLoadNS:   s.diskLoadNano.Load(),
+		Evictions:    ev,
+		EvictedBytes: evB,
+	}
+}
+
+// Get returns the artifact for key, looking up memory, then disk, then
+// computing with fn (exactly once per key across concurrent callers —
+// Memo.Do's singleflight and cancellation semantics apply unchanged).
+// Values that fn computes are persisted to the disk tier best-effort;
+// values loaded from disk re-enter the memory tier so later Gets are
+// memory hits.
+func (s *Store[V]) Get(ctx context.Context, key string, fn func(ctx context.Context) (V, error)) (V, error) {
+	ran := false
+	v, err := s.memo.Do(ctx, key, func(cctx context.Context) (V, error) {
+		ran = true // single write, observed only after Do's done-channel sync
+		if v, ok := s.diskLoad(key); ok {
+			return v, nil
+		}
+		v, err := fn(cctx)
+		if err == nil {
+			s.diskSave(key, v)
+		}
+		return v, err
+	})
+	// A detached (cancelled) waiter never synchronized with the
+	// computation, so its ran flag may still be getting written —
+	// context errors are left uncounted.
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case ran:
+		s.memMisses.Add(1)
+	case err == nil:
+		s.memHits.Add(1)
+	}
+	return v, err
+}
+
+// path maps a key to its disk entry. The filename is a hash of the key;
+// the key itself is stored inside the envelope and verified on load.
+func (s *Store[V]) path(root, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(root, s.kind, hex.EncodeToString(sum[:])+".art")
+}
+
+// diskLoad reads, verifies and decodes one disk entry. Every failure —
+// missing file, truncation, checksum mismatch, envelope-version or
+// scheme skew, wrong key, codec error — is a miss.
+func (s *Store[V]) diskLoad(key string) (V, bool) {
+	var zero V
+	root := s.Dir()
+	if root == "" || s.codec == nil {
+		return zero, false
+	}
+	start := time.Now()
+	data, err := os.ReadFile(s.path(root, key))
+	if err != nil {
+		s.diskMisses.Add(1)
+		return zero, false
+	}
+	payload, ok := openEnvelope(data, s.scheme, key)
+	if !ok {
+		s.diskMisses.Add(1)
+		return zero, false
+	}
+	v, err := s.codec.Decode(payload)
+	if err != nil {
+		s.diskMisses.Add(1)
+		return zero, false
+	}
+	s.diskLoadNano.Add(time.Since(start).Nanoseconds())
+	s.diskHits.Add(1)
+	return v, true
+}
+
+// diskSave writes one entry atomically. Failures are logged and
+// swallowed: the disk tier is an accelerator, never a correctness
+// dependency.
+func (s *Store[V]) diskSave(key string, v V) {
+	root := s.Dir()
+	if root == "" || s.codec == nil {
+		return
+	}
+	payload, err := s.codec.Encode(v)
+	if err != nil {
+		logf("artifact: %s encode %s: %v", s.kind, key, err)
+		return
+	}
+	path := s.path(root, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		logf("artifact: %s mkdir: %v", s.kind, err)
+		return
+	}
+	if err := atomicio.WriteFile(path, sealEnvelope(payload, s.scheme, key), 0o644); err != nil {
+		logf("artifact: %s write %s: %v", s.kind, key, err)
+		return
+	}
+	s.diskWrites.Add(1)
+}
+
+// Clear removes every disk entry of this store's kind under the
+// configured root (no-op when the disk tier is disabled).
+func (s *Store[V]) Clear() error {
+	root := s.Dir()
+	if root == "" {
+		return nil
+	}
+	return os.RemoveAll(filepath.Join(root, s.kind))
+}
+
+// sealEnvelope frames a payload with the version/scheme/key header and
+// the trailing self-checksum.
+func sealEnvelope(payload []byte, scheme, key string) []byte {
+	buf := make([]byte, 0, len(envMagic)+4+4+len(scheme)+4+len(key)+8+len(payload)+sha256.Size)
+	buf = append(buf, envMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, envVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(scheme)))
+	buf = append(buf, scheme...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// openEnvelope verifies the framing and returns the payload. Any
+// mismatch returns ok=false.
+func openEnvelope(data []byte, scheme, key string) ([]byte, bool) {
+	if len(data) < sha256.Size {
+		return nil, false
+	}
+	body, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	want := sha256.Sum256(body)
+	if string(sum) != string(want[:]) {
+		return nil, false
+	}
+	off := 0
+	take := func(n int) ([]byte, bool) {
+		if n < 0 || off+n > len(body) {
+			return nil, false
+		}
+		b := body[off : off+n]
+		off += n
+		return b, true
+	}
+	u32 := func() (uint32, bool) {
+		b, ok := take(4)
+		if !ok {
+			return 0, false
+		}
+		return binary.LittleEndian.Uint32(b), true
+	}
+	if m, ok := take(len(envMagic)); !ok || string(m) != envMagic {
+		return nil, false
+	}
+	if v, ok := u32(); !ok || v != envVersion {
+		return nil, false
+	}
+	n, ok := u32()
+	if !ok {
+		return nil, false
+	}
+	gotScheme, ok := take(int(n))
+	if !ok || string(gotScheme) != scheme {
+		return nil, false
+	}
+	if n, ok = u32(); !ok {
+		return nil, false
+	}
+	gotKey, ok := take(int(n))
+	if !ok || string(gotKey) != key {
+		return nil, false
+	}
+	lb, ok := take(8)
+	if !ok {
+		return nil, false
+	}
+	plen := binary.LittleEndian.Uint64(lb)
+	payload, ok := take(int(plen))
+	if !ok || off != len(body) {
+		return nil, false
+	}
+	return payload, true
+}

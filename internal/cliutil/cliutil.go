@@ -1,0 +1,58 @@
+// Package cliutil holds the flag validation and cache-dir setup shared
+// by the cmd tools (helix-run, helix-profile, helix-bench, helix-fuzz),
+// so the accepted ranges and their error texts live in exactly one
+// place. Validation happens at the edge: a typo fails with the accepted
+// range instead of a confusing downstream error.
+package cliutil
+
+import (
+	"fmt"
+
+	"helixrc/internal/harness"
+)
+
+// CheckLevel validates a -level flag (HCC compiler generation).
+func CheckLevel(level int) error {
+	if level < 1 || level > 3 {
+		return fmt.Errorf("-level %d: accepted range is 1..3 (HCCv1, HCCv2, HCCv3)", level)
+	}
+	return nil
+}
+
+// CheckCores validates a -cores flag.
+func CheckCores(cores int) error {
+	if cores < 1 || cores > 1024 {
+		return fmt.Errorf("-cores %d: accepted range is 1..1024", cores)
+	}
+	return nil
+}
+
+// CheckNonNegative validates a flag that accepts 0.. (ring parameters:
+// link latency, bandwidths, node sizes). note is appended to the error
+// in parentheses, e.g. "cycles" or "0 = unbounded".
+func CheckNonNegative(name string, v int, note string) error {
+	if v < 0 {
+		return fmt.Errorf("-%s %d: accepted range is 0.. (%s)", name, v, note)
+	}
+	return nil
+}
+
+// SetupCacheDir wires a tool's -cachedir/-cacheclear flags into the
+// harness artifact stores: install the disk tier (when dir is
+// non-empty), then optionally wipe it. -cacheclear without -cachedir is
+// an error — there is nothing to clear.
+func SetupCacheDir(dir string, clear bool) error {
+	if dir == "" {
+		if clear {
+			return fmt.Errorf("-cacheclear requires -cachedir")
+		}
+		return nil
+	}
+	harness.SetCacheDir(dir)
+	if clear {
+		if err := harness.ClearDiskCache(); err != nil {
+			return fmt.Errorf("clearing cache dir %s: %w", dir, err)
+		}
+	}
+	return nil
+}

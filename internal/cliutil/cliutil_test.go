@@ -1,0 +1,53 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckLevel(t *testing.T) {
+	for _, ok := range []int{1, 2, 3} {
+		if err := CheckLevel(ok); err != nil {
+			t.Errorf("CheckLevel(%d) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []int{0, 4, -1} {
+		err := CheckLevel(bad)
+		if err == nil || !strings.Contains(err.Error(), "1..3") {
+			t.Errorf("CheckLevel(%d) = %v, want range error", bad, err)
+		}
+	}
+}
+
+func TestCheckCores(t *testing.T) {
+	for _, ok := range []int{1, 16, 1024} {
+		if err := CheckCores(ok); err != nil {
+			t.Errorf("CheckCores(%d) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []int{0, -3, 1025} {
+		err := CheckCores(bad)
+		if err == nil || !strings.Contains(err.Error(), "1..1024") {
+			t.Errorf("CheckCores(%d) = %v, want range error", bad, err)
+		}
+	}
+}
+
+func TestCheckNonNegative(t *testing.T) {
+	if err := CheckNonNegative("link", 0, "cycles"); err != nil {
+		t.Errorf("CheckNonNegative(0) = %v, want nil", err)
+	}
+	err := CheckNonNegative("link", -1, "cycles")
+	if err == nil || !strings.Contains(err.Error(), "-link -1") || !strings.Contains(err.Error(), "cycles") {
+		t.Errorf("CheckNonNegative(-1) = %v, want error naming flag and note", err)
+	}
+}
+
+func TestSetupCacheDirClearWithoutDir(t *testing.T) {
+	if err := SetupCacheDir("", true); err == nil {
+		t.Fatal("SetupCacheDir(\"\", clear) = nil, want error")
+	}
+	if err := SetupCacheDir("", false); err != nil {
+		t.Fatalf("SetupCacheDir(\"\", false) = %v, want nil", err)
+	}
+}

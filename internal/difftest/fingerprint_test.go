@@ -1,0 +1,116 @@
+package difftest
+
+import (
+	"testing"
+
+	"helixrc/internal/ir"
+	"helixrc/internal/irgen"
+	"helixrc/internal/workloads"
+)
+
+// externRegistry collects the extern summaries a program references, so
+// its printed text can be reparsed (workload externs live in the
+// program, not in the generator's registry).
+func externRegistry(p *ir.Program) map[string]*ir.Extern {
+	m := map[string]*ir.Extern{}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if ext := b.Instrs[i].Extern; ext != nil {
+					m[ext.Name] = ext
+				}
+			}
+		}
+	}
+	for name, ext := range irgen.Externs {
+		if _, ok := m[name]; !ok {
+			m[name] = ext
+		}
+	}
+	return m
+}
+
+// TestWorkloadFingerprintRoundTrip is the round-trip property behind the
+// artifact store's content-addressed keys, over every benchmark
+// analogue: parse(print(p)) must reproduce the canonical fingerprint,
+// and two independent builds of the same workload must fingerprint
+// identically even though the DSL's process-global block counter gives
+// their blocks different raw names.
+func TestWorkloadFingerprintRoundTrip(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w1, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp1 := w1.Prog.Fingerprint(w1.Entry)
+			fp2 := w2.Prog.Fingerprint(w2.Entry)
+			if fp1 != fp2 {
+				t.Fatalf("two builds of %s fingerprint differently:\n%s\n%s", name, fp1, fp2)
+			}
+			// The raw textual forms DO differ across builds (the block
+			// counter is process-global), which is exactly why the
+			// fingerprint canonicalizes block names.
+			p, f, err := ir.ParseText(w1.Prog.Text(w1.Entry), externRegistry(w1.Prog))
+			if err != nil {
+				t.Fatalf("reparse %s: %v", name, err)
+			}
+			if fp := p.Fingerprint(f); fp != fp1 {
+				t.Errorf("parse(print(%s)) fingerprint = %s, want %s", name, fp, fp1)
+			}
+		})
+	}
+}
+
+// TestCorpusFingerprintRoundTrip extends the property to every checked-in
+// corpus program: printing and reparsing must be fingerprint-neutral.
+func TestCorpusFingerprintRoundTrip(t *testing.T) {
+	files, err := CorpusFiles("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files under testdata")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			text, _, err := LoadCorpusFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1, f1, err := ir.ParseText(text, irgen.Externs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp1 := p1.Fingerprint(f1)
+			p2, f2, err := ir.ParseText(p1.Text(f1), irgen.Externs)
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			if fp2 := p2.Fingerprint(f2); fp2 != fp1 {
+				t.Errorf("parse(print(p)) fingerprint = %s, want %s", fp2, fp1)
+			}
+		})
+	}
+}
+
+// TestGeneratedFingerprintsDistinct guards against fingerprint
+// collisions over structurally different programs: distinct generator
+// seeds must yield distinct fingerprints.
+func TestGeneratedFingerprintsDistinct(t *testing.T) {
+	seen := map[string]uint64{}
+	for seed := uint64(0); seed < 50; seed++ {
+		p, f, _ := irgen.Generate(seed)
+		fp := p.Fingerprint(f)
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("seeds %d and %d share fingerprint %s", prev, seed, fp)
+		}
+		seen[fp] = seed
+	}
+}

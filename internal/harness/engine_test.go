@@ -7,7 +7,6 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -212,180 +211,6 @@ func TestPartialsNoteEmpty(t *testing.T) {
 	if note := partial.Note(); note != "" {
 		t.Fatalf("Note() = %q for a complete figure, want empty", note)
 	}
-}
-
-func TestMemoGroupSingleflight(t *testing.T) {
-	var g memoGroup[int]
-	var calls atomic.Int32
-	var wg sync.WaitGroup
-	const n = 32
-	vals := make([]int, n)
-	for k := 0; k < n; k++ {
-		k := k
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			v, err := g.Do(context.Background(), "key", func(context.Context) (int, error) {
-				calls.Add(1)
-				return 42, nil
-			})
-			if err != nil {
-				t.Error(err)
-			}
-			vals[k] = v
-		}()
-	}
-	wg.Wait()
-	if c := calls.Load(); c != 1 {
-		t.Fatalf("fn ran %d times, want 1", c)
-	}
-	for _, v := range vals {
-		if v != 42 {
-			t.Fatalf("vals = %v", vals)
-		}
-	}
-}
-
-func TestMemoGroupErrorCachedUntilReset(t *testing.T) {
-	var g memoGroup[int]
-	var calls atomic.Int32
-	fail := func(context.Context) (int, error) { calls.Add(1); return 0, errors.New("nope") }
-	if _, err := g.Do(context.Background(), "k", fail); err == nil {
-		t.Fatal("want error")
-	}
-	if _, err := g.Do(context.Background(), "k", fail); err == nil {
-		t.Fatal("want cached error")
-	}
-	if c := calls.Load(); c != 1 {
-		t.Fatalf("fn ran %d times before reset, want 1", c)
-	}
-	g.reset()
-	if _, err := g.Do(context.Background(), "k", fail); err == nil {
-		t.Fatal("want error after reset")
-	}
-	if c := calls.Load(); c != 2 {
-		t.Fatalf("fn ran %d times after reset, want 2", c)
-	}
-}
-
-// TestMemoGroupWaiterCancelDetaches pins the non-poisoning contract: a
-// cancelled waiter detaches with its own ctx.Err() while the in-flight
-// computation completes for the remaining waiters and is cached normally.
-func TestMemoGroupWaiterCancelDetaches(t *testing.T) {
-	var g memoGroup[int]
-	var calls atomic.Int32
-	release := make(chan struct{})
-	fn := func(context.Context) (int, error) {
-		calls.Add(1)
-		<-release
-		return 42, nil
-	}
-
-	ctx1, cancel1 := context.WithCancel(context.Background())
-	errc := make(chan error, 1)
-	go func() {
-		_, err := g.Do(ctx1, "k", fn)
-		errc <- err
-	}()
-	// Second waiter joins the same in-flight computation.
-	valc := make(chan int, 1)
-	go func() {
-		v, err := g.Do(context.Background(), "k", fn)
-		if err != nil {
-			t.Errorf("surviving waiter: %v", err)
-		}
-		valc <- v
-	}()
-	// Let both waiters attach before cancelling the first.
-	for calls.Load() == 0 {
-		time.Sleep(time.Millisecond)
-	}
-	time.Sleep(10 * time.Millisecond)
-	cancel1()
-	select {
-	case err := <-errc:
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("cancelled waiter did not detach promptly")
-	}
-	close(release)
-	if v := <-valc; v != 42 {
-		t.Fatalf("surviving waiter got %d, want 42", v)
-	}
-	// The completed result is cached — no poisoning, no recompute.
-	v, err := g.Do(context.Background(), "k", fn)
-	if err != nil || v != 42 {
-		t.Fatalf("post-cancel Do = %d, %v; want 42, nil", v, err)
-	}
-	if c := calls.Load(); c != 1 {
-		t.Fatalf("fn ran %d times, want 1", c)
-	}
-}
-
-// TestMemoGroupAbandonedComputeNotCached: when every waiter detaches, the
-// computation's context is cancelled and its (context-error) result is
-// dropped, so the next caller recomputes from scratch.
-func TestMemoGroupAbandonedComputeNotCached(t *testing.T) {
-	defer checkGoroutineLeaks(t)()
-	var g memoGroup[int]
-	var calls atomic.Int32
-	started := make(chan struct{})
-	fn := func(cctx context.Context) (int, error) {
-		calls.Add(1)
-		close(started)
-		<-cctx.Done() // reaped when the last waiter detaches
-		return 0, cctx.Err()
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	errc := make(chan error, 1)
-	go func() {
-		_, err := g.Do(ctx, "k", fn)
-		errc <- err
-	}()
-	<-started
-	cancel()
-	if err := <-errc; !errors.Is(err, context.Canceled) {
-		t.Fatalf("abandoned waiter got %v, want context.Canceled", err)
-	}
-	// The key recomputes: the dying computation never poisoned it.
-	v, err := g.Do(context.Background(), "k", func(context.Context) (int, error) { return 7, nil })
-	if err != nil || v != 7 {
-		t.Fatalf("recompute = %d, %v; want 7, nil", v, err)
-	}
-	if c := calls.Load(); c != 1 {
-		t.Fatalf("abandoned fn ran %d times, want 1", c)
-	}
-}
-
-// TestMemoGroupConcurrentReset exercises Do racing reset — the race
-// detector validates ResetCaches' concurrency contract.
-func TestMemoGroupConcurrentReset(t *testing.T) {
-	var g memoGroup[int]
-	var wg sync.WaitGroup
-	for k := 0; k < 8; k++ {
-		k := k
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 200; i++ {
-				v, err := g.Do(context.Background(), fmt.Sprintf("k%d", i%5), func(context.Context) (int, error) { return i, nil })
-				if err != nil || v < 0 {
-					t.Errorf("worker %d: %v", k, err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < 50; i++ {
-			g.reset()
-		}
-	}()
-	wg.Wait()
 }
 
 // TestFigureCancelMidRun pins the sweep-level promptness guarantee:

@@ -2,69 +2,127 @@ package harness
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
 	"helixrc/internal/alias"
+	"helixrc/internal/artifact"
 	"helixrc/internal/cfg"
 	"helixrc/internal/ddg"
 	"helixrc/internal/hcc"
+	"helixrc/internal/ir"
 	"helixrc/internal/sim"
 	"helixrc/internal/workloads"
 )
 
-// Memoization groups keyed by workload/level/cores so sweeps do not
-// recompile. All are concurrency-safe with singleflight semantics:
-// when many experiment cells need the same compilation, baseline or
-// dynamic trace, exactly one goroutine computes it and the rest wait
-// for the result.
+// cacheScheme pins everything the meaning of a disk-tier key rests on:
+// the IR program fingerprint scheme, the sim.Config fingerprint scheme,
+// and the harness key grammar itself (the trailing component — bump it
+// when key derivation changes shape). Disk entries written under any
+// other scheme are misses, never errors.
+const cacheScheme = ir.FingerprintScheme + "+" + sim.ConfigFingerprintScheme + "+hkey1"
+
+// The harness caches are content-addressed artifact stores keyed by
+// stable fingerprints of the inputs (workload content + arguments,
+// compiler level, core count, timing config). All are concurrency-safe
+// with singleflight semantics: when many experiment cells need the same
+// compilation, baseline or dynamic trace, exactly one goroutine
+// computes it and the rest wait for the result. Baseline Results and
+// recorded traces can persist to a disk tier (SetCacheDir) because
+// their keys are process-independent; compilations stay memory-only
+// behind the same interface (a compile is cheap relative to its
+// serialized size, and its product is pointer-rich).
 var (
-	compGroup  memoGroup[*compEntry]
-	seqGroup   memoGroup[*sim.Result]
-	traceGroup memoGroup[*sim.Trace]
+	compStore = artifact.NewStore[*compEntry]("compile", cacheScheme, compCost, nil)
+	seqStore  = artifact.NewStore[*sim.Result]("baseline", cacheScheme,
+		func(*sim.Result) int64 { return 1 << 10 },
+		&artifact.Codec[*sim.Result]{Encode: sim.EncodeResult, Decode: sim.DecodeResult})
+	traceStore = artifact.NewStore[*sim.Trace]("trace", cacheScheme,
+		(*sim.Trace).SizeBytes,
+		&artifact.Codec[*sim.Trace]{Encode: sim.EncodeTrace, Decode: sim.DecodeTrace})
+
+	// fpMemo memoizes per-workload content fingerprints (registry
+	// content is fixed for the process, so ResetCaches leaves these).
+	fpMemo artifact.Memo[string]
 )
 
 // DefaultCacheBudget is the total byte budget shared by the harness
-// memo caches (compilations, baselines, traces). Traces dominate, so
-// they get most of it; see SetCacheBudget.
+// memory-tier caches (compilations, baselines, traces). Traces
+// dominate, so they get most of it; see SetCacheBudget.
 const DefaultCacheBudget = int64(1) << 30
 
 func init() {
-	compGroup.name, compGroup.cost = "compile", compCost
-	seqGroup.name, seqGroup.cost = "baseline", func(*sim.Result) int64 { return 1 << 10 }
-	traceGroup.name, traceGroup.cost = "trace", (*sim.Trace).SizeBytes
 	SetCacheBudget(DefaultCacheBudget)
 }
 
 // SetCacheBudget bounds the summed estimated size of the harness memo
 // caches, splitting the total across them (traces take three quarters).
 // Least-recently-used entries are evicted past the budget, with a log
-// line per eviction. total <= 0 removes the bound.
+// line per eviction. total <= 0 removes the bound. The disk tier is
+// never evicted by budget — only -cacheclear (or Clear) empties it.
 func SetCacheBudget(total int64) {
 	if total <= 0 {
-		traceGroup.setBudget(0)
-		compGroup.setBudget(0)
-		seqGroup.setBudget(0)
+		traceStore.SetBudget(0)
+		compStore.SetBudget(0)
+		seqStore.SetBudget(0)
 		return
 	}
 	traces := total * 3 / 4
 	baselines := total / 64
-	traceGroup.setBudget(traces)
-	seqGroup.setBudget(baselines)
-	compGroup.setBudget(total - traces - baselines)
+	traceStore.SetBudget(traces)
+	seqStore.SetBudget(baselines)
+	compStore.SetBudget(total - traces - baselines)
 }
 
-// CacheStats reports cumulative eviction counts and evicted bytes
-// across all harness memo caches (for the helix-bench JSON report).
-func CacheStats() (evictions, evictedBytes int64) {
-	for _, f := range []func() (int64, int64){
-		compGroup.stats, seqGroup.stats, traceGroup.stats,
-	} {
-		n, b := f()
-		evictions += n
-		evictedBytes += b
+// SetCacheDir installs dir as the disk tier root for persistable
+// artifacts: recorded traces and baseline Results survive the process
+// and serve later runs at disk-read cost. Compilations stay
+// memory-only. "" disables the disk tier (the default).
+func SetCacheDir(dir string) {
+	seqStore.SetDir(dir)
+	traceStore.SetDir(dir)
+}
+
+// CacheDir returns the configured disk-tier root, or "" when disabled.
+func CacheDir() string { return traceStore.Dir() }
+
+// ClearDiskCache removes every persisted artifact under the configured
+// cache dir (no-op without one). helix-bench -cacheclear calls it.
+func ClearDiskCache() error {
+	if err := seqStore.Clear(); err != nil {
+		return err
 	}
-	return
+	return traceStore.Clear()
+}
+
+// CacheStats aggregates the per-tier counters of every harness store:
+// memory hits/misses, disk hits/misses/writes and load time, and the
+// memory tier's cumulative evictions (for the helix-bench JSON report).
+func CacheStats() artifact.Stats {
+	var t artifact.Stats
+	t.Add(compStore.Stats())
+	t.Add(seqStore.Stats())
+	t.Add(traceStore.Stats())
+	return t
+}
+
+// workloadFingerprint memoizes the content fingerprint a workload's
+// artifacts are keyed under: the canonical program fingerprint (block
+// names normalized — the DSL draws them from a process-global counter)
+// plus the train/ref argument vectors, which compiles and traces depend
+// on but the program text does not contain.
+func workloadFingerprint(ctx context.Context, name string) (string, error) {
+	return fpMemo.Do(ctx, name, func(context.Context) (string, error) {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return "", err
+		}
+		sum := sha256.Sum256(fmt.Appendf(nil, "%s train=%v ref=%v",
+			w.Prog.Fingerprint(w.Entry), w.TrainArgs, w.RefArgs))
+		return hex.EncodeToString(sum[:]), nil
+	})
 }
 
 // compCost estimates a cached compilation's footprint: the cloned
@@ -95,14 +153,19 @@ type compEntry struct {
 	comp *hcc.Compiled
 }
 
-// CachedCompile memoizes Compile per (name, level, cores). Safe for
-// concurrent use; duplicate concurrent requests share one compilation.
-// The returned workload and compilation are shared — callers must treat
-// them as read-only (sim.Run does). A cancelled ctx detaches this
-// caller from the shared compilation without aborting it for others.
+// CachedCompile memoizes Compile per (workload content, level, cores).
+// Safe for concurrent use; duplicate concurrent requests share one
+// compilation. The returned workload and compilation are shared —
+// callers must treat them as read-only (sim.Run does). A cancelled ctx
+// detaches this caller from the shared compilation without aborting it
+// for others.
 func CachedCompile(ctx context.Context, name string, level hcc.Level, cores int) (*workloads.Workload, *hcc.Compiled, error) {
-	key := fmt.Sprintf("%s/%d/%d", name, level, cores)
-	e, err := compGroup.Do(ctx, key, func(cctx context.Context) (*compEntry, error) {
+	fp, err := workloadFingerprint(ctx, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := fmt.Sprintf("compile/%s/L%d/c%d/%s", name, level, cores, fp)
+	e, err := compStore.Get(ctx, key, func(cctx context.Context) (*compEntry, error) {
 		// hcc.Compile is not interruptible mid-flight (its profiling is
 		// bounded by ProfileBudget); honour an already-dead context
 		// before starting the work.
@@ -121,45 +184,58 @@ func CachedCompile(ctx context.Context, name string, level hcc.Level, cores int)
 	return e.w, e.comp, nil
 }
 
-// CachedBaseline memoizes the sequential run per (name, core model, ref).
-// Safe for concurrent use. The underlying dynamic trace is keyed by
-// (name, ref) alone — a baseline has no parallel loops, so its trace is
-// independent of the core model and count and each new core model only
-// pays a replay.
+// CachedBaseline memoizes the sequential run per (workload content,
+// timing config, ref), persisting the Result to the disk tier when one
+// is configured. The key normalizes the core count away: a sequential
+// run executes on core 0 only, so its Result is core-count independent
+// (Figure 11a's sweep shares one baseline across 2..16 cores, exactly
+// as the previous core-model key did). The underlying dynamic trace is
+// keyed by (workload content, ref) alone — a baseline has no parallel
+// loops, so its trace is independent of the timing config entirely and
+// each new core model only pays a replay.
 func CachedBaseline(ctx context.Context, name string, arch sim.Config, ref bool) (*sim.Result, error) {
-	key := fmt.Sprintf("%s/%s/%v", name, arch.Core.Name, ref)
-	return seqGroup.Do(ctx, key, func(cctx context.Context) (*sim.Result, error) {
+	fp, err := workloadFingerprint(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	karch := arch
+	karch.Cores = 0
+	key := fmt.Sprintf("base/%s/ref=%v/%s/%s", name, ref, karch.Fingerprint(), fp)
+	return seqStore.Get(ctx, key, func(cctx context.Context) (*sim.Result, error) {
 		w, err := workloads.Get(name)
 		if err != nil {
 			return nil, err
 		}
-		return simWithTrace(cctx, fmt.Sprintf("base/%s/%v", name, ref), w, nil, arch, args(w, ref))
+		tkey := fmt.Sprintf("trace/base/%s/ref=%v/%s", name, ref, fp)
+		return simWithTrace(cctx, tkey, w, nil, arch, args(w, ref))
 	})
 }
 
-// ResetCaches clears memoized compilations, baselines and traces (tests
-// use this to bound memory). Safe to call concurrently with cache
-// users: in-flight computations complete for their waiters and are
-// dropped.
+// ResetCaches clears the memory tier of memoized compilations,
+// baselines and traces (tests use this to bound memory, and to force
+// warm-start paths). Disk-tier entries and all counters survive. Safe
+// to call concurrently with cache users: in-flight computations
+// complete for their waiters and are dropped.
 func ResetCaches() {
-	compGroup.reset()
-	seqGroup.reset()
-	traceGroup.reset()
+	compStore.Reset()
+	seqStore.Reset()
+	traceStore.Reset()
 }
 
 // simWithTrace serves one harness simulation through the record/replay
-// fast path: the first run for a trace key executes and records, every
-// later run under any timing config replays the cached trace. The key
-// must pin everything the dynamic behaviour depends on — compiled
-// program identity (workload, level, cores) and input — while timing
-// parameters stay out of it. SlowSim, SetNoReplay and arch.NoReplay
-// bypass the cache entirely.
+// fast path: the first run for a trace key executes and records (and
+// persists the trace when a disk tier is configured), every later run
+// under any timing config — in this process or a later one — replays
+// the stored trace. The key must pin everything the dynamic behaviour
+// depends on — compiled program identity (workload content, level,
+// cores) and input — while timing parameters stay out of it. SlowSim,
+// SetNoReplay and arch.NoReplay bypass the cache entirely.
 func simWithTrace(ctx context.Context, key string, w *workloads.Workload, comp *hcc.Compiled, arch sim.Config, a []int64) (*sim.Result, error) {
 	if SlowSim() || NoReplay() || arch.NoReplay {
 		return sim.Run(ctx, w.Prog, comp, w.Entry, applySlow(arch), a...)
 	}
 	var recorded *sim.Result
-	tr, err := traceGroup.Do(ctx, key, func(cctx context.Context) (*sim.Trace, error) {
+	tr, err := traceStore.Get(ctx, key, func(cctx context.Context) (*sim.Trace, error) {
 		res, tr, err := sim.Record(cctx, w.Prog, comp, w.Entry, arch, a...)
 		if err != nil {
 			return nil, err
@@ -181,18 +257,30 @@ func simWithTrace(ctx context.Context, key string, w *workloads.Workload, comp *
 }
 
 // runOn compiles (cached) and simulates one configuration, replaying a
-// cached trace when one exists for this (workload, level, cores, input).
+// stored trace when one exists for this (workload content, level,
+// cores, input).
 func runOn(ctx context.Context, name string, level hcc.Level, arch sim.Config, ref bool) (*sim.Result, *hcc.Compiled, error) {
 	w, comp, err := CachedCompile(ctx, name, level, arch.Cores)
 	if err != nil {
 		return nil, nil, err
 	}
-	key := fmt.Sprintf("%s/%d/%d/%v", name, level, arch.Cores, ref)
+	fp, err := workloadFingerprint(ctx, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := fmt.Sprintf("trace/%s/L%d/c%d/ref=%v/%s", name, level, arch.Cores, ref, fp)
 	res, err := simWithTrace(ctx, key, w, comp, arch, args(w, ref))
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return res, comp, nil
+}
+
+// CachedRun is runOn's exported face: compile (memoized) plus simulate
+// through the store-backed record/replay path. cmd/helix-run uses it in
+// -cachedir mode so a repeated run serves its trace from disk.
+func CachedRun(ctx context.Context, name string, level hcc.Level, arch sim.Config, ref bool) (*sim.Result, *hcc.Compiled, error) {
+	return runOn(ctx, name, level, arch, ref)
 }
 
 // SpeedupRow is one benchmark's values under one or more configurations.

@@ -2,75 +2,9 @@ package harness
 
 import (
 	"context"
-	"fmt"
 	"strings"
 	"testing"
 )
-
-// TestMemoGroupBudget exercises the byte-budget LRU: eviction order,
-// the never-evict-most-recent rule, and hit-driven reordering.
-func TestMemoGroupBudget(t *testing.T) {
-	var g memoGroup[int]
-	g.name = "test"
-	g.cost = func(v int) int64 { return int64(v) }
-	g.setBudget(100)
-
-	get := func(key string, v int) {
-		t.Helper()
-		got, err := g.Do(context.Background(), key, func(context.Context) (int, error) { return v, nil })
-		if err != nil || got != v {
-			t.Fatalf("Do(%s) = %d, %v", key, got, err)
-		}
-	}
-	recomputed := func(key string) bool {
-		fresh := false
-		if _, err := g.Do(context.Background(), key, func(context.Context) (int, error) { fresh = true; return 0, nil }); err != nil {
-			t.Fatal(err)
-		}
-		return fresh
-	}
-
-	get("a", 40)
-	get("b", 40)
-	get("c", 40) // 120 > 100: "a" (LRU) must go
-	if !recomputed("a") {
-		t.Error("a should have been evicted")
-	}
-	// Recomputing "a" (cost 0 now) must not have evicted b or c yet;
-	// touching b makes c the LRU, so one more insert drops c, not b.
-	get("b", 40)
-	get("d", 40)
-	if recomputed("b") {
-		t.Error("b was touched and should have survived")
-	}
-	if !recomputed("c") {
-		t.Error("c was least recently used and should have been evicted")
-	}
-	if ev, bytes := g.stats(); ev < 2 || bytes < 80 {
-		t.Errorf("stats() = %d evictions, %d bytes; want >= 2, >= 80", ev, bytes)
-	}
-
-	// A single over-budget entry is kept (never evict the most recent).
-	g.reset()
-	get("huge", 500)
-	if recomputed("huge") {
-		t.Error("sole over-budget entry must not evict itself")
-	}
-
-	// Unbounded: nothing is ever evicted.
-	var ub memoGroup[int]
-	ub.name = "unbounded"
-	ub.cost = func(v int) int64 { return int64(v) }
-	for i := 0; i < 32; i++ {
-		get := fmt.Sprintf("k%d", i)
-		if _, err := ub.Do(context.Background(), get, func(context.Context) (int, error) { return 1 << 20, nil }); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if ev, _ := ub.stats(); ev != 0 {
-		t.Errorf("unbounded group evicted %d entries", ev)
-	}
-}
 
 // TestReplayMatchesNoReplayFigures pins the tentpole's acceptance
 // criterion at the harness level: a figure generated through the

@@ -33,6 +33,13 @@ func (p *Program) Text(entry *Function) string {
 
 // WriteText writes the program in the textual corpus format.
 func (p *Program) WriteText(w io.Writer, entry *Function) {
+	p.writeText(w, entry, func(b *Block) string { return b.Name })
+}
+
+// writeText renders the corpus format with block names supplied by
+// blockName — the identity function for WriteText, a positional
+// canonicalizer for Fingerprint (fingerprint.go).
+func (p *Program) writeText(w io.Writer, entry *Function, blockName func(*Block) string) {
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
 	fmt.Fprintf(bw, "helixir v1\n")
@@ -59,9 +66,9 @@ func (p *Program) WriteText(w io.Writer, entry *Function) {
 	for _, f := range p.Funcs {
 		fmt.Fprintf(bw, "func %s params=%d regs=%d\n", f.Name, len(f.Params), f.NumRegs)
 		for _, b := range f.Blocks {
-			fmt.Fprintf(bw, "block %s\n", b.Name)
+			fmt.Fprintf(bw, "block %s\n", blockName(b))
 			for i := range b.Instrs {
-				fmt.Fprintf(bw, "  %s\n", instrText(&b.Instrs[i]))
+				fmt.Fprintf(bw, "  %s\n", instrText(&b.Instrs[i], blockName))
 			}
 		}
 	}
@@ -103,8 +110,9 @@ func b2d(b bool) int {
 }
 
 // instrText serializes one instruction as "op key=value ...". Only
-// non-default fields are emitted.
-func instrText(in *Instr) string {
+// non-default fields are emitted. Branch targets render through
+// blockName (see writeText).
+func instrText(in *Instr, blockName func(*Block) string) string {
 	var sb strings.Builder
 	sb.WriteString(in.Op.String())
 	field := func(k, v string) {
@@ -129,10 +137,10 @@ func instrText(in *Instr) string {
 		field("imm", strconv.FormatInt(in.Imm, 10))
 	}
 	if in.Target != nil {
-		field("tgt", in.Target.Name)
+		field("tgt", blockName(in.Target))
 	}
 	if in.Els != nil {
-		field("els", in.Els.Name)
+		field("els", blockName(in.Els))
 	}
 	if in.Callee != nil {
 		field("callee", in.Callee.Name)

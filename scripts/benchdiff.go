@@ -24,14 +24,28 @@ type experiment struct {
 	OutputSHA256 string  `json:"output_sha256"`
 }
 
+// replayReport mirrors helix-bench's cache counter section. Older
+// reports lack it (nil) or lack the per-tier fields (zero).
+type replayReport struct {
+	Recordings int64   `json:"recordings"`
+	Replays    int64   `json:"replays"`
+	MemHits    int64   `json:"mem_hits"`
+	MemMisses  int64   `json:"mem_misses"`
+	DiskHits   int64   `json:"disk_hits"`
+	DiskMisses int64   `json:"disk_misses"`
+	DiskWrites int64   `json:"disk_writes"`
+	DiskLoadMS float64 `json:"disk_load_ms"`
+}
+
 type run struct {
-	Label       string       `json:"label"`
-	Timestamp   string       `json:"timestamp"`
-	Parallel    int          `json:"parallel"`
-	SlowSim     bool         `json:"slow_sim"`
-	NoReplay    bool         `json:"no_replay"`
-	TotalMillis float64      `json:"total_wall_ms"`
-	Experiments []experiment `json:"experiments"`
+	Label       string        `json:"label"`
+	Timestamp   string        `json:"timestamp"`
+	Parallel    int           `json:"parallel"`
+	SlowSim     bool          `json:"slow_sim"`
+	NoReplay    bool          `json:"no_replay"`
+	TotalMillis float64       `json:"total_wall_ms"`
+	Replay      *replayReport `json:"replay"`
+	Experiments []experiment  `json:"experiments"`
 }
 
 func loadRuns(path string) []run {
@@ -108,8 +122,47 @@ func main() {
 	if newTotal > 0 {
 		fmt.Printf("%-10s %12.1f %12.1f %8.2fx\n", "total", oldTotal, newTotal, oldTotal/newTotal)
 	}
+	printCacheDiff(prev, cur)
 	if mismatches > 0 {
 		fatalf("%d experiment(s) changed output between the reports", mismatches)
+	}
+}
+
+// printCacheDiff renders the per-tier cache counters of both runs, so a
+// wall-clock win can be attributed: a warm disk tier shows up as zero
+// recordings and nonzero disk hits, not as a simulator speedup.
+func printCacheDiff(prev, cur run) {
+	if prev.Replay == nil && cur.Replay == nil {
+		return
+	}
+	row := func(name string, get func(*replayReport) string) {
+		old, new := "-", "-"
+		if prev.Replay != nil {
+			old = get(prev.Replay)
+		}
+		if cur.Replay != nil {
+			new = get(cur.Replay)
+		}
+		fmt.Printf("%-16s %12s %12s\n", name, old, new)
+	}
+	count := func(f func(*replayReport) int64) func(*replayReport) string {
+		return func(r *replayReport) string { return fmt.Sprintf("%d", f(r)) }
+	}
+	fmt.Printf("\n%-16s %12s %12s\n", "cache", "old", "new")
+	row("recordings", count(func(r *replayReport) int64 { return r.Recordings }))
+	row("replays", count(func(r *replayReport) int64 { return r.Replays }))
+	row("mem hits", count(func(r *replayReport) int64 { return r.MemHits }))
+	row("mem misses", count(func(r *replayReport) int64 { return r.MemMisses }))
+	row("disk hits", count(func(r *replayReport) int64 { return r.DiskHits }))
+	row("disk misses", count(func(r *replayReport) int64 { return r.DiskMisses }))
+	row("disk writes", count(func(r *replayReport) int64 { return r.DiskWrites }))
+	row("disk load ms", func(r *replayReport) string { return fmt.Sprintf("%.1f", r.DiskLoadMS) })
+	switch {
+	case cur.Replay == nil:
+	case cur.Replay.Recordings == 0 && cur.Replay.DiskHits > 0:
+		fmt.Printf("new run was warm: every trace replayed from the disk tier\n")
+	case cur.Replay.DiskWrites > 0 && cur.Replay.DiskHits == 0:
+		fmt.Printf("new run was cold: recorded fresh traces and populated the disk tier\n")
 	}
 }
 
