@@ -17,10 +17,14 @@ bench:
 	go run ./cmd/helix-bench -json
 
 # Regenerate one small figure and verify its output hash against the
-# checked-in benchmark report — a fast end-to-end determinism gate.
+# checked-in benchmark report — a fast end-to-end determinism gate —
+# then pin the replay/codec hot paths: allocation guards plus one
+# iteration of each microbenchmark.
 bench-smoke:
 	go run ./cmd/helix-bench -only fig9 -verify BENCH_2026-08-05.json >/dev/null
 	@echo "bench-smoke: fig9 output hash matches BENCH_2026-08-05.json"
+	go test ./internal/sim -count=1 -run 'Allocs'
+	go test ./internal/sim -run '^$$' -bench 'Replay|Trace' -benchtime 1x
 
 # Differential fuzzing smoke: a fixed-seed sweep of generated programs
 # through the interp/HCC/sim/replay oracle stack (~5s). Deterministic —

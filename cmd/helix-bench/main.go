@@ -75,12 +75,18 @@ type runtimeSnapshot struct {
 }
 
 // replayReport summarizes how harness simulations were served: fresh
-// recordings (full execution) vs trace replays, per-tier hit/miss
-// counters of the artifact stores, plus cache pressure. A warm
-// -cachedir run shows recordings=0 and disk_hits>0.
+// recordings (full execution) vs trace replays, batched-retiming
+// counters (one batch = one trace traversal retiming several configs;
+// a fallback is a group that degraded to a solo replay because only
+// one config was missing), per-tier hit/miss counters of the artifact
+// stores, plus cache pressure. A warm -cachedir run shows recordings=0
+// and disk_hits>0.
 type replayReport struct {
 	Recordings     int64   `json:"recordings"`
 	Replays        int64   `json:"replays"`
+	Batches        int64   `json:"batches"`
+	BatchConfigs   int64   `json:"batch_configs"`
+	BatchFallbacks int64   `json:"batch_fallbacks"`
 	MemHits        int64   `json:"mem_hits"`
 	MemMisses      int64   `json:"mem_misses"`
 	DiskHits       int64   `json:"disk_hits,omitempty"`
@@ -119,6 +125,7 @@ func main() {
 	cores := flag.Int("cores", 16, "core count for the headline experiments")
 	parallel := flag.Int("parallel", 0, "experiment-engine worker count (0 = all CPUs, 1 = sequential)")
 	jsonOut := flag.Bool("json", false, "append a machine-readable report to BENCH_<date>.json")
+	jsonFile := flag.String("jsonfile", "", "append the machine-readable report to this file instead of BENCH_<date>.json (implies -json)")
 	slowSim := flag.Bool("slowsim", false, "use the retained reference simulator stepper (identical output, slower)")
 	noReplay := flag.Bool("noreplay", false, "disable the trace record/replay fast path (identical output, slower)")
 	cacheBudget := flag.Int64("cachebudget", harness.DefaultCacheBudget>>20, "harness memo-cache byte budget in MB (0 = unbounded)")
@@ -211,8 +218,9 @@ func main() {
 	}
 	total := time.Since(start)
 
-	if *jsonOut {
+	if *jsonOut || *jsonFile != "" {
 		recordings, replays := harness.ReplayStats()
+		batches, batchConfigs, batchFallbacks := harness.BatchStats()
 		cs := harness.CacheStats()
 		anyPartial := false
 		for _, r := range reports {
@@ -222,7 +230,11 @@ func main() {
 		if runErr != nil {
 			errText = runErr.Error()
 		}
-		if err := appendReport(benchReport{
+		path := *jsonFile
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+		}
+		if err := appendReport(path, benchReport{
 			Label:       *label,
 			Timestamp:   time.Now().Format(time.RFC3339),
 			Parallel:    harness.Parallelism(),
@@ -234,6 +246,9 @@ func main() {
 			Replay: &replayReport{
 				Recordings:     recordings,
 				Replays:        replays,
+				Batches:        batches,
+				BatchConfigs:   batchConfigs,
+				BatchFallbacks: batchFallbacks,
 				MemHits:        cs.MemHits,
 				MemMisses:      cs.MemMisses,
 				DiskHits:       cs.DiskHits,
@@ -313,15 +328,14 @@ func snapshotRuntime() runtimeSnapshot {
 	}
 }
 
-// appendReport appends the run to BENCH_<date>.json. The file holds a
+// appendReport appends the run to the report file. The file holds a
 // JSON array of runs so before/after comparisons live side by side; the
 // read-modify-write goes through an atomic rename so a crash or signal
 // mid-write leaves either the old array or the new one, never a torn
 // file.
-func appendReport(r benchReport) error {
-	path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+func appendReport(path string, r benchReport) error {
 	var runs []benchReport
-	if data, err := os.ReadFile(path); err == nil {
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
 		if err := json.Unmarshal(data, &runs); err != nil {
 			return fmt.Errorf("%s is not a run array: %w", path, err)
 		}

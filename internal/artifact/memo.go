@@ -256,6 +256,59 @@ func (g *Memo[V]) EvictionStats() (evictions, evictedBytes int64) {
 	return g.evictions.Load(), g.evictedBytes.Load()
 }
 
+// Add publishes an already-computed value for key without running a
+// computation, returning whether it was inserted. An existing entry —
+// completed or in-flight — is never clobbered: batched producers may
+// race with singleflight computations of the same key, and whichever
+// published first wins (both computed the same content-addressed
+// value). Inserted entries join the LRU exactly like computed ones.
+func (g *Memo[V]) Add(key string, v V) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = map[string]*memoCall[V]{}
+	}
+	if _, ok := g.m[key]; ok {
+		return false
+	}
+	done := make(chan struct{})
+	close(done)
+	c := &memoCall[V]{done: done, val: v, key: key, cancel: func() {}}
+	g.m[key] = c
+	if g.cost != nil {
+		c.cost = g.cost(v)
+		g.used += c.cost
+		g.linkFront(c)
+		g.evict()
+	}
+	return true
+}
+
+// Peek returns the completed value cached for key without computing or
+// waiting. In-flight computations and cached errors report a miss. A
+// hit refreshes the entry's LRU position.
+func (g *Memo[V]) Peek(key string) (V, bool) {
+	var zero V
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.m[key]
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-c.done:
+	default:
+		return zero, false
+	}
+	if c.err != nil {
+		return zero, false
+	}
+	if c.linked {
+		g.moveToFront(c)
+	}
+	return c.val, true
+}
+
 // Reset drops all memoized results. In-flight computations complete
 // normally for their waiters but are not re-used afterwards. Eviction
 // counters are cumulative and survive resets.

@@ -173,6 +173,33 @@ func (s *Store[V]) Get(ctx context.Context, key string, fn func(ctx context.Cont
 	return v, err
 }
 
+// Put publishes an already-computed artifact under key: the memory tier
+// takes it unless an entry (completed or in-flight) already exists, and
+// a newly inserted value is persisted to the disk tier best-effort.
+// Hit/miss counters are untouched — Put is how batched producers seed
+// the store, not a lookup. Later Gets for the key are memory hits.
+func (s *Store[V]) Put(key string, v V) {
+	if s.memo.Add(key, v) {
+		s.diskSave(key, v)
+	}
+}
+
+// Peek returns the artifact for key only if it is already available:
+// memory first, then disk (a disk hit re-enters the memory tier, as
+// with Get). It never computes and never blocks on an in-flight
+// computation. Only the disk tier's hit/miss/load counters move.
+func (s *Store[V]) Peek(key string) (V, bool) {
+	if v, ok := s.memo.Peek(key); ok {
+		return v, true
+	}
+	if v, ok := s.diskLoad(key); ok {
+		s.memo.Add(key, v)
+		return v, true
+	}
+	var zero V
+	return zero, false
+}
+
 // path maps a key to its disk entry. The filename is a hash of the key;
 // the key itself is stored inside the envelope and verified on load.
 func (s *Store[V]) path(root, key string) string {

@@ -119,6 +119,24 @@ func ReplayStats() (recordings, replays int64) {
 	return traceRecordings.Load(), traceReplays.Load()
 }
 
+// batchesIssued / batchLanes / batchFallbacks count how the batched
+// retimer served sweep figures: batched trace traversals issued, total
+// configs retimed across them, and groups that degraded to a solo
+// replay because only one config was missing from the result cache.
+// Cumulative across ResetCaches; helix-bench reports them.
+var (
+	batchesIssued  atomic.Int64
+	batchLanes     atomic.Int64
+	batchFallbacks atomic.Int64
+)
+
+// BatchStats returns the cumulative batched-retiming counters:
+// batches issued, configs retimed across them, and single-replay
+// fallbacks for groups with one missing config.
+func BatchStats() (batches, lanes, fallbacks int64) {
+	return batchesIssued.Load(), batchLanes.Load(), batchFallbacks.Load()
+}
+
 // PanicError is a recovered worker panic, converted into an error so a
 // panicking experiment cell fails its own figure — with the cell's
 // identity attached — instead of killing the process with a bare

@@ -42,6 +42,16 @@ var (
 	traceStore = artifact.NewStore[*sim.Trace]("trace", cacheScheme,
 		(*sim.Trace).SizeBytes,
 		&artifact.Codec[*sim.Trace]{Encode: sim.EncodeTrace, Decode: sim.DecodeTrace})
+	// resStore caches replayed Results per (trace key, timing config
+	// fingerprint). It is what makes batched retiming composable with
+	// the cell-oriented figure generators: prefetchRetimes retimes N
+	// configs in one trace traversal and Puts each lane here, and the
+	// cells then find their Results without touching the trace. A
+	// Config fingerprint includes MaxSteps, so budget-truncated runs
+	// can never serve full ones (or vice versa).
+	resStore = artifact.NewStore[*sim.Result]("result", cacheScheme,
+		func(*sim.Result) int64 { return 1 << 10 },
+		&artifact.Codec[*sim.Result]{Encode: sim.EncodeResult, Decode: sim.DecodeResult})
 
 	// fpMemo memoizes per-workload content fingerprints (registry
 	// content is fixed for the process, so ResetCaches leaves these).
@@ -67,13 +77,16 @@ func SetCacheBudget(total int64) {
 		traceStore.SetBudget(0)
 		compStore.SetBudget(0)
 		seqStore.SetBudget(0)
+		resStore.SetBudget(0)
 		return
 	}
 	traces := total * 3 / 4
 	baselines := total / 64
+	results := total / 64
 	traceStore.SetBudget(traces)
 	seqStore.SetBudget(baselines)
-	compStore.SetBudget(total - traces - baselines)
+	resStore.SetBudget(results)
+	compStore.SetBudget(total - traces - baselines - results)
 }
 
 // SetCacheDir installs dir as the disk tier root for persistable
@@ -83,6 +96,7 @@ func SetCacheBudget(total int64) {
 func SetCacheDir(dir string) {
 	seqStore.SetDir(dir)
 	traceStore.SetDir(dir)
+	resStore.SetDir(dir)
 }
 
 // CacheDir returns the configured disk-tier root, or "" when disabled.
@@ -92,6 +106,9 @@ func CacheDir() string { return traceStore.Dir() }
 // cache dir (no-op without one). helix-bench -cacheclear calls it.
 func ClearDiskCache() error {
 	if err := seqStore.Clear(); err != nil {
+		return err
+	}
+	if err := resStore.Clear(); err != nil {
 		return err
 	}
 	return traceStore.Clear()
@@ -105,6 +122,7 @@ func CacheStats() artifact.Stats {
 	t.Add(compStore.Stats())
 	t.Add(seqStore.Stats())
 	t.Add(traceStore.Stats())
+	t.Add(resStore.Stats())
 	return t
 }
 
@@ -220,40 +238,56 @@ func ResetCaches() {
 	compStore.Reset()
 	seqStore.Reset()
 	traceStore.Reset()
+	resStore.Reset()
+}
+
+// resultKey derives the result-store key for one (trace, timing
+// config) pair: the trace key pins the dynamic behaviour, the config
+// fingerprint pins the timing model (including MaxSteps, so truncated
+// runs key separately).
+func resultKey(traceKey string, arch sim.Config) string {
+	return "res/" + traceKey + "/" + arch.Fingerprint()
 }
 
 // simWithTrace serves one harness simulation through the record/replay
 // fast path: the first run for a trace key executes and records (and
 // persists the trace when a disk tier is configured), every later run
 // under any timing config — in this process or a later one — replays
-// the stored trace. The key must pin everything the dynamic behaviour
-// depends on — compiled program identity (workload content, level,
-// cores) and input — while timing parameters stay out of it. SlowSim,
-// SetNoReplay and arch.NoReplay bypass the cache entirely.
+// the stored trace. Replayed Results are themselves cached in resStore
+// per (trace key, config fingerprint), which is how the batched
+// retimer hands whole sweeps to the cells: prefetchRetimes walks the
+// trace once for N configs and Puts every lane, so the cells below hit
+// the result tier and never touch the trace. The trace key must pin
+// everything the dynamic behaviour depends on — compiled program
+// identity (workload content, level, cores) and input — while timing
+// parameters stay out of it. SlowSim, SetNoReplay and arch.NoReplay
+// bypass the caches entirely.
 func simWithTrace(ctx context.Context, key string, w *workloads.Workload, comp *hcc.Compiled, arch sim.Config, a []int64) (*sim.Result, error) {
 	if SlowSim() || NoReplay() || arch.NoReplay {
 		return sim.Run(ctx, w.Prog, comp, w.Entry, applySlow(arch), a...)
 	}
-	var recorded *sim.Result
-	tr, err := traceStore.Get(ctx, key, func(cctx context.Context) (*sim.Trace, error) {
-		res, tr, err := sim.Record(cctx, w.Prog, comp, w.Entry, arch, a...)
+	return resStore.Get(ctx, resultKey(key, arch), func(rctx context.Context) (*sim.Result, error) {
+		var recorded *sim.Result
+		tr, err := traceStore.Get(rctx, key, func(cctx context.Context) (*sim.Trace, error) {
+			res, tr, err := sim.Record(cctx, w.Prog, comp, w.Entry, arch, a...)
+			if err != nil {
+				return nil, err
+			}
+			recorded = res
+			traceRecordings.Add(1)
+			return tr, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		recorded = res
-		traceRecordings.Add(1)
-		return tr, nil
+		if recorded != nil {
+			// This goroutine did the recording; its Result is already
+			// exact for its own arch.
+			return recorded, nil
+		}
+		traceReplays.Add(1)
+		return sim.Replay(rctx, tr, arch)
 	})
-	if err != nil {
-		return nil, err
-	}
-	if recorded != nil {
-		// This goroutine did the recording; its Result is already exact
-		// for its own arch.
-		return recorded, nil
-	}
-	traceReplays.Add(1)
-	return sim.Replay(ctx, tr, arch)
 }
 
 // runOn compiles (cached) and simulates one configuration, replaying a
@@ -739,6 +773,15 @@ func Figure7(ctx context.Context, cores int) (*FigureResult, error) {
 		Notes:  "Paper shape: CINT geomean 2.2x -> 6.85x; CFP 11.4x -> ~12x.",
 	}
 	names := workloads.Names()
+	groups := make([]retimeGroup, 0, 3*len(names))
+	for _, name := range names {
+		groups = append(groups,
+			retimeGroup{name: name, ref: true, baseline: true, archs: []sim.Config{sim.Conventional(cores)}},
+			retimeGroup{name: name, level: hcc.V2, ref: true, archs: []sim.Config{sim.Conventional(cores)}},
+			retimeGroup{name: name, level: hcc.V3, ref: true, archs: []sim.Config{sim.HelixRC(cores)}},
+		)
+	}
+	prefetchRetimes(ctx, groups)
 	cell := func(i int) string {
 		if i%2 == 0 {
 			return fmt.Sprintf("%s/L%d/conv%d", names[i/2], hcc.V2, cores)
@@ -797,6 +840,17 @@ func Figure8(ctx context.Context, cores int) (*FigureResult, error) {
 		variant(true, true, true),   // all (HELIX-RC)
 	}
 	names := workloads.IntNames()
+	// One batched retime per workload covers the four decoupling
+	// variants: they share the HCCv3 trace.
+	groups := make([]retimeGroup, 0, 3*len(names))
+	for _, name := range names {
+		groups = append(groups,
+			retimeGroup{name: name, ref: true, baseline: true, archs: []sim.Config{sim.Conventional(cores)}},
+			retimeGroup{name: name, level: hcc.V2, ref: true, archs: configs[:1]},
+			retimeGroup{name: name, level: hcc.V3, ref: true, archs: configs[1:]},
+		)
+	}
+	prefetchRetimes(ctx, groups)
 	// One cell per (workload, decoupling variant).
 	cell := func(i int) string {
 		return fmt.Sprintf("%s/%s/%dcores", names[i/len(configs)], f.Series[i%len(configs)], cores)
@@ -839,6 +893,17 @@ func Figure9(ctx context.Context, cores int) (*FigureResult, error) {
 		Notes:  "Paper shape: C bars at or above 100% (no better than sequential); R bars far below.",
 	}
 	names := workloads.IntNames()
+	// Both hardware points share the HCCv3 trace: one batched retime
+	// per workload.
+	groups := make([]retimeGroup, 0, 2*len(names))
+	for _, name := range names {
+		groups = append(groups,
+			retimeGroup{name: name, ref: true, baseline: true, archs: []sim.Config{sim.Conventional(cores)}},
+			retimeGroup{name: name, level: hcc.V3, ref: true,
+				archs: []sim.Config{sim.Conventional(cores), sim.HelixRC(cores)}},
+		)
+	}
+	prefetchRetimes(ctx, groups)
 	cell := func(i int) string {
 		hw := "conv"
 		if i%2 == 1 {

@@ -34,6 +34,27 @@ func Figure10(ctx context.Context, cores int) (*FigureResult, error) {
 	}
 	coreCfgs := []cpu.Config{cpu.InOrder2(), cpu.OoO2(), cpu.OoO4()}
 	names := workloads.IntNames()
+	// The three core models share one HCCv3 trace (and the three
+	// sequential baselines share one baseline trace): two batched
+	// retimes per workload cover all six cells.
+	groups := make([]retimeGroup, 0, 2*len(names))
+	for _, name := range names {
+		rcArchs := make([]sim.Config, len(coreCfgs))
+		seqArchs := make([]sim.Config, len(coreCfgs))
+		for i, cc := range coreCfgs {
+			a := sim.HelixRC(cores)
+			a.Core = cc
+			rcArchs[i] = a
+			s := sim.Conventional(cores)
+			s.Core = cc
+			seqArchs[i] = s
+		}
+		groups = append(groups,
+			retimeGroup{name: name, ref: true, baseline: true, archs: seqArchs},
+			retimeGroup{name: name, level: hcc.V3, ref: true, archs: rcArchs},
+		)
+	}
+	prefetchRetimes(ctx, groups)
 	// One cell per (workload, core type); each reports the speedup and
 	// its sequential cycle count for the lower-panel ratios.
 	type cell struct {
@@ -151,6 +172,33 @@ func Figure11(ctx context.Context, which string) (*FigureResult, error) {
 		f.Series = append(f.Series, v.label)
 	}
 	names := workloads.IntNames()
+	// The core-count panel needs a fresh trace (and so a full
+	// recording) per sweep point — singleton groups let the prefetch
+	// pool record them in parallel. The other panels retime one
+	// 16-core trace per workload under every sweep point in a single
+	// batched traversal.
+	groups := make([]retimeGroup, 0, len(names)*(len(variants)+1))
+	for _, name := range names {
+		groups = append(groups, retimeGroup{
+			name: name, ref: true, baseline: true,
+			archs: []sim.Config{sim.Conventional(16)},
+		})
+		if which == "cores" {
+			for _, v := range variants {
+				groups = append(groups, retimeGroup{
+					name: name, level: hcc.V3, ref: true,
+					archs: []sim.Config{v.arch()},
+				})
+			}
+		} else {
+			archs := make([]sim.Config, len(variants))
+			for i, v := range variants {
+				archs[i] = v.arch()
+			}
+			groups = append(groups, retimeGroup{name: name, level: hcc.V3, ref: true, archs: archs})
+		}
+	}
+	prefetchRetimes(ctx, groups)
 	// One cell per (workload, sweep point).
 	cell := func(i int) string {
 		return fmt.Sprintf("%s/%s/%s", names[i/len(variants)], which, variants[i%len(variants)].label)

@@ -63,6 +63,16 @@ type Config struct {
 	TraceIters int64
 }
 
+// effectiveMaxSteps resolves the step-budget default shared by every
+// execution path (run, replay, batched replay): MaxSteps <= 0 means
+// the 2^32 default.
+func (c Config) effectiveMaxSteps() int64 {
+	if c.MaxSteps <= 0 {
+		return 1 << 32
+	}
+	return c.MaxSteps
+}
+
 // HelixRC returns the paper's default HELIX-RC platform: n in-order
 // 2-way cores, the default memory hierarchy, and a ring cache with 1KB
 // nodes, single-cycle links and five-signal bandwidth.

@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation-budget tests skip under it: race instrumentation
+// allocates shadow state per memory access, so AllocsPerRun counts
+// instrumentation, not the code under test.
+const raceEnabled = true

@@ -9,11 +9,19 @@ package sim
 // instruction, once before each loop dispatch) so a replay under a
 // smaller MaxSteps fails at the same instruction with the same partial
 // Result as a fresh run would.
+//
+// Replayers are pooled: the cpu scoreboards, pooled rings, memory
+// hierarchies and scratch slices all survive across calls, so a
+// steady-state replay allocates only its returned Result. The pool
+// checks compatibility — a different core model drops the scoreboards,
+// a different ring configuration drops the rings — so reuse can never
+// change a cycle count.
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"helixrc/internal/cpu"
 	"helixrc/internal/ir"
@@ -43,44 +51,11 @@ func Replay(ctx context.Context, tr *Trace, arch Config) (*Result, error) {
 	if len(tr.loops) > 0 && arch.Cores != tr.cores {
 		return nil, fmt.Errorf("sim: trace recorded with %d cores cannot replay with %d", tr.cores, arch.Cores)
 	}
-	rep := &replayer{ctx: ctx, tr: tr, arch: arch, maxSteps: arch.MaxSteps}
-	if rep.maxSteps <= 0 {
-		rep.maxSteps = 1 << 32
-	}
-	if !arch.PerfectMem {
-		rep.hier = hierFromPool(arch.Cores, arch.Mem)
-	}
-	seqCore := cpu.NewCore(arch.Core, tr.maxRegs)
-	seqCore.Reset(0)
-
-	for _, ev := range tr.events {
-		if err := rep.seqSpan(seqCore, int(ev.runs)); err != nil {
-			rep.reclaim()
-			return &rep.res, err
-		}
-		if ev.loop >= 0 {
-			// The stepper's top-of-loop budget check fires once on the
-			// loop-header dispatch.
-			if rep.steps >= rep.check {
-				if err := rep.checkStep(); err != nil {
-					rep.reclaim()
-					return &rep.res, err
-				}
-			}
-			if err := rep.replayLoop(&tr.loops[ev.loop], seqCore); err != nil {
-				rep.reclaim()
-				return &rep.res, err
-			}
-		}
-	}
-	rep.now++ // last instructions draining, as in runSequential
-	rep.res.Cycles = rep.now
-	rep.res.RetValue = tr.retValue
-	if rep.hier != nil {
-		rep.res.Mem = rep.hier.Stats
-	}
-	rep.reclaim()
-	return &rep.res, nil
+	rep := replayerFromPool(ctx, tr, arch)
+	err := rep.run()
+	res := rep.res
+	rep.release()
+	return &res, err
 }
 
 // replayer is the timing-only counterpart of runner: same per-core
@@ -101,6 +76,12 @@ type replayer struct {
 	runCursor  int // next entry of tr.runs
 	addrCursor int // next entry of tr.addrs
 
+	// ringCfg is the ring configuration every loop in this replay uses
+	// (node count and PerfectMem normalization resolved once); pooled
+	// rings are only reused while it is unchanged.
+	ringCfg ringcache.Config
+
+	seqCore  *cpu.Core
 	rings    map[int]*ringcache.Ring
 	parCores []*cpu.Core
 	coreTime []int64
@@ -108,6 +89,97 @@ type replayer struct {
 	stopped  []bool
 	convSig  []int64
 	scr      segScratch
+}
+
+// ringConfig resolves the ring configuration a replay of arch uses for
+// all its loops.
+func ringConfig(arch Config) ringcache.Config {
+	rc := arch.Ring
+	rc.Nodes = arch.Cores
+	if arch.PerfectMem {
+		rc.LinkLatency, rc.InjectLatency, rc.OwnerL1Latency = 0, 0, 0
+		rc.DataBandwidth, rc.SignalBandwidth = 0, 0
+		rc.ArrayBytes = 0
+	}
+	return rc
+}
+
+// replayerPool recycles replayers across Replay calls.
+var replayerPool sync.Pool
+
+// replayerFromPool returns a replayer initialized for (tr, arch),
+// dropping any pooled state the new configuration cannot reuse.
+func replayerFromPool(ctx context.Context, tr *Trace, arch Config) *replayer {
+	rep, _ := replayerPool.Get().(*replayer)
+	if rep == nil {
+		rep = &replayer{}
+	}
+	// cpu scoreboards are built for one core model.
+	if arch.Core != rep.arch.Core {
+		rep.seqCore = nil
+		rep.parCores = nil
+	}
+	rc := ringConfig(arch)
+	if rc != rep.ringCfg {
+		rep.rings = nil
+	}
+	rep.ctx, rep.tr, rep.arch = ctx, tr, arch
+	rep.ringCfg = rc
+	rep.maxSteps = arch.effectiveMaxSteps()
+	rep.now, rep.steps, rep.check = 0, 0, 0
+	rep.runCursor, rep.addrCursor = 0, 0
+	rep.res = Result{}
+	if !arch.PerfectMem {
+		rep.hier = hierFromPool(arch.Cores, arch.Mem)
+	}
+	if rep.seqCore == nil {
+		rep.seqCore = cpu.NewCore(arch.Core, tr.maxRegs)
+	} else {
+		rep.seqCore.Grow(tr.maxRegs)
+	}
+	rep.seqCore.Reset(0)
+	return rep
+}
+
+// release reclaims the hierarchy and parks the replayer for reuse,
+// dropping references that would retain large object graphs. The
+// scratch epoch stays monotonic across reuse, so stale segment stamps
+// from a previous trace can never match.
+func (rep *replayer) release() {
+	hierToPool(rep.hier, rep.arch.Cores, rep.arch.Mem)
+	rep.hier = nil
+	rep.ctx, rep.tr = nil, nil
+	replayerPool.Put(rep)
+}
+
+// run walks the trace once. The caller copies res out before releasing
+// the replayer.
+func (rep *replayer) run() error {
+	tr := rep.tr
+	for _, ev := range tr.events {
+		if err := rep.seqSpan(rep.seqCore, int(ev.runs)); err != nil {
+			return err
+		}
+		if ev.loop >= 0 {
+			// The stepper's top-of-loop budget check fires once on the
+			// loop-header dispatch.
+			if rep.steps >= rep.check {
+				if err := rep.checkStep(); err != nil {
+					return err
+				}
+			}
+			if err := rep.replayLoop(&tr.loops[ev.loop], rep.seqCore); err != nil {
+				return err
+			}
+		}
+	}
+	rep.now++ // last instructions draining, as in runSequential
+	rep.res.Cycles = rep.now
+	rep.res.RetValue = tr.retValue
+	if rep.hier != nil {
+		rep.res.Mem = rep.hier.Stats
+	}
+	return nil
 }
 
 // checkStep mirrors runner.checkStep: real budget test plus a context
@@ -131,11 +203,6 @@ func (rep *replayer) memLat(core int, addr int64, write bool) int64 {
 		return 1
 	}
 	return int64(rep.hier.Access(core, addr, write))
-}
-
-func (rep *replayer) reclaim() {
-	hierToPool(rep.hier, rep.arch.Cores, rep.arch.Mem)
-	rep.hier = nil
 }
 
 func (rep *replayer) ensurePerCore(n int) {
@@ -231,14 +298,7 @@ func (rep *replayer) replayLoop(lt *loopTrace, seqCore *cpu.Core) error {
 
 	var ring *ringcache.Ring
 	if rep.arch.DecoupleReg || rep.arch.DecoupleMem || rep.arch.DecoupleSync {
-		rc := rep.arch.Ring
-		rc.Nodes = n
-		if rep.arch.PerfectMem {
-			rc.LinkLatency, rc.InjectLatency, rc.OwnerL1Latency = 0, 0, 0
-			rc.DataBandwidth, rc.SignalBandwidth = 0, 0
-			rc.ArrayBytes = 0
-		}
-		ring = rep.ringFor(rc, numSegs)
+		ring = rep.ringFor(rep.ringCfg, numSegs)
 	}
 	convSig := rep.convBuf(numSegs)
 	rep.scr.ensure(numSegs)

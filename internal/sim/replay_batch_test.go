@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"helixrc/internal/cpu"
+	"helixrc/internal/hcc"
+	"helixrc/internal/workloads"
+)
+
+// assertBatchMatchesSolo is the golden equivalence oracle: ReplayBatch
+// over archs must return, lane for lane, exactly what independent
+// Replay calls return — same Results, same errors (by text), nil where
+// solo is nil.
+func assertBatchMatchesSolo(t *testing.T, tr *Trace, archs []Config) {
+	t.Helper()
+	results, errs := ReplayBatch(context.Background(), tr, archs)
+	if len(results) != len(archs) || len(errs) != len(archs) {
+		t.Fatalf("batch returned %d results / %d errs for %d archs", len(results), len(errs), len(archs))
+	}
+	for i, arch := range archs {
+		want, werr := Replay(context.Background(), tr, arch)
+		got, gerr := results[i], errs[i]
+		if (gerr == nil) != (werr == nil) || (gerr != nil && gerr.Error() != werr.Error()) {
+			t.Errorf("lane %d: error diverges: batch=%v solo=%v", i, gerr, werr)
+			continue
+		}
+		if (got == nil) != (want == nil) {
+			t.Errorf("lane %d: result nil-ness diverges: batch=%v solo=%v", i, got, want)
+			continue
+		}
+		if got != nil && *got != *want {
+			t.Errorf("lane %d: result diverges:\nbatch: %+v\nsolo:  %+v", i, got, want)
+		}
+	}
+}
+
+// batchCrossConfigs is a config spread exercising every timing path:
+// decoupling on/off, perfect memory, ring parameter sweeps, core
+// models, and a duplicate lane.
+func batchCrossConfigs() []Config {
+	link8 := HelixRC(16)
+	link8.Ring.LinkLatency = 8
+	sig1 := HelixRC(16)
+	sig1.Ring.SignalBandwidth = 1
+	noMemDec := HelixRC(16)
+	noMemDec.DecoupleMem = false
+	smallRing := HelixRC(16)
+	smallRing.Ring.ArrayBytes = 256
+	ooo4 := HelixRC(16)
+	ooo4.Core = cpu.OoO4()
+	return []Config{
+		HelixRC(16), Conventional(16), Abstract(16),
+		link8, sig1, noMemDec, smallRing, ooo4,
+		HelixRC(16), // duplicate lane: must match independently
+	}
+}
+
+func TestReplayBatchMatchesSolo(t *testing.T) {
+	pm, fm := buildMixed(t, 600)
+	comp := compileFor(t, pm, fm, hcc.V3, 600)
+	_, tr, err := Record(context.Background(), pm, comp, fm, HelixRC(16), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBatchMatchesSolo(t, tr, batchCrossConfigs())
+}
+
+// TestReplayBatchAllWorkloads sweeps the equivalence oracle across
+// every workload analogue.
+func TestReplayBatchAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-workload batch sweep")
+	}
+	link8 := HelixRC(16)
+	link8.Ring.LinkLatency = 8
+	archs := []Config{HelixRC(16), Conventional(16), Abstract(16), link8}
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp, err := hcc.Compile(w.Prog, w.Entry, hcc.Options{Level: hcc.V3, Cores: 16, TrainArgs: w.TrainArgs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, tr, err := Record(context.Background(), w.Prog, comp, w.Entry, HelixRC(16), w.RefArgs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBatchMatchesSolo(t, tr, archs)
+		})
+	}
+}
+
+// TestReplayBatchBaselineCoreModels is the Figure 10 shape: one
+// loop-free baseline trace retimed under the three core models (and a
+// different core count, legal on baseline traces).
+func TestReplayBatchBaselineCoreModels(t *testing.T) {
+	pm, fm := buildMixed(t, 400)
+	_, tr, err := Record(context.Background(), pm, nil, fm, Conventional(16), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io2 := Conventional(16)
+	io2.Core = cpu.InOrder2()
+	ooo2 := Conventional(16)
+	ooo2.Core = cpu.OoO2()
+	ooo4 := Conventional(16)
+	ooo4.Core = cpu.OoO4()
+	assertBatchMatchesSolo(t, tr, []Config{io2, ooo2, ooo4})
+}
+
+// longTrace records one multi-million-instruction workload trace — long
+// enough to cross several context-poll grid points — shared by the
+// budget and cancellation tests.
+var longTrace struct {
+	once sync.Once
+	res  *Result
+	tr   *Trace
+	err  error
+}
+
+func longWorkloadTrace(t *testing.T) (*Result, *Trace) {
+	t.Helper()
+	longTrace.once.Do(func() {
+		w, err := workloads.Get("181.mcf")
+		if err != nil {
+			longTrace.err = err
+			return
+		}
+		comp, err := hcc.Compile(w.Prog, w.Entry, hcc.Options{Level: hcc.V3, Cores: 16, TrainArgs: w.TrainArgs})
+		if err != nil {
+			longTrace.err = err
+			return
+		}
+		longTrace.res, longTrace.tr, longTrace.err = Record(context.Background(), w.Prog, comp, w.Entry, HelixRC(16), w.RefArgs...)
+	})
+	if longTrace.err != nil {
+		t.Fatal(longTrace.err)
+	}
+	if longTrace.res.Instrs <= 2*ctxCheckEvery {
+		t.Fatalf("long trace too short for grid coverage: %d instrs", longTrace.res.Instrs)
+	}
+	return longTrace.res, longTrace.tr
+}
+
+// TestReplayBatchBudgetPartials: lanes whose MaxSteps runs out must
+// freeze at the same instruction as a solo replay under that budget —
+// ErrBudget plus a bit-identical truncated partial — while unlimited
+// lanes run to completion, all in one traversal. Budgets are chosen on
+// and off the context-poll grid.
+func TestReplayBatchBudgetPartials(t *testing.T) {
+	full, tr := longWorkloadTrace(t)
+	budgets := []int64{0, full.Instrs / 2, full.Instrs / 7, 100, 101,
+		ctxCheckEvery} // budget exactly on a poll point
+	archs := make([]Config, len(budgets))
+	for i, b := range budgets {
+		archs[i] = HelixRC(16)
+		archs[i].MaxSteps = b
+	}
+	results, errs := ReplayBatch(context.Background(), tr, archs)
+	for i, arch := range archs {
+		want, werr := Replay(context.Background(), tr, arch)
+		if budgets[i] > 0 && (!errors.Is(errs[i], ErrBudget) || !errors.Is(werr, ErrBudget)) {
+			t.Fatalf("budget %d: want ErrBudget from both, got batch=%v solo=%v", budgets[i], errs[i], werr)
+		}
+		if budgets[i] == 0 && (errs[i] != nil || werr != nil) {
+			t.Fatalf("unlimited lane: unexpected errors batch=%v solo=%v", errs[i], werr)
+		}
+		if *results[i] != *want {
+			t.Errorf("budget %d: partial results diverge:\nbatch: %+v\nsolo:  %+v", budgets[i], results[i], want)
+		}
+		if budgets[i] > 0 && results[i].Instrs != budgets[i] {
+			t.Errorf("budget %d: partial ran %d instructions", budgets[i], results[i].Instrs)
+		}
+	}
+}
+
+// countdownCtx cancels itself on its nth Err() call. Solo replay and
+// the batched replayer both poll the context exactly once per
+// ctxCheckEvery-aligned step, so a countdown context cancels each at
+// the same stream position — which makes mid-trace cancellation
+// deterministic enough to compare bit-for-bit.
+type countdownCtx struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+	err  error
+}
+
+func newCountdownCtx(n int) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), left: n}
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.left--
+		if c.left < 0 {
+			c.err = context.Canceled
+		}
+	}
+	return c.err
+}
+
+func TestReplayBatchCancellation(t *testing.T) {
+	_, tr := longWorkloadTrace(t)
+	archs := []Config{HelixRC(16), Conventional(16), Abstract(16)}
+	// Cancel before the first instruction, then at steps 65536 and 131072.
+	for _, n := range []int{0, 1, 2} {
+		t.Run(fmt.Sprintf("poll%d", n), func(t *testing.T) {
+			results, errs := ReplayBatch(newCountdownCtx(n), tr, archs)
+			for i, arch := range archs {
+				want, werr := Replay(newCountdownCtx(n), tr, arch)
+				if (errs[i] == nil) != (werr == nil) || (errs[i] != nil && !errors.Is(werr, context.Canceled)) {
+					t.Fatalf("lane %d: error diverges: batch=%v solo=%v", i, errs[i], werr)
+				}
+				if errs[i] != nil && !errors.Is(errs[i], context.Canceled) {
+					t.Fatalf("lane %d: want context.Canceled, got %v", i, errs[i])
+				}
+				if *results[i] != *want {
+					t.Errorf("lane %d: cancelled partials diverge:\nbatch: %+v\nsolo:  %+v", i, results[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayBatchMixedCores: lanes disagreeing with the batch's core
+// count are rejected with Replay's own error text; valid lanes are
+// unaffected.
+func TestReplayBatchMixedCores(t *testing.T) {
+	pm, fm := buildMixed(t, 200)
+	comp := compileFor(t, pm, fm, hcc.V3, 200)
+	_, tr, err := Record(context.Background(), pm, comp, fm, HelixRC(16), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against a loop trace solo Replay rejects the wrong core count
+	// itself, so the oracle covers it directly.
+	assertBatchMatchesSolo(t, tr, []Config{HelixRC(16), HelixRC(8), Conventional(16)})
+
+	// Baseline traces are core-count independent, so solo accepts any
+	// count — a mixed batch still cannot share a traversal, and the
+	// dissenting lane gets the same error shape.
+	_, btr, err := Record(context.Background(), pm, nil, fm, Conventional(16), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := ReplayBatch(context.Background(), btr, []Config{Conventional(4), Conventional(8)})
+	if errs[0] != nil || results[0] == nil {
+		t.Fatalf("lane 0: %v", errs[0])
+	}
+	want, err := Replay(context.Background(), btr, Conventional(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *results[0] != *want {
+		t.Errorf("lane 0 diverges from solo:\nbatch: %+v\nsolo:  %+v", results[0], want)
+	}
+	if errs[1] == nil || results[1] != nil {
+		t.Fatalf("lane 1: mixed core count not rejected (err=%v)", errs[1])
+	}
+	if got, wantText := errs[1].Error(), "sim: trace recorded with 4 cores cannot replay with 8"; got != wantText {
+		t.Errorf("lane 1 error = %q, want %q", got, wantText)
+	}
+}
+
+func TestReplayBatchRejectsSlowStep(t *testing.T) {
+	pm, fm := buildMixed(t, 100)
+	_, tr, err := Record(context.Background(), pm, nil, fm, Conventional(16), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := Conventional(16)
+	slow.SlowStep = true
+	results, errs := ReplayBatch(context.Background(), tr, []Config{slow, Conventional(16)})
+	if errs[0] == nil || results[0] != nil {
+		t.Errorf("SlowStep lane not rejected (err=%v)", errs[0])
+	} else if !strings.Contains(errs[0].Error(), "SlowStep") {
+		t.Errorf("SlowStep lane error = %q", errs[0])
+	}
+	if errs[1] != nil || results[1] == nil {
+		t.Fatalf("valid lane failed: %v", errs[1])
+	}
+}
+
+func TestReplayBatchEmpty(t *testing.T) {
+	pm, fm := buildMixed(t, 100)
+	_, tr, err := Record(context.Background(), pm, nil, fm, Conventional(16), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := ReplayBatch(context.Background(), tr, nil)
+	if len(results) != 0 || len(errs) != 0 {
+		t.Errorf("empty batch returned %d/%d entries", len(results), len(errs))
+	}
+	// A batch where every lane fails validation must not touch the trace.
+	slow := Conventional(16)
+	slow.SlowStep = true
+	results, errs = ReplayBatch(context.Background(), tr, []Config{slow})
+	if results[0] != nil || errs[0] == nil {
+		t.Errorf("all-invalid batch: results[0]=%v errs[0]=%v", results[0], errs[0])
+	}
+}

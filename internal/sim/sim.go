@@ -59,12 +59,9 @@ func run(ctx context.Context, prog *ir.Program, comp *hcc.Compiled, entry *ir.Fu
 		prog: prog, comp: comp, arch: arch,
 		mem:       interp.NewMemory(prog),
 		headerMap: map[*ir.Block]*hcc.ParallelLoop{},
-		maxSteps:  arch.MaxSteps,
+		maxSteps:  arch.effectiveMaxSteps(),
 		slow:      arch.SlowStep || arch.TraceIters > 0,
 		rec:       rec,
-	}
-	if r.maxSteps <= 0 {
-		r.maxSteps = 1 << 32
 	}
 	if !arch.PerfectMem {
 		if r.slow {

@@ -151,9 +151,27 @@ func (d *dec) done() error {
 	return nil
 }
 
+// encodedTraceSize computes the exact sealed size of EncodeTrace's
+// output, so encoding is a single allocation. Keep in lockstep with the
+// writes below (the encode test asserts the sizes agree).
+func encodedTraceSize(t *Trace) int {
+	n := len(traceMagic) + 4 + 4*8 // header + cores/maxRegs/retValue/instrs
+	n += 6 * 4                     // the six section counts
+	n += 37 * len(t.metas)
+	for i := range t.metas {
+		n += 4 * len(t.metas[i].more)
+	}
+	n += 8 * (len(t.runs) + len(t.addrs) + len(t.slots) + len(t.events))
+	for i := range t.loops {
+		lp := &t.loops[i]
+		n += 25 + 8*len(lp.iters) + 12*(len(lp.liveIns)+len(lp.lastVals))
+	}
+	return n + sha256.Size
+}
+
 // EncodeTrace serializes a trace for the disk tier.
 func EncodeTrace(t *Trace) ([]byte, error) {
-	e := &enc{b: make([]byte, 0, 64+len(t.metas)*32+len(t.runs)*8+len(t.addrs)*8)}
+	e := &enc{b: make([]byte, 0, encodedTraceSize(t))}
 	e.b = append(e.b, traceMagic...)
 	e.u32(TraceFormatVersion)
 	e.u64(uint64(t.cores))
@@ -339,7 +357,7 @@ func resultInts(r *Result) []*int64 {
 // EncodeResult serializes a Result for the disk tier.
 func EncodeResult(r *Result) ([]byte, error) {
 	fields := resultInts(r)
-	e := &enc{b: make([]byte, 0, 16+8*len(fields))}
+	e := &enc{b: make([]byte, 0, len(resultMagic)+4+4+8*len(fields)+sha256.Size)}
 	e.b = append(e.b, resultMagic...)
 	e.u32(ResultFormatVersion)
 	e.u32(uint32(len(fields)))

@@ -1,19 +1,28 @@
 // benchdiff compares two helix-bench reports into a wall-clock speedup
-// table and flags output-hash mismatches.
+// table and flags output-hash mismatches, or — in enforcement mode —
+// gates a report against the checked-in per-family performance budgets.
 //
 // Usage:
 //
 //	go run ./scripts BENCH_a.json BENCH_b.json   # last run of a vs last run of b
 //	go run ./scripts BENCH_a.json                # first vs last run of one file
+//	go run ./scripts -enforce -budgets perf/budgets.json REPORT.json
 //
 // Speedup is old/new wall-clock per experiment (> 1 means the second
 // report is faster). Any experiment whose output_sha256 differs between
 // the reports is listed and the exit status is 1 — a speedup obtained
 // by changing the figures is a bug, not a win.
+//
+// Enforcement mode takes the last run of REPORT.json, sums each budget
+// family's experiment wall-clocks, and exits non-zero when a family
+// exceeds its budget (or the run's total allocation exceeds the cap).
+// scripts/check.sh runs it so a perf regression fails the gate instead
+// of drifting in silently.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 )
@@ -27,14 +36,17 @@ type experiment struct {
 // replayReport mirrors helix-bench's cache counter section. Older
 // reports lack it (nil) or lack the per-tier fields (zero).
 type replayReport struct {
-	Recordings int64   `json:"recordings"`
-	Replays    int64   `json:"replays"`
-	MemHits    int64   `json:"mem_hits"`
-	MemMisses  int64   `json:"mem_misses"`
-	DiskHits   int64   `json:"disk_hits"`
-	DiskMisses int64   `json:"disk_misses"`
-	DiskWrites int64   `json:"disk_writes"`
-	DiskLoadMS float64 `json:"disk_load_ms"`
+	Recordings     int64   `json:"recordings"`
+	Replays        int64   `json:"replays"`
+	Batches        int64   `json:"batches"`
+	BatchConfigs   int64   `json:"batch_configs"`
+	BatchFallbacks int64   `json:"batch_fallbacks"`
+	MemHits        int64   `json:"mem_hits"`
+	MemMisses      int64   `json:"mem_misses"`
+	DiskHits       int64   `json:"disk_hits"`
+	DiskMisses     int64   `json:"disk_misses"`
+	DiskWrites     int64   `json:"disk_writes"`
+	DiskLoadMS     float64 `json:"disk_load_ms"`
 }
 
 type run struct {
@@ -46,6 +58,12 @@ type run struct {
 	TotalMillis float64       `json:"total_wall_ms"`
 	Replay      *replayReport `json:"replay"`
 	Experiments []experiment  `json:"experiments"`
+	Runtime     struct {
+		TotalAllocMB float64 `json:"total_alloc_mb"`
+	} `json:"runtime"`
+	Interrupted bool   `json:"interrupted"`
+	Partial     bool   `json:"partial"`
+	Error       string `json:"error"`
 }
 
 func loadRuns(path string) []run {
@@ -79,16 +97,29 @@ func describe(r run) string {
 }
 
 func main() {
+	enforce := flag.Bool("enforce", false, "gate the report against per-family perf budgets instead of diffing")
+	budgetsPath := flag.String("budgets", "perf/budgets.json", "budget file for -enforce")
+	flag.Parse()
+	args := flag.Args()
+
+	if *enforce {
+		if len(args) != 1 {
+			fatalf("usage: benchdiff -enforce [-budgets FILE] REPORT.json")
+		}
+		enforceBudgets(*budgetsPath, args[0])
+		return
+	}
+
 	var prev, cur run
-	switch len(os.Args) {
-	case 2:
-		runs := loadRuns(os.Args[1])
+	switch len(args) {
+	case 1:
+		runs := loadRuns(args[0])
 		if len(runs) < 2 {
-			fatalf("%s has a single run; pass two files to compare across files", os.Args[1])
+			fatalf("%s has a single run; pass two files to compare across files", args[0])
 		}
 		prev, cur = runs[0], runs[len(runs)-1]
-	case 3:
-		oldRuns, newRuns := loadRuns(os.Args[1]), loadRuns(os.Args[2])
+	case 2:
+		oldRuns, newRuns := loadRuns(args[0]), loadRuns(args[1])
 		prev, cur = oldRuns[len(oldRuns)-1], newRuns[len(newRuns)-1]
 	default:
 		fatalf("usage: benchdiff OLD.json [NEW.json]")
@@ -128,6 +159,89 @@ func main() {
 	}
 }
 
+// budgetFamily is one named group of experiments with a summed
+// wall-clock ceiling.
+type budgetFamily struct {
+	Name        string   `json:"name"`
+	Experiments []string `json:"experiments"`
+	WallMS      float64  `json:"wall_ms"`
+	Rationale   string   `json:"rationale"`
+}
+
+type budgetFile struct {
+	Note            string         `json:"note"`
+	MaxTotalAllocMB float64        `json:"max_total_alloc_mb"`
+	Families        []budgetFamily `json:"families"`
+}
+
+// enforceBudgets gates the last run of reportPath against the budget
+// file: every family's summed wall-clock must stay under its ceiling
+// and the run's cumulative allocation under the cap. A missing
+// experiment, an interrupted/partial/failed run, or a run with the
+// fast path disabled (slowsim/noreplay — the budgets assume it) all
+// fail the gate.
+func enforceBudgets(budgetsPath, reportPath string) {
+	data, err := os.ReadFile(budgetsPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var b budgetFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		fatalf("%s: %v", budgetsPath, err)
+	}
+	if len(b.Families) == 0 {
+		fatalf("%s defines no families", budgetsPath)
+	}
+	runs := loadRuns(reportPath)
+	r := runs[len(runs)-1]
+	if r.Interrupted || r.Partial || r.Error != "" {
+		fatalf("last run of %s is incomplete (interrupted=%v partial=%v error=%q); budgets need a full run",
+			reportPath, r.Interrupted, r.Partial, r.Error)
+	}
+	if r.SlowSim || r.NoReplay {
+		fatalf("last run of %s disabled the replay fast path (slowsim=%v noreplay=%v); budgets assume it",
+			reportPath, r.SlowSim, r.NoReplay)
+	}
+	wall := map[string]float64{}
+	for _, e := range r.Experiments {
+		wall[e.Name] = e.WallMillis
+	}
+	fmt.Printf("enforcing %s against %s (%s)\n\n", budgetsPath, reportPath, describe(r))
+	fmt.Printf("%-10s %12s %12s %9s\n", "family", "spent ms", "budget ms", "")
+	over := 0
+	for _, f := range b.Families {
+		var spent float64
+		for _, name := range f.Experiments {
+			ms, ok := wall[name]
+			if !ok {
+				fatalf("family %s: experiment %s missing from the report", f.Name, name)
+			}
+			spent += ms
+		}
+		mark := "ok"
+		if spent > f.WallMS {
+			mark = "OVER BUDGET"
+			over++
+		}
+		fmt.Printf("%-10s %12.1f %12.1f   %s\n", f.Name, spent, f.WallMS, mark)
+	}
+	if b.MaxTotalAllocMB > 0 {
+		mark := "ok"
+		if r.Runtime.TotalAllocMB > b.MaxTotalAllocMB {
+			mark = "OVER BUDGET"
+			over++
+		}
+		fmt.Printf("%-10s %12.1f %12.1f   %s  (MB allocated)\n", "alloc", r.Runtime.TotalAllocMB, b.MaxTotalAllocMB, mark)
+	}
+	if r.Replay != nil {
+		fmt.Printf("\nbatched retiming: %d batches / %d configs, %d solo fallbacks\n",
+			r.Replay.Batches, r.Replay.BatchConfigs, r.Replay.BatchFallbacks)
+	}
+	if over > 0 {
+		fatalf("%d budget(s) exceeded — investigate before raising perf/budgets.json", over)
+	}
+}
+
 // printCacheDiff renders the per-tier cache counters of both runs, so a
 // wall-clock win can be attributed: a warm disk tier shows up as zero
 // recordings and nonzero disk hits, not as a simulator speedup.
@@ -151,6 +265,9 @@ func printCacheDiff(prev, cur run) {
 	fmt.Printf("\n%-16s %12s %12s\n", "cache", "old", "new")
 	row("recordings", count(func(r *replayReport) int64 { return r.Recordings }))
 	row("replays", count(func(r *replayReport) int64 { return r.Replays }))
+	row("batches", count(func(r *replayReport) int64 { return r.Batches }))
+	row("batch configs", count(func(r *replayReport) int64 { return r.BatchConfigs }))
+	row("batch fallbacks", count(func(r *replayReport) int64 { return r.BatchFallbacks }))
 	row("mem hits", count(func(r *replayReport) int64 { return r.MemHits }))
 	row("mem misses", count(func(r *replayReport) int64 { return r.MemMisses }))
 	row("disk hits", count(func(r *replayReport) int64 { return r.DiskHits }))
@@ -160,7 +277,7 @@ func printCacheDiff(prev, cur run) {
 	switch {
 	case cur.Replay == nil:
 	case cur.Replay.Recordings == 0 && cur.Replay.DiskHits > 0:
-		fmt.Printf("new run was warm: every trace replayed from the disk tier\n")
+		fmt.Printf("new run was warm: every result served from the disk tier\n")
 	case cur.Replay.DiskWrites > 0 && cur.Replay.DiskHits == 0:
 		fmt.Printf("new run was cold: recorded fresh traces and populated the disk tier\n")
 	}

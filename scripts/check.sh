@@ -16,6 +16,16 @@ go test -race -timeout 10m ./...
 # the checked-in benchmark report (exercises the record/replay path).
 go run ./cmd/helix-bench -only fig9 -verify BENCH_2026-08-05.json >/dev/null
 
+# Perf regression gate: regenerate the full evaluation, verify every
+# figure hash against the checked-in report, then enforce the per-family
+# wall-clock and allocation budgets — a perf regression (or a batching
+# path that stopped engaging) fails the gate instead of drifting in.
+report=.check-bench.json
+rm -f "$report"
+trap 'rm -f "$report"' EXIT
+go run ./cmd/helix-bench -quiet -verify BENCH_2026-08-07.json -jsonfile "$report" >/dev/null
+go run ./scripts -enforce -budgets perf/budgets.json "$report"
+
 # Differential fuzzing smoke: a fixed-seed sweep of generated loop
 # programs cross-checked through interp, HCC parallelization, the sim
 # fast path and trace replay. Deterministic, ~5s.
