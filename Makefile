@@ -1,6 +1,6 @@
 # Development entry points. `make check` is the pre-merge gate.
 
-.PHONY: check build test bench bench-smoke fuzz-smoke fuzz
+.PHONY: check build test bench bench-shard-smoke bench-smoke fuzz-smoke fuzz
 
 check:
 	./scripts/check.sh
@@ -15,6 +15,15 @@ test:
 # readable report to BENCH_<date>.json.
 bench:
 	go run ./cmd/helix-bench -json
+
+# Sharded-evaluation smoke: two worker processes race over one small
+# figure's work units through the shared claim directory, the parent
+# merges their partial reports, and the merged figure hash is verified
+# against the checked-in report — proving the claim/lease/merge path
+# end to end (zero duplicate recordings, byte-identical output).
+bench-shard-smoke:
+	go run ./cmd/helix-bench -workers 2 -only fig9 -verify BENCH_2026-08-05.json >/dev/null
+	@echo "bench-shard-smoke: 2-worker fig9 merged hash matches BENCH_2026-08-05.json"
 
 # Regenerate one small figure and verify its output hash against the
 # checked-in benchmark report — a fast end-to-end determinism gate —

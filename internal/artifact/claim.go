@@ -1,0 +1,237 @@
+package artifact
+
+// Coordinator-free work claiming over a shared directory. Independent
+// worker processes that share nothing but a cache directory use Claimer
+// to partition idempotent work units (trace recordings, experiment
+// cells) without a coordinator: a claim is an atomically-created file
+// (O_CREATE|O_EXCL) carrying an owner and a lease expiry, so exactly
+// one live worker wins each unit, a crashed worker's claims expire and
+// become stealable, and a completed unit leaves a durable done marker
+// that later workers skip.
+//
+// The protocol is advisory, not a correctness dependency: every unit it
+// guards is idempotent (content-addressed artifacts written atomically),
+// so the worst outcome of any race — two stealers replacing the same
+// expired lease in the narrow window between the expiry check and the
+// re-create — is duplicated work, never a wrong artifact. Claim files
+// live in a run-scoped directory the orchestrator deletes afterwards;
+// done markers never expire within a run.
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"helixrc/internal/atomicio"
+)
+
+// ClaimState is the outcome of one Acquire attempt.
+type ClaimState int
+
+const (
+	// ClaimAcquired: the caller now holds the lease and must do the work.
+	ClaimAcquired ClaimState = iota
+	// ClaimHeld: another worker holds a live lease; re-check later.
+	ClaimHeld
+	// ClaimDone: the unit carries a done marker; skip it.
+	ClaimDone
+)
+
+func (s ClaimState) String() string {
+	switch s {
+	case ClaimAcquired:
+		return "acquired"
+	case ClaimHeld:
+		return "held"
+	case ClaimDone:
+		return "done"
+	}
+	return fmt.Sprintf("ClaimState(%d)", int(s))
+}
+
+// claimFile is the on-disk claim/done record. It is JSON so a human
+// debugging a wedged run can read who holds what and until when.
+type claimFile struct {
+	Key     string `json:"key"`
+	Owner   string `json:"owner"`
+	State   string `json:"state"` // "claimed" or "done"
+	Expires int64  `json:"expires_unix_nano,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+// Claimer hands out leases over work-unit keys in one claim directory.
+// All methods are safe for concurrent use; workers in different
+// processes coordinate purely through the directory contents.
+type Claimer struct {
+	dir   string
+	owner string
+	ttl   time.Duration
+
+	claims, steals, expired, dup atomic.Int64
+}
+
+// NewClaimer returns a claimer writing claim files under dir. owner
+// names this worker in claim files (include the pid so two workers on
+// one host never collide); ttl bounds how long a claim survives its
+// holder — a worker that crashes mid-unit stops renewing nothing, so
+// after ttl its claims are stealable. ttl <= 0 defaults to one minute.
+func NewClaimer(dir, owner string, ttl time.Duration) *Claimer {
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	return &Claimer{dir: dir, owner: owner, ttl: ttl}
+}
+
+// Owner returns the claimer's owner label.
+func (c *Claimer) Owner() string { return c.owner }
+
+// Stats returns the claimer's cumulative counters folded into the
+// shared Stats shape: Claims (successful acquisitions, steals
+// included), Steals (acquisitions that replaced an expired lease),
+// ExpiredLeases (expired leases observed), and DupSuppressed (units
+// skipped because another worker recorded them first — see
+// NoteDuplicate).
+func (c *Claimer) Stats() Stats {
+	return Stats{
+		Claims:        c.claims.Load(),
+		Steals:        c.steals.Load(),
+		ExpiredLeases: c.expired.Load(),
+		DupSuppressed: c.dup.Load(),
+	}
+}
+
+// NoteDuplicate records one unit of work this worker skipped because
+// another worker completed it — the duplicate recording that the claim
+// protocol suppressed.
+func (c *Claimer) NoteDuplicate() { c.dup.Add(1) }
+
+// path maps a key to its claim file: the filename is a hash of the key
+// (keys embed fingerprints and slashes), the key itself is stored in
+// the file.
+func (c *Claimer) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".claim")
+}
+
+// Lease is a held claim. Exactly one of Done or Release should be
+// called when the holder is finished with the unit.
+type Lease struct {
+	c    *Claimer
+	key  string
+	path string
+}
+
+// Key returns the claimed work-unit key.
+func (l *Lease) Key() string { return l.key }
+
+// Done replaces the lease with a durable done marker (atomic rename),
+// so every other worker — now or after this process exits — skips the
+// unit. note is free-form (an output hash, an error), for debugging.
+func (l *Lease) Done(note string) error {
+	data, err := json.Marshal(claimFile{Key: l.key, Owner: l.c.owner, State: "done", Note: note})
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(l.path, append(data, '\n'), 0o644)
+}
+
+// Release drops the lease without marking the unit done, so another
+// worker can claim it (the failure path). The claim file is removed
+// only if this claimer still owns it — a stealer may have replaced it
+// after our lease expired.
+func (l *Lease) Release() error {
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return nil // already gone
+	}
+	var cf claimFile
+	if err := json.Unmarshal(data, &cf); err == nil && cf.Owner != l.c.owner {
+		return nil // stolen; the thief owns it now
+	}
+	return os.Remove(l.path)
+}
+
+// Acquire attempts to claim key. It never blocks: the caller gets the
+// lease (do the work), learns the unit is held by a live lease
+// elsewhere (re-check later), or learns it is done (skip). An expired
+// lease is stolen transparently — the expiry and the steal are counted
+// — and a corrupt claim file is treated like an expired one (the unit
+// behind it is idempotent, so reclaiming is always safe).
+func (c *Claimer) Acquire(key string) (*Lease, ClaimState, error) {
+	path := c.path(key)
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("artifact: claim dir: %w", err)
+	}
+	stole := false
+	// Bounded retries: each loop either creates the file, returns
+	// held/done, or removes an expired claim — a livelock would need an
+	// adversary re-creating claims in lockstep.
+	for attempt := 0; attempt < 8; attempt++ {
+		// Claim creation must be atomic with respect to readers: a claim
+		// file must never be observable half-written, or a concurrent
+		// worker would read it as corrupt and steal a live lease. So the
+		// record is fully written to a private temp file first and then
+		// hard-linked into place — link(2) both publishes complete content
+		// and fails with EEXIST if someone else claimed first, exactly like
+		// O_EXCL but without the create-then-write window.
+		rec := claimFile{Key: key, Owner: c.owner, State: "claimed", Expires: time.Now().Add(c.ttl).UnixNano()}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return nil, 0, fmt.Errorf("artifact: encoding claim %s: %w", key, err)
+		}
+		tmp, err := os.CreateTemp(c.dir, ".claim-*.tmp")
+		if err != nil {
+			return nil, 0, fmt.Errorf("artifact: claim temp file: %w", err)
+		}
+		_, werr := tmp.Write(append(data, '\n'))
+		if cerr := tmp.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return nil, 0, fmt.Errorf("artifact: writing claim %s: %w", key, werr)
+		}
+		lerr := os.Link(tmp.Name(), path)
+		os.Remove(tmp.Name())
+		if lerr == nil {
+			c.claims.Add(1)
+			if stole {
+				c.steals.Add(1)
+			}
+			return &Lease{c: c, key: key, path: path}, ClaimAcquired, nil
+		}
+		if !errors.Is(lerr, fs.ErrExist) {
+			return nil, 0, fmt.Errorf("artifact: claiming %s: %w", key, lerr)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if errors.Is(rerr, fs.ErrNotExist) {
+				continue // released between create and read; retry
+			}
+			return nil, 0, fmt.Errorf("artifact: reading claim %s: %w", path, rerr)
+		}
+		var cf claimFile
+		if jerr := json.Unmarshal(data, &cf); jerr == nil {
+			if cf.State == "done" {
+				return nil, ClaimDone, nil
+			}
+			if cf.Expires > time.Now().UnixNano() {
+				return nil, ClaimHeld, nil
+			}
+			c.expired.Add(1)
+		}
+		// Expired (or unreadable) lease: remove and retry the exclusive
+		// create. Two stealers can race here; the O_EXCL create decides
+		// the winner, and the documented worst case is duplicated
+		// idempotent work.
+		stole = true
+		os.Remove(path)
+	}
+	return nil, ClaimHeld, nil
+}

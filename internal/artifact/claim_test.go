@@ -1,0 +1,160 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClaimExclusive(t *testing.T) {
+	dir := t.TempDir()
+	a := NewClaimer(dir, "a", time.Minute)
+	b := NewClaimer(dir, "b", time.Minute)
+
+	la, st, err := a.Acquire("unit/1")
+	if err != nil || st != ClaimAcquired {
+		t.Fatalf("a.Acquire = %v, %v; want acquired", st, err)
+	}
+	if _, st, err := b.Acquire("unit/1"); err != nil || st != ClaimHeld {
+		t.Fatalf("b.Acquire while held = %v, %v; want held", st, err)
+	}
+	// A different key is independent.
+	if _, st, err := b.Acquire("unit/2"); err != nil || st != ClaimAcquired {
+		t.Fatalf("b.Acquire unit/2 = %v, %v; want acquired", st, err)
+	}
+	if err := la.Done("sha:abc"); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	if _, st, err := b.Acquire("unit/1"); err != nil || st != ClaimDone {
+		t.Fatalf("b.Acquire after done = %v, %v; want done", st, err)
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.Claims != 1 || bs.Claims != 1 || as.Steals+bs.Steals != 0 {
+		t.Fatalf("stats: a=%+v b=%+v", as, bs)
+	}
+}
+
+func TestClaimRelease(t *testing.T) {
+	dir := t.TempDir()
+	a := NewClaimer(dir, "a", time.Minute)
+	b := NewClaimer(dir, "b", time.Minute)
+
+	la, st, err := a.Acquire("unit/1")
+	if err != nil || st != ClaimAcquired {
+		t.Fatalf("a.Acquire = %v, %v", st, err)
+	}
+	if err := la.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if _, st, err := b.Acquire("unit/1"); err != nil || st != ClaimAcquired {
+		t.Fatalf("b.Acquire after release = %v, %v; want acquired", st, err)
+	}
+}
+
+func TestClaimStealExpiredLease(t *testing.T) {
+	dir := t.TempDir()
+	crashed := NewClaimer(dir, "crashed", 10*time.Millisecond)
+	if _, st, err := crashed.Acquire("unit/1"); err != nil || st != ClaimAcquired {
+		t.Fatalf("crashed.Acquire = %v, %v", st, err)
+	}
+	// The "crashed" worker never calls Done or Release. After the lease
+	// expires, a second worker steals the claim.
+	time.Sleep(20 * time.Millisecond)
+	b := NewClaimer(dir, "b", time.Minute)
+	lb, st, err := b.Acquire("unit/1")
+	if err != nil || st != ClaimAcquired {
+		t.Fatalf("b.Acquire after expiry = %v, %v; want acquired", st, err)
+	}
+	bs := b.Stats()
+	if bs.Claims != 1 || bs.Steals != 1 || bs.ExpiredLeases != 1 {
+		t.Fatalf("steal stats = %+v; want 1 claim, 1 steal, 1 expired", bs)
+	}
+	if err := lb.Done(""); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	if _, st, _ := NewClaimer(dir, "c", time.Minute).Acquire("unit/1"); st != ClaimDone {
+		t.Fatalf("after stolen-and-done, state = %v; want done", st)
+	}
+}
+
+// TestClaimReleaseAfterSteal pins that a straggler releasing a lease it
+// lost cannot clobber the thief's claim.
+func TestClaimReleaseAfterSteal(t *testing.T) {
+	dir := t.TempDir()
+	a := NewClaimer(dir, "a", 10*time.Millisecond)
+	la, st, err := a.Acquire("unit/1")
+	if err != nil || st != ClaimAcquired {
+		t.Fatalf("a.Acquire = %v, %v", st, err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	b := NewClaimer(dir, "b", time.Minute)
+	if _, st, err := b.Acquire("unit/1"); err != nil || st != ClaimAcquired {
+		t.Fatalf("b steal = %v, %v", st, err)
+	}
+	if err := la.Release(); err != nil {
+		t.Fatalf("stale Release: %v", err)
+	}
+	// b still holds the claim: a third worker must see it held.
+	if _, st, err := NewClaimer(dir, "c", time.Minute).Acquire("unit/1"); err != nil || st != ClaimHeld {
+		t.Fatalf("after stale release, state = %v, %v; want held", st, err)
+	}
+}
+
+// TestClaimConcurrent races many goroutine "workers" over one pool of
+// keys: every key is acquired exactly once.
+func TestClaimConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	const workers, keys = 8, 25
+	wins := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		cl := NewClaimer(dir, fmt.Sprintf("w%d", w), time.Minute)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				_, st, err := cl.Acquire(fmt.Sprintf("unit/%d", k))
+				if err != nil {
+					t.Errorf("worker %d key %d: %v", w, k, err)
+					return
+				}
+				if st == ClaimAcquired {
+					wins[w] = append(wins[w], k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	won := make([]int, keys)
+	for _, ks := range wins {
+		for _, k := range ks {
+			won[k]++
+		}
+	}
+	for k, n := range won {
+		if n != 1 {
+			t.Fatalf("key %d acquired %d times; want exactly 1", k, n)
+		}
+	}
+}
+
+func TestClaimCorruptFileIsReclaimable(t *testing.T) {
+	dir := t.TempDir()
+	a := NewClaimer(dir, "a", time.Minute)
+	la, st, err := a.Acquire("unit/1")
+	if err != nil || st != ClaimAcquired {
+		t.Fatalf("Acquire = %v, %v", st, err)
+	}
+	// Truncate the claim file to garbage: a later worker treats it like
+	// an expired lease and reclaims.
+	if err := os.WriteFile(la.path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := NewClaimer(dir, "b", time.Minute)
+	if _, st, err := b.Acquire("unit/1"); err != nil || st != ClaimAcquired {
+		t.Fatalf("Acquire over corrupt claim = %v, %v; want acquired", st, err)
+	}
+}

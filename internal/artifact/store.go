@@ -44,7 +44,10 @@ type Codec[V any] struct {
 // count Get calls served by the memory tier vs those that ran the
 // disk-or-compute path; disk hits/misses split the latter (disk
 // counters stay zero while the disk tier is disabled). Eviction
-// counters cover the memory tier's byte-budget LRU.
+// counters cover the memory tier's byte-budget LRU. The claim counters
+// belong to a Claimer sharing the same shape (a Store never moves
+// them), so one aggregate covers every source of cache traffic a
+// worker produces.
 type Stats struct {
 	MemHits      int64
 	MemMisses    int64
@@ -54,6 +57,12 @@ type Stats struct {
 	DiskLoadNS   int64 // wall time spent reading+decoding disk hits
 	Evictions    int64
 	EvictedBytes int64
+
+	// Work-claiming counters (see Claimer.Stats).
+	Claims        int64
+	Steals        int64
+	ExpiredLeases int64
+	DupSuppressed int64
 }
 
 // Add accumulates o into s.
@@ -66,6 +75,10 @@ func (s *Stats) Add(o Stats) {
 	s.DiskLoadNS += o.DiskLoadNS
 	s.Evictions += o.Evictions
 	s.EvictedBytes += o.EvictedBytes
+	s.Claims += o.Claims
+	s.Steals += o.Steals
+	s.ExpiredLeases += o.ExpiredLeases
+	s.DupSuppressed += o.DupSuppressed
 }
 
 // Store is a two-tier content-addressed artifact store: a Memo memory

@@ -1,0 +1,150 @@
+package benchreport
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func exp(name, sha string, ms float64) Experiment {
+	return Experiment{Name: name, WallMillis: ms, OutputSHA256: sha, Output: "out:" + name}
+}
+
+// TestAppendConcurrent races many appenders on one file: every report
+// must land exactly once (the lock serializes read-modify-write; no run
+// may be dropped by a lost update).
+func TestAppendConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = Append(path, Report{Label: fmt.Sprintf("run-%d", i), Cores: 16})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	runs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != n {
+		t.Fatalf("got %d runs after %d concurrent appends; reports were dropped", len(runs), n)
+	}
+	seen := map[string]bool{}
+	for _, r := range runs {
+		if seen[r.Label] {
+			t.Fatalf("run %s appended twice", r.Label)
+		}
+		seen[r.Label] = true
+	}
+}
+
+func TestAppendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	r := Report{
+		Label:       "one",
+		Timestamp:   "2026-08-07T00:00:00Z",
+		Parallel:    1,
+		Cores:       16,
+		Experiments: []Experiment{exp("fig9", "aaa", 12.5)},
+		Replay:      &Replay{Recordings: 3, Claims: 2, Steals: 1, DupSuppressed: 4},
+	}
+	if err := Append(path, r); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runs[0], r) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", runs[0], r)
+	}
+}
+
+func TestMergeCanonicalOrder(t *testing.T) {
+	order := []string{"fig1", "fig7", "fig9", "tlp"}
+	a := Report{Shard: "1/2", Cores: 16, Parallel: 1, TotalMillis: 100,
+		Experiments: []Experiment{exp("fig9", "ccc", 3), exp("fig1", "aaa", 1)},
+		Replay:      &Replay{Recordings: 2, Claims: 5, Steals: 1}}
+	b := Report{Shard: "2/2", Cores: 16, Parallel: 1, TotalMillis: 150,
+		Experiments: []Experiment{exp("tlp", "ddd", 4), exp("fig7", "bbb", 2)},
+		Replay:      &Replay{Recordings: 1, Claims: 4, DupSuppressed: 3}}
+	m, err := Merge([]Report{a, b}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range m.Experiments {
+		names = append(names, e.Name)
+	}
+	if !reflect.DeepEqual(names, order) {
+		t.Fatalf("merged order = %v; want %v", names, order)
+	}
+	// Merge must be deterministic in part order for the experiment list:
+	// swapping workers reorders PerWorker but not the experiments.
+	m2, err := Merge([]Report{b, a}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Experiments, m2.Experiments) {
+		t.Fatal("merged experiment list depends on worker order")
+	}
+	if m.Workers != 2 || len(m.PerWorker) != 2 || m.PerWorker[0].Worker != "1/2" {
+		t.Fatalf("per-worker section wrong: %+v", m.PerWorker)
+	}
+	if m.Replay.Recordings != 3 || m.Replay.Claims != 9 || m.Replay.Steals != 1 || m.Replay.DupSuppressed != 3 {
+		t.Fatalf("aggregate counters wrong: %+v", m.Replay)
+	}
+	if m.TotalMillis != 150 {
+		t.Fatalf("merged total = %v; want max of workers (150)", m.TotalMillis)
+	}
+}
+
+func TestMergeDuplicateAgreement(t *testing.T) {
+	order := []string{"fig9"}
+	a := Report{Shard: "1/2", Experiments: []Experiment{exp("fig9", "aaaaaaaaaaaaaa", 3)}}
+	b := Report{Shard: "2/2", Experiments: []Experiment{exp("fig9", "aaaaaaaaaaaaaa", 5)}}
+	m, err := Merge([]Report{a, b}, order)
+	if err != nil {
+		t.Fatalf("identical duplicate (stolen lease rerun) must merge: %v", err)
+	}
+	if len(m.Experiments) != 1 {
+		t.Fatalf("got %d experiments; want deduplicated 1", len(m.Experiments))
+	}
+
+	b.Experiments[0].OutputSHA256 = "bbbbbbbbbbbbbb"
+	if _, err := Merge([]Report{a, b}, order); err == nil {
+		t.Fatal("divergent duplicate outputs must fail the merge")
+	}
+}
+
+func TestMergeRejectsMixedConfig(t *testing.T) {
+	order := []string{"fig9"}
+	a := Report{Shard: "1/2", Cores: 16}
+	b := Report{Shard: "2/2", Cores: 8}
+	if _, err := Merge([]Report{a, b}, order); err == nil {
+		t.Fatal("mixed -cores across workers must fail the merge")
+	}
+	c := Report{Shard: "2/2", Cores: 16, SlowSim: true}
+	if _, err := Merge([]Report{a, c}, order); err == nil {
+		t.Fatal("mixed -slowsim across workers must fail the merge")
+	}
+}
+
+func TestMergeUnknownExperiment(t *testing.T) {
+	a := Report{Shard: "1/1", Experiments: []Experiment{exp("fig99", "aaa", 1)}}
+	if _, err := Merge([]Report{a}, []string{"fig9"}); err == nil {
+		t.Fatal("unknown experiment must fail the merge")
+	}
+}

@@ -94,6 +94,39 @@ func prefetchRetimes(ctx context.Context, groups []retimeGroup) {
 	wg.Wait()
 }
 
+// groupKeys derives a group's trace key and per-config result keys
+// from content fingerprints alone — no compilation, no execution — so
+// the shard planner can enumerate and deduplicate work units cheaply.
+// The key grammar here must stay in lockstep with CachedBaseline and
+// runOn (covered by the equivalence tests): a drift would make the
+// prefetch warm keys no cell ever reads.
+func groupKeys(ctx context.Context, g *retimeGroup) (tkey string, keyOf func(sim.Config) string, err error) {
+	fp, err := workloadFingerprint(ctx, g.name)
+	if err != nil {
+		return "", nil, err
+	}
+	if g.baseline {
+		tkey = fmt.Sprintf("trace/base/%s/ref=%v/%s", g.name, g.ref, fp)
+	} else {
+		if len(g.archs) == 0 {
+			return "", nil, fmt.Errorf("harness: group %s has no configs", g.name)
+		}
+		tkey = fmt.Sprintf("trace/%s/L%d/c%d/ref=%v/%s", g.name, g.level, g.archs[0].Cores, g.ref, fp)
+	}
+	// Baseline lanes land in the baseline store under CachedBaseline's
+	// core-normalized key; sweep lanes land in the result store under
+	// the full config fingerprint.
+	keyOf = func(arch sim.Config) string {
+		if g.baseline {
+			karch := arch
+			karch.Cores = 0
+			return fmt.Sprintf("base/%s/ref=%v/%s/%s", g.name, g.ref, karch.Fingerprint(), fp)
+		}
+		return resultKey(tkey, arch)
+	}
+	return tkey, keyOf, nil
+}
+
 // prefetchGroup serves one group: peek-filter the configs whose
 // Results are already cached, record the trace if needed (the
 // recording lane's Result is exact and published directly), then
@@ -103,35 +136,20 @@ func prefetchGroup(ctx context.Context, g *retimeGroup) {
 	if len(g.archs) == 0 {
 		return
 	}
-	fp, err := workloadFingerprint(ctx, g.name)
+	tkey, keyOf, err := groupKeys(ctx, g)
 	if err != nil {
 		return
 	}
 	var w *workloads.Workload
 	var comp *hcc.Compiled
-	var tkey string
 	if g.baseline {
 		if w, err = workloads.Get(g.name); err != nil {
 			return
 		}
-		tkey = fmt.Sprintf("trace/base/%s/ref=%v/%s", g.name, g.ref, fp)
 	} else {
-		cores := g.archs[0].Cores
-		if w, comp, err = CachedCompile(ctx, g.name, g.level, cores); err != nil {
+		if w, comp, err = CachedCompile(ctx, g.name, g.level, g.archs[0].Cores); err != nil {
 			return
 		}
-		tkey = fmt.Sprintf("trace/%s/L%d/c%d/ref=%v/%s", g.name, g.level, cores, g.ref, fp)
-	}
-	// Baseline lanes land in the baseline store under CachedBaseline's
-	// core-normalized key; sweep lanes land in the result store under
-	// the full config fingerprint.
-	keyOf := func(arch sim.Config) string {
-		if g.baseline {
-			karch := arch
-			karch.Cores = 0
-			return fmt.Sprintf("base/%s/ref=%v/%s/%s", g.name, g.ref, karch.Fingerprint(), fp)
-		}
-		return resultKey(tkey, arch)
 	}
 	cached := func(arch sim.Config) bool {
 		if g.baseline {

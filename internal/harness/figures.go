@@ -379,6 +379,7 @@ func Figure1(ctx context.Context, cores int) (*FigureResult, error) {
 	}
 	names := workloads.Names()
 	levels := []hcc.Level{hcc.V1, hcc.V2}
+	prefetchRetimes(ctx, experimentGroups("fig1", cores))
 	cell := func(i int) string {
 		return fmt.Sprintf("%s/L%d/conv%d", names[i/len(levels)], levels[i%len(levels)], cores)
 	}
@@ -773,15 +774,7 @@ func Figure7(ctx context.Context, cores int) (*FigureResult, error) {
 		Notes:  "Paper shape: CINT geomean 2.2x -> 6.85x; CFP 11.4x -> ~12x.",
 	}
 	names := workloads.Names()
-	groups := make([]retimeGroup, 0, 3*len(names))
-	for _, name := range names {
-		groups = append(groups,
-			retimeGroup{name: name, ref: true, baseline: true, archs: []sim.Config{sim.Conventional(cores)}},
-			retimeGroup{name: name, level: hcc.V2, ref: true, archs: []sim.Config{sim.Conventional(cores)}},
-			retimeGroup{name: name, level: hcc.V3, ref: true, archs: []sim.Config{sim.HelixRC(cores)}},
-		)
-	}
-	prefetchRetimes(ctx, groups)
+	prefetchRetimes(ctx, experimentGroups("fig7", cores))
 	cell := func(i int) string {
 		if i%2 == 0 {
 			return fmt.Sprintf("%s/L%d/conv%d", names[i/2], hcc.V2, cores)
@@ -842,15 +835,7 @@ func Figure8(ctx context.Context, cores int) (*FigureResult, error) {
 	names := workloads.IntNames()
 	// One batched retime per workload covers the four decoupling
 	// variants: they share the HCCv3 trace.
-	groups := make([]retimeGroup, 0, 3*len(names))
-	for _, name := range names {
-		groups = append(groups,
-			retimeGroup{name: name, ref: true, baseline: true, archs: []sim.Config{sim.Conventional(cores)}},
-			retimeGroup{name: name, level: hcc.V2, ref: true, archs: configs[:1]},
-			retimeGroup{name: name, level: hcc.V3, ref: true, archs: configs[1:]},
-		)
-	}
-	prefetchRetimes(ctx, groups)
+	prefetchRetimes(ctx, experimentGroups("fig8", cores))
 	// One cell per (workload, decoupling variant).
 	cell := func(i int) string {
 		return fmt.Sprintf("%s/%s/%dcores", names[i/len(configs)], f.Series[i%len(configs)], cores)
@@ -895,15 +880,7 @@ func Figure9(ctx context.Context, cores int) (*FigureResult, error) {
 	names := workloads.IntNames()
 	// Both hardware points share the HCCv3 trace: one batched retime
 	// per workload.
-	groups := make([]retimeGroup, 0, 2*len(names))
-	for _, name := range names {
-		groups = append(groups,
-			retimeGroup{name: name, ref: true, baseline: true, archs: []sim.Config{sim.Conventional(cores)}},
-			retimeGroup{name: name, level: hcc.V3, ref: true,
-				archs: []sim.Config{sim.Conventional(cores), sim.HelixRC(cores)}},
-		)
-	}
-	prefetchRetimes(ctx, groups)
+	prefetchRetimes(ctx, experimentGroups("fig9", cores))
 	cell := func(i int) string {
 		hw := "conv"
 		if i%2 == 1 {

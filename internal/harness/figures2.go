@@ -19,6 +19,13 @@ func inductionClassify(pl *hcc.ParallelLoop, g *cfg.Graph, dg *ddg.Graph) map[ir
 	return induction.Classify(pl.Fn, g, pl.Loop, dg.CarriedRegs)
 }
 
+// figure10CoreConfigs lists Figure 10's core-complexity sweep: 2-way
+// in-order, 2-way and 4-way out-of-order. Shared with the shard
+// planner's experimentGroups.
+func figure10CoreConfigs() []cpu.Config {
+	return []cpu.Config{cpu.InOrder2(), cpu.OoO2(), cpu.OoO4()}
+}
+
 // Figure10 sweeps core complexity: 2-way in-order (the default), 2-way
 // and 4-way out-of-order. The second series block reports each core's
 // sequential time normalized to the 4-way OoO core (the paper's lower
@@ -32,29 +39,12 @@ func Figure10(ctx context.Context, cores int) (*FigureResult, error) {
 		},
 		Notes: "Paper shape: HELIX-RC still speeds up OoO cores; 4-way OoO sequential is ~1.9x faster than in-order; 164.gzip benefits least.",
 	}
-	coreCfgs := []cpu.Config{cpu.InOrder2(), cpu.OoO2(), cpu.OoO4()}
+	coreCfgs := figure10CoreConfigs()
 	names := workloads.IntNames()
 	// The three core models share one HCCv3 trace (and the three
 	// sequential baselines share one baseline trace): two batched
 	// retimes per workload cover all six cells.
-	groups := make([]retimeGroup, 0, 2*len(names))
-	for _, name := range names {
-		rcArchs := make([]sim.Config, len(coreCfgs))
-		seqArchs := make([]sim.Config, len(coreCfgs))
-		for i, cc := range coreCfgs {
-			a := sim.HelixRC(cores)
-			a.Core = cc
-			rcArchs[i] = a
-			s := sim.Conventional(cores)
-			s.Core = cc
-			seqArchs[i] = s
-		}
-		groups = append(groups,
-			retimeGroup{name: name, ref: true, baseline: true, archs: seqArchs},
-			retimeGroup{name: name, level: hcc.V3, ref: true, archs: rcArchs},
-		)
-	}
-	prefetchRetimes(ctx, groups)
+	prefetchRetimes(ctx, experimentGroups("fig10", cores))
 	// One cell per (workload, core type); each reports the speedup and
 	// its sequential cycle count for the lower-panel ratios.
 	type cell struct {
@@ -101,14 +91,16 @@ func Figure10(ctx context.Context, cores int) (*FigureResult, error) {
 	return f, nil
 }
 
-// Figure11 sweeps one architectural parameter of the ring cache at a time
-// over the CINT2000 analogues. which selects the panel: "cores", "link",
-// "signals" or "memory".
-func Figure11(ctx context.Context, which string) (*FigureResult, error) {
-	type variant struct {
-		label string
-		arch  func() sim.Config
-	}
+// fig11Variant is one sweep point of a Figure 11 panel.
+type fig11Variant struct {
+	label string
+	arch  func() sim.Config
+}
+
+// figure11Panel defines one Figure 11 panel: its title and sweep
+// points. Shared by Figure11 (which renders the panel) and the shard
+// planner (which enumerates its trace groups without rendering).
+func figure11Panel(which string) (string, []fig11Variant, error) {
 	mk := func(mod func(*sim.Config)) func() sim.Config {
 		return func() sim.Config {
 			c := sim.HelixRC(16)
@@ -117,13 +109,13 @@ func Figure11(ctx context.Context, which string) (*FigureResult, error) {
 		}
 	}
 	var title string
-	var variants []variant
+	var variants []fig11Variant
 	switch which {
 	case "cores":
 		title = "Figure 11a: sensitivity to core count"
 		for _, n := range []int{2, 4, 8, 16} {
 			n := n
-			variants = append(variants, variant{
+			variants = append(variants, fig11Variant{
 				label: fmt.Sprintf("%d cores", n),
 				arch:  func() sim.Config { return sim.HelixRC(n) },
 			})
@@ -132,7 +124,7 @@ func Figure11(ctx context.Context, which string) (*FigureResult, error) {
 		title = "Figure 11b: sensitivity to adjacent node link latency"
 		for _, l := range []int{1, 4, 8, 16, 32} {
 			l := l
-			variants = append(variants, variant{
+			variants = append(variants, fig11Variant{
 				label: fmt.Sprintf("%d cycle", l),
 				arch:  mk(func(c *sim.Config) { c.Ring.LinkLatency = l }),
 			})
@@ -145,7 +137,7 @@ func Figure11(ctx context.Context, which string) (*FigureResult, error) {
 			if s == 0 {
 				label = "unbounded"
 			}
-			variants = append(variants, variant{
+			variants = append(variants, fig11Variant{
 				label: label,
 				arch:  mk(func(c *sim.Config) { c.Ring.SignalBandwidth = s }),
 			})
@@ -158,25 +150,28 @@ func Figure11(ctx context.Context, which string) (*FigureResult, error) {
 			if kb == 0 {
 				label = "unbounded"
 			}
-			variants = append(variants, variant{
+			variants = append(variants, fig11Variant{
 				label: label,
 				arch:  mk(func(c *sim.Config) { c.Ring.ArrayBytes = kb }),
 			})
 		}
 	default:
-		return nil, fmt.Errorf("harness: unknown Figure 11 panel %q", which)
+		return "", nil, fmt.Errorf("harness: unknown Figure 11 panel %q", which)
 	}
+	return title, variants, nil
+}
 
-	f := &FigureResult{Title: title}
-	for _, v := range variants {
-		f.Series = append(f.Series, v.label)
+// figure11Groups enumerates one panel's trace groups. The core-count
+// panel needs a fresh trace (and so a full recording) per sweep point
+// — singleton groups let the prefetch pool record them in parallel.
+// The other panels retime one 16-core trace per workload under every
+// sweep point in a single batched traversal.
+func figure11Groups(which string) []retimeGroup {
+	_, variants, err := figure11Panel(which)
+	if err != nil {
+		return nil
 	}
 	names := workloads.IntNames()
-	// The core-count panel needs a fresh trace (and so a full
-	// recording) per sweep point — singleton groups let the prefetch
-	// pool record them in parallel. The other panels retime one
-	// 16-core trace per workload under every sweep point in a single
-	// batched traversal.
 	groups := make([]retimeGroup, 0, len(names)*(len(variants)+1))
 	for _, name := range names {
 		groups = append(groups, retimeGroup{
@@ -198,7 +193,23 @@ func Figure11(ctx context.Context, which string) (*FigureResult, error) {
 			groups = append(groups, retimeGroup{name: name, level: hcc.V3, ref: true, archs: archs})
 		}
 	}
-	prefetchRetimes(ctx, groups)
+	return groups
+}
+
+// Figure11 sweeps one architectural parameter of the ring cache at a time
+// over the CINT2000 analogues. which selects the panel: "cores", "link",
+// "signals" or "memory".
+func Figure11(ctx context.Context, which string) (*FigureResult, error) {
+	title, variants, err := figure11Panel(which)
+	if err != nil {
+		return nil, err
+	}
+	f := &FigureResult{Title: title}
+	for _, v := range variants {
+		f.Series = append(f.Series, v.label)
+	}
+	names := workloads.IntNames()
+	prefetchRetimes(ctx, figure11Groups(which))
 	// One cell per (workload, sweep point).
 	cell := func(i int) string {
 		return fmt.Sprintf("%s/%s/%s", names[i/len(variants)], which, variants[i%len(variants)].label)
@@ -239,6 +250,7 @@ type Figure12Row struct {
 // Figure12 categorizes every overhead cycle that prevents ideal speedup.
 func Figure12(ctx context.Context, cores int) ([]Figure12Row, error) {
 	names := workloads.Names()
+	prefetchRetimes(ctx, experimentGroups("fig12", cores))
 	cell := func(i int) string { return fmt.Sprintf("%s/L%d/rc%d", names[i], hcc.V3, cores) }
 	return parMapCells(ctx, len(names), cell, func(ctx context.Context, i int) (Figure12Row, error) {
 		name := names[i]

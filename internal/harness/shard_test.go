@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"context"
+	"crypto/sha256"
+	"sync"
+	"testing"
+	"time"
+
+	"helixrc/internal/artifact"
+)
+
+// shardEnv points the harness caches at a fresh disk tier and restores
+// everything on cleanup, so shard tests neither see nor pollute other
+// tests' artifacts.
+func shardEnv(t *testing.T) {
+	t.Helper()
+	ResetCaches()
+	SetCacheDir(t.TempDir())
+	t.Cleanup(func() {
+		SetCacheDir("")
+		ResetCaches()
+	})
+}
+
+func TestPlanUnitsDeterministicAndDeduplicated(t *testing.T) {
+	shardEnv(t)
+	ctx := context.Background()
+	names := []string{"fig7", "fig9", "fig12"}
+	a, err := PlanUnits(ctx, names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanUnits(ctx, names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("no units planned")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plan not deterministic: %d vs %d units", len(a), len(b))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatalf("unit %d key differs across plans: %s vs %s", i, a[i].Key, b[i].Key)
+		}
+		if seen[a[i].Key] {
+			t.Fatalf("duplicate unit %s: traces shared across experiments must merge", a[i].Key)
+		}
+		seen[a[i].Key] = true
+		rks := map[string]bool{}
+		for _, rk := range a[i].resultKeys {
+			if rks[rk] {
+				t.Fatalf("unit %s plans result %s twice", a[i].Key, rk)
+			}
+			rks[rk] = true
+		}
+	}
+	// fig7 and fig12 share every baseline trace and the V3/HelixRC
+	// trace per workload: the merged plan must be smaller than the sum
+	// of the per-experiment plans.
+	var sum int
+	for _, n := range names {
+		p, err := PlanUnits(ctx, []string{n}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += len(p)
+	}
+	if len(a) >= sum {
+		t.Fatalf("merged plan has %d units, per-experiment sum %d: nothing deduplicated", len(a), sum)
+	}
+}
+
+// TestRunPlanTwoWorkersNoDuplicateRecordings races two workers over
+// one claim directory: every unit is claimed (and so recorded) exactly
+// once, and the loser of each claim counts the suppressed duplicate.
+func TestRunPlanTwoWorkersNoDuplicateRecordings(t *testing.T) {
+	shardEnv(t)
+	ctx := context.Background()
+	units, err := PlanUnits(ctx, []string{"fig9"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec0, _ := ReplayStats()
+	claimDir := t.TempDir()
+	claimers := []*artifact.Claimer{
+		artifact.NewClaimer(claimDir, "w1", time.Minute),
+		artifact.NewClaimer(claimDir, "w2", time.Minute),
+	}
+	var wg sync.WaitGroup
+	for _, cl := range claimers {
+		cl := cl
+		u, err := PlanUnits(ctx, []string{"fig9"}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			RunPlan(ctx, u, cl)
+		}()
+	}
+	wg.Wait()
+	rec1, _ := ReplayStats()
+	if got, want := rec1-rec0, int64(len(units)); got != want {
+		t.Fatalf("recordings = %d; want exactly %d (one per unit, zero duplicates)", got, want)
+	}
+	var claims, steals int64
+	for _, cl := range claimers {
+		s := cl.Stats()
+		claims += s.Claims
+		steals += s.Steals
+	}
+	if claims != int64(len(units)) {
+		t.Fatalf("claims = %d; want exactly %d (each unit claimed once)", claims, len(units))
+	}
+	if steals != 0 {
+		t.Fatalf("steals = %d; want 0 (no lease expired)", steals)
+	}
+	for i := range units {
+		if !units[i].complete() {
+			t.Fatalf("unit %s incomplete after RunPlan", units[i].Key)
+		}
+	}
+}
+
+// TestRunPlanStealsExpiredLease simulates a worker that claims a unit
+// and crashes: after its lease expires, a second worker steals the
+// claim and completes the unit.
+func TestRunPlanStealsExpiredLease(t *testing.T) {
+	shardEnv(t)
+	ctx := context.Background()
+	units, err := PlanUnits(ctx, []string{"fig9"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimDir := t.TempDir()
+	crashed := artifact.NewClaimer(claimDir, "crashed", 20*time.Millisecond)
+	if _, st, err := crashed.Acquire(units[0].Key); err != nil || st != artifact.ClaimAcquired {
+		t.Fatalf("crashed.Acquire = %v, %v", st, err)
+	}
+	// The crashed worker never executes the unit or marks it done.
+	time.Sleep(30 * time.Millisecond)
+	b := artifact.NewClaimer(claimDir, "b", time.Minute)
+	RunPlan(ctx, units, b)
+	bs := b.Stats()
+	if bs.Steals < 1 || bs.ExpiredLeases < 1 {
+		t.Fatalf("stats = %+v; want at least one steal of the expired lease", bs)
+	}
+	if bs.Claims != int64(len(units)) {
+		t.Fatalf("claims = %d; want %d (b did all the work)", bs.Claims, len(units))
+	}
+	for i := range units {
+		if !units[i].complete() {
+			t.Fatalf("unit %s incomplete after steal recovery", units[i].Key)
+		}
+	}
+}
+
+// TestRunPlanOutputByteIdentical pins the contract the report merger
+// rests on: a figure generated from RunPlan-warmed caches is
+// byte-identical to the same figure generated solo.
+func TestRunPlanOutputByteIdentical(t *testing.T) {
+	ctx := context.Background()
+
+	shardEnv(t)
+	solo, err := Figure9(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloSum := sha256.Sum256([]byte(solo.Format()))
+
+	// Fresh caches, warmed through the claimed plan this time.
+	ResetCaches()
+	SetCacheDir(t.TempDir())
+	units, err := PlanUnits(ctx, []string{"fig9"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunPlan(ctx, units, artifact.NewClaimer(t.TempDir(), "w", time.Minute))
+	warmed, err := Figure9(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmedSum := sha256.Sum256([]byte(warmed.Format())); warmedSum != soloSum {
+		t.Fatalf("sharded-warmup output differs from solo:\nsolo:\n%s\nwarmed:\n%s", solo.Format(), warmed.Format())
+	}
+}

@@ -1,12 +1,14 @@
 // benchdiff compares two helix-bench reports into a wall-clock speedup
-// table and flags output-hash mismatches, or — in enforcement mode —
-// gates a report against the checked-in per-family performance budgets.
+// table and flags output-hash mismatches, gates a report against the
+// checked-in per-family performance budgets (enforcement mode), or
+// merges the partial reports of a manually sharded evaluation.
 //
 // Usage:
 //
 //	go run ./scripts BENCH_a.json BENCH_b.json   # last run of a vs last run of b
 //	go run ./scripts BENCH_a.json                # first vs last run of one file
 //	go run ./scripts -enforce -budgets perf/budgets.json REPORT.json
+//	go run ./scripts -merge -o BENCH_merged.json PART1.json PART2.json
 //
 // Speedup is old/new wall-clock per experiment (> 1 means the second
 // report is faster). Any experiment whose output_sha256 differs between
@@ -18,6 +20,12 @@
 // exceeds its budget (or the run's total allocation exceeds the cap).
 // scripts/check.sh runs it so a perf regression fails the gate instead
 // of drifting in silently.
+//
+// Merge mode reassembles the per-worker partial reports of a manual
+// multi-machine `helix-bench -shard i/n` evaluation (the in-process
+// -workers mode merges automatically): experiments land in canonical
+// order, aggregate counters are summed, per-worker counters survive,
+// and two workers disagreeing on an output hash is an error.
 package main
 
 import (
@@ -25,58 +33,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+
+	"helixrc/internal/benchreport"
+	"helixrc/internal/harness"
 )
 
-type experiment struct {
-	Name         string  `json:"name"`
-	WallMillis   float64 `json:"wall_ms"`
-	OutputSHA256 string  `json:"output_sha256"`
-}
-
-// replayReport mirrors helix-bench's cache counter section. Older
-// reports lack it (nil) or lack the per-tier fields (zero).
-type replayReport struct {
-	Recordings     int64   `json:"recordings"`
-	Replays        int64   `json:"replays"`
-	Batches        int64   `json:"batches"`
-	BatchConfigs   int64   `json:"batch_configs"`
-	BatchFallbacks int64   `json:"batch_fallbacks"`
-	MemHits        int64   `json:"mem_hits"`
-	MemMisses      int64   `json:"mem_misses"`
-	DiskHits       int64   `json:"disk_hits"`
-	DiskMisses     int64   `json:"disk_misses"`
-	DiskWrites     int64   `json:"disk_writes"`
-	DiskLoadMS     float64 `json:"disk_load_ms"`
-}
-
-type run struct {
-	Label       string        `json:"label"`
-	Timestamp   string        `json:"timestamp"`
-	Parallel    int           `json:"parallel"`
-	SlowSim     bool          `json:"slow_sim"`
-	NoReplay    bool          `json:"no_replay"`
-	TotalMillis float64       `json:"total_wall_ms"`
-	Replay      *replayReport `json:"replay"`
-	Experiments []experiment  `json:"experiments"`
-	Runtime     struct {
-		TotalAllocMB float64 `json:"total_alloc_mb"`
-	} `json:"runtime"`
-	Interrupted bool   `json:"interrupted"`
-	Partial     bool   `json:"partial"`
-	Error       string `json:"error"`
-}
+// The report shapes live in internal/benchreport, shared with
+// cmd/helix-bench so the writer and the readers can never drift.
+type (
+	experiment   = benchreport.Experiment
+	replayReport = benchreport.Replay
+	run          = benchreport.Report
+)
 
 func loadRuns(path string) []run {
-	data, err := os.ReadFile(path)
+	runs, err := benchreport.Load(path)
 	if err != nil {
 		fatalf("%v", err)
-	}
-	var runs []run
-	if err := json.Unmarshal(data, &runs); err != nil {
-		fatalf("%s is not a run array: %v", path, err)
-	}
-	if len(runs) == 0 {
-		fatalf("%s contains no runs", path)
 	}
 	return runs
 }
@@ -93,12 +67,20 @@ func describe(r run) string {
 	if r.NoReplay {
 		extras += " noreplay"
 	}
+	if r.Workers > 0 {
+		extras += fmt.Sprintf(" workers=%d", r.Workers)
+	}
+	if r.Shard != "" {
+		extras += " shard=" + r.Shard
+	}
 	return fmt.Sprintf("%s (parallel=%d%s)", tag, r.Parallel, extras)
 }
 
 func main() {
 	enforce := flag.Bool("enforce", false, "gate the report against per-family perf budgets instead of diffing")
 	budgetsPath := flag.String("budgets", "perf/budgets.json", "budget file for -enforce")
+	merge := flag.Bool("merge", false, "merge partial shard reports into one run")
+	mergeOut := flag.String("o", "", "append the merged run to this report file (-merge)")
 	flag.Parse()
 	args := flag.Args()
 
@@ -107,6 +89,13 @@ func main() {
 			fatalf("usage: benchdiff -enforce [-budgets FILE] REPORT.json")
 		}
 		enforceBudgets(*budgetsPath, args[0])
+		return
+	}
+	if *merge {
+		if len(args) < 1 || *mergeOut == "" {
+			fatalf("usage: benchdiff -merge -o OUT.json PART1.json [PART2.json ...]")
+		}
+		mergeParts(*mergeOut, args)
 		return
 	}
 
@@ -236,6 +225,10 @@ func enforceBudgets(budgetsPath, reportPath string) {
 	if r.Replay != nil {
 		fmt.Printf("\nbatched retiming: %d batches / %d configs, %d solo fallbacks\n",
 			r.Replay.Batches, r.Replay.BatchConfigs, r.Replay.BatchFallbacks)
+		if hasClaims(r.Replay) {
+			fmt.Printf("work claiming: %d claims, %d steals, %d expired leases, %d duplicate recordings suppressed\n",
+				r.Replay.Claims, r.Replay.Steals, r.Replay.ExpiredLeases, r.Replay.DupSuppressed)
+		}
 	}
 	if over > 0 {
 		fatalf("%d budget(s) exceeded — investigate before raising perf/budgets.json", over)
@@ -274,6 +267,13 @@ func printCacheDiff(prev, cur run) {
 	row("disk misses", count(func(r *replayReport) int64 { return r.DiskMisses }))
 	row("disk writes", count(func(r *replayReport) int64 { return r.DiskWrites }))
 	row("disk load ms", func(r *replayReport) string { return fmt.Sprintf("%.1f", r.DiskLoadMS) })
+	if hasClaims(prev.Replay) || hasClaims(cur.Replay) {
+		row("claims", count(func(r *replayReport) int64 { return r.Claims }))
+		row("steals", count(func(r *replayReport) int64 { return r.Steals }))
+		row("expired leases", count(func(r *replayReport) int64 { return r.ExpiredLeases }))
+		row("dup suppressed", count(func(r *replayReport) int64 { return r.DupSuppressed }))
+	}
+	printPerWorker(cur)
 	switch {
 	case cur.Replay == nil:
 	case cur.Replay.Recordings == 0 && cur.Replay.DiskHits > 0:
@@ -281,6 +281,54 @@ func printCacheDiff(prev, cur run) {
 	case cur.Replay.DiskWrites > 0 && cur.Replay.DiskHits == 0:
 		fmt.Printf("new run was cold: recorded fresh traces and populated the disk tier\n")
 	}
+}
+
+// hasClaims reports whether a replay section carries work-claiming
+// counters (only sharded runs do).
+func hasClaims(r *replayReport) bool {
+	return r != nil && (r.Claims != 0 || r.Steals != 0 || r.ExpiredLeases != 0 || r.DupSuppressed != 0)
+}
+
+// printPerWorker renders the per-worker section of a merged run.
+func printPerWorker(r run) {
+	if len(r.PerWorker) == 0 {
+		return
+	}
+	fmt.Printf("\n%-10s %12s %12s %8s %8s %8s %14s\n",
+		"worker", "wall ms", "recordings", "claims", "steals", "expired", "dup suppressed")
+	for _, w := range r.PerWorker {
+		rec, claims, steals, expired, dup := int64(0), int64(0), int64(0), int64(0), int64(0)
+		if w.Replay != nil {
+			rec, claims, steals = w.Replay.Recordings, w.Replay.Claims, w.Replay.Steals
+			expired, dup = w.Replay.ExpiredLeases, w.Replay.DupSuppressed
+		}
+		exps := ""
+		if len(w.Experiments) > 0 {
+			exps = "  " + strings.Join(w.Experiments, ",")
+		}
+		fmt.Printf("%-10s %12.1f %12d %8d %8d %8d %14d%s\n",
+			w.Worker, w.TotalMillis, rec, claims, steals, expired, dup, exps)
+	}
+}
+
+// mergeParts reassembles the last run of each partial report file into
+// one merged run appended to outPath.
+func mergeParts(outPath string, paths []string) {
+	var parts []run
+	for _, p := range paths {
+		runs := loadRuns(p)
+		parts = append(parts, runs[len(runs)-1])
+	}
+	merged, err := benchreport.Merge(parts, harness.ExperimentNames())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := benchreport.Append(outPath, merged); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("merged %d partial report(s) into %s: %d experiment(s)\n",
+		len(parts), outPath, len(merged.Experiments))
+	printPerWorker(merged)
 }
 
 func fatalf(format string, args ...any) {

@@ -21,10 +21,19 @@ go run ./cmd/helix-bench -only fig9 -verify BENCH_2026-08-05.json >/dev/null
 # wall-clock and allocation budgets — a perf regression (or a batching
 # path that stopped engaging) fails the gate instead of drifting in.
 report=.check-bench.json
-rm -f "$report"
-trap 'rm -f "$report"' EXIT
+shardreport=.check-shard.json
+rm -f "$report" "$shardreport"
+trap 'rm -f "$report" "$shardreport" "$report.lock" "$shardreport.lock"' EXIT
 go run ./cmd/helix-bench -quiet -verify BENCH_2026-08-07.json -jsonfile "$report" >/dev/null
 go run ./scripts -enforce -budgets perf/budgets.json "$report"
+
+# Sharded-evaluation smoke: two worker processes claim-partition fig9's
+# work units over a shared cache, the parent merges their partial
+# reports, and the merged hash must match the checked-in reference —
+# the claim/lease/merge path fails the gate if it duplicates work,
+# livelocks, or perturbs a single byte of figure output.
+go run ./cmd/helix-bench -workers 2 -only fig9 -quiet -verify BENCH_2026-08-05.json -jsonfile "$shardreport" >/dev/null
+go run ./scripts -enforce -budgets perf/shard_budgets.json "$shardreport"
 
 # Differential fuzzing smoke: a fixed-seed sweep of generated loop
 # programs cross-checked through interp, HCC parallelization, the sim
