@@ -1,6 +1,6 @@
 # Development entry points. `make check` is the pre-merge gate.
 
-.PHONY: check build test bench bench-shard-smoke bench-smoke fuzz-smoke fuzz
+.PHONY: check build test bench bench-shard-smoke bench-smoke fuzz-smoke fuzz serve serve-smoke
 
 check:
 	./scripts/check.sh
@@ -34,6 +34,26 @@ bench-smoke:
 	@echo "bench-smoke: fig9 output hash matches BENCH_2026-08-05.json"
 	go test ./internal/sim -count=1 -run 'Allocs'
 	go test ./internal/sim -run '^$$' -bench 'Replay|Trace' -benchtime 1x
+
+# Run the evaluation daemon on :8080 with a persistent cache.
+serve:
+	go run ./cmd/helix-serve -cachedir .cache -quiet
+
+# Serving smoke: daemon up, 10s hot-key figure load with hash
+# verification against the checked-in report, graceful SIGTERM drain,
+# then the SLO budget gate — the same sequence scripts/check.sh runs.
+serve-smoke:
+	rm -f .smoke-serve.json .smoke-serve.addr; rm -rf .smoke-serve-cache
+	go build -o .smoke-helix-serve ./cmd/helix-serve
+	./.smoke-helix-serve -addr 127.0.0.1:0 -addrfile .smoke-serve.addr -cachedir .smoke-serve-cache -quiet & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do [ -s .smoke-serve.addr ] && break; sleep 0.1; done; \
+	go run ./cmd/helix-load -addr "http://$$(cat .smoke-serve.addr)" -wait 30s \
+	  -duration 10s -clients 4 -mix hotkey -kind figure -hot fig9 -hotfrac 0.9 \
+	  -verify BENCH_2026-08-07.json -jsonfile .smoke-serve.json || { kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+	go run ./scripts/slocheck -budgets perf/serve_slo_budgets.json .smoke-serve.json
+	rm -f .smoke-serve.json .smoke-serve.json.lock .smoke-serve.addr .smoke-helix-serve; rm -rf .smoke-serve-cache
 
 # Differential fuzzing smoke: a fixed-seed sweep of generated programs
 # through the interp/HCC/sim/replay oracle stack (~5s). Deterministic —

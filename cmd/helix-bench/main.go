@@ -192,7 +192,7 @@ func runLocal(ctx context.Context, o *options) int {
 	var wantSHA map[string]string
 	if o.verify != "" {
 		var err error
-		if wantSHA, err = loadExpectedHashes(o.verify); err != nil {
+		if wantSHA, err = benchreport.ExpectedHashes(o.verify); err != nil {
 			log.Fatalf("loading %s: %v", o.verify, err)
 		}
 	}
@@ -572,7 +572,7 @@ func runParent(ctx context.Context, o *options) int {
 
 	var wantSHA map[string]string
 	if o.verify != "" {
-		if wantSHA, err = loadExpectedHashes(o.verify); err != nil {
+		if wantSHA, err = benchreport.ExpectedHashes(o.verify); err != nil {
 			log.Fatalf("loading %s: %v", o.verify, err)
 		}
 	}
@@ -629,30 +629,6 @@ func runParent(ctx context.Context, o *options) int {
 			total.Seconds(), o.workers)
 	}
 	return 0
-}
-
-// loadExpectedHashes builds the experiment -> output_sha256 map from a
-// BENCH_*.json file. Later runs in the array win, so the reference is
-// the most recent recording of each experiment. Interrupted or partial
-// runs never contribute reference hashes.
-func loadExpectedHashes(path string) (map[string]string, error) {
-	runs, err := benchreport.Load(path)
-	if err != nil {
-		return nil, err
-	}
-	want := map[string]string{}
-	for _, r := range runs {
-		if r.Interrupted || r.Partial || r.Error != "" {
-			continue
-		}
-		for _, e := range r.Experiments {
-			want[e.Name] = e.OutputSHA256
-		}
-	}
-	if len(want) == 0 {
-		return nil, fmt.Errorf("%s contains no experiment hashes", path)
-	}
-	return want, nil
 }
 
 func snapshotRuntime() benchreport.Runtime {

@@ -1,0 +1,133 @@
+// helix-load drives a running helix-serve daemon with a reproducible
+// request mix and reports client-observed end-to-end latency next to
+// the server's own /metrics snapshot.
+//
+// Usage:
+//
+//	helix-load -addr http://127.0.0.1:8080                 # 5s hot-key figure mix
+//	helix-load -mix uniform -kind simulate -clients 8
+//	helix-load -duration 10s -hot fig9 -hotfrac 0.9
+//	helix-load -verify BENCH_2026-08-05.json               # gate figure hashes
+//	helix-load -jsonfile serve_report.json -label smoke    # append a report
+//	helix-load -wait 30s                                   # poll /healthz first
+//
+// Mixes: "hotkey" concentrates -hotfrac of the traffic on one key (the
+// warm-cache production shape), "uniform" spreads it across the whole
+// parameter space (cold-path capacity). The seed makes a run
+// reproducible; client i draws from -seed+i.
+//
+// With -verify, figure results are hashed against the expected hashes
+// of a helix-bench report and any divergence makes the exit code 1 —
+// the daemon must serve byte-identical figures to the batch harness.
+// The appended JSON report (-json/-jsonfile) is what scripts/slocheck
+// gates against perf/serve_slo_budgets.json.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"helixrc/internal/benchreport"
+	"helixrc/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the helix-serve daemon")
+		wait     = flag.Duration("wait", 0, "poll /healthz up to this long before starting (0 = assume ready)")
+		duration = flag.Duration("duration", 5*time.Second, "load run length")
+		clients  = flag.Int("clients", 4, "closed-loop client count")
+		mix      = flag.String("mix", "hotkey", "request mix: hotkey | uniform")
+		kind     = flag.String("kind", "figure", "job kind to submit: figure | simulate | compile")
+		hot      = flag.String("hot", "fig9", "hot experiment (figure kind) for the hotkey mix")
+		hotWl    = flag.String("hotworkload", "175.vpr", "hot workload (compile/simulate kinds) for the hotkey mix")
+		hotFrac  = flag.Float64("hotfrac", 0.9, "hot-key share of requests in the hotkey mix (0..1]")
+		cores    = flag.Int("cores", 16, "core count for every request")
+		deadline = flag.Int64("deadlinems", 0, "per-request deadline_ms forwarded to the server (0 = server default)")
+		seed     = flag.Int64("seed", 1, "mix seed; client i draws from seed+i")
+		verify   = flag.String("verify", "", "BENCH_*.json file with expected figure hashes; divergence exits 1")
+		jsonOut  = flag.Bool("json", false, "append a report to SERVE_<date>.json")
+		jsonFile = flag.String("jsonfile", "", "append the report to this file instead (implies -json)")
+		label    = flag.String("label", "", "free-form label recorded in the report")
+	)
+	flag.Parse()
+
+	switch *mix {
+	case "hotkey", "uniform":
+	default:
+		log.Fatalf("-mix %q: accepted values are hotkey, uniform", *mix)
+	}
+	switch *kind {
+	case "figure", "simulate", "compile":
+	default:
+		log.Fatalf("-kind %q: accepted values are figure, simulate, compile", *kind)
+	}
+
+	opts := server.LoadOptions{
+		BaseURL:        strings.TrimRight(*addr, "/"),
+		Clients:        *clients,
+		Duration:       *duration,
+		Mix:            *mix,
+		HotFrac:        *hotFrac,
+		Kind:           *kind,
+		HotExperiment:  *hot,
+		HotWorkload:    *hotWl,
+		Cores:          *cores,
+		Seed:           *seed,
+		DeadlineMillis: *deadline,
+	}
+	if *verify != "" {
+		hashes, err := benchreport.ExpectedHashes(*verify)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.VerifyHashes = hashes
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *wait > 0 {
+		if err := server.WaitReady(ctx, opts.BaseURL, *wait); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := server.RunLoad(ctx, opts)
+	if err != nil {
+		log.Printf("%v", err)
+	}
+	report := res.Report(*label)
+	fmt.Print(server.FormatServe(&report))
+
+	if *jsonFile != "" {
+		*jsonOut = true
+	}
+	if *jsonOut {
+		path := *jsonFile
+		if path == "" {
+			path = fmt.Sprintf("SERVE_%s.json", time.Now().Format("2006-01-02"))
+		}
+		if err := benchreport.Append(path, report); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report appended to %s\n", path)
+	}
+
+	code := 0
+	if n := res.Summary.HashMismatches; n > 0 {
+		fmt.Printf("FAIL: %d figure results diverged from %s\n", n, *verify)
+		code = 1
+	}
+	if res.Summary.Completed == 0 {
+		fmt.Println("FAIL: load run completed no requests")
+		code = 1
+	}
+	os.Exit(code)
+}

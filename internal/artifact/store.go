@@ -81,6 +81,29 @@ func (s *Stats) Add(o Stats) {
 	s.DupSuppressed += o.DupSuppressed
 }
 
+// Delta returns the counter-wise difference s - prev. The counters are
+// cumulative for the process, so a long-running service reports a
+// bounded measurement window by snapshotting at window start and
+// subtracting: helix-serve's /metrics endpoint uses it to report cache
+// traffic since the daemon started rather than since process birth
+// (tests and other embedders may have warmed the stores earlier).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		MemHits:       s.MemHits - prev.MemHits,
+		MemMisses:     s.MemMisses - prev.MemMisses,
+		DiskHits:      s.DiskHits - prev.DiskHits,
+		DiskMisses:    s.DiskMisses - prev.DiskMisses,
+		DiskWrites:    s.DiskWrites - prev.DiskWrites,
+		DiskLoadNS:    s.DiskLoadNS - prev.DiskLoadNS,
+		Evictions:     s.Evictions - prev.Evictions,
+		EvictedBytes:  s.EvictedBytes - prev.EvictedBytes,
+		Claims:        s.Claims - prev.Claims,
+		Steals:        s.Steals - prev.Steals,
+		ExpiredLeases: s.ExpiredLeases - prev.ExpiredLeases,
+		DupSuppressed: s.DupSuppressed - prev.DupSuppressed,
+	}
+}
+
 // Store is a two-tier content-addressed artifact store: a Memo memory
 // tier (singleflight + byte-budget LRU) over an optional disk tier of
 // atomic, checksummed files. A Get that misses memory consults disk

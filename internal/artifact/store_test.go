@@ -286,6 +286,23 @@ func TestStatsAdd(t *testing.T) {
 	}
 }
 
+// TestStatsDelta pins Delta as the exact inverse of Add over every
+// counter: snapshotting before a window and subtracting after it must
+// isolate the window's traffic (the server's /metrics depends on it).
+func TestStatsDelta(t *testing.T) {
+	base := Stats{MemHits: 3, MemMisses: 1, DiskHits: 2, DiskWrites: 4,
+		DiskLoadNS: 100, Evictions: 1, EvictedBytes: 9, Claims: 2, Steals: 1,
+		ExpiredLeases: 1, DupSuppressed: 2, DiskMisses: 5}
+	window := Stats{MemHits: 10, MemMisses: 6, DiskHits: 3, DiskWrites: 1,
+		DiskLoadNS: 50, Evictions: 2, EvictedBytes: 11, Claims: 1, Steals: 2,
+		ExpiredLeases: 3, DupSuppressed: 4, DiskMisses: 7}
+	total := base
+	total.Add(window)
+	if got := total.Delta(base); got != window {
+		t.Errorf("Delta = %+v, want %+v", got, window)
+	}
+}
+
 // TestEnvelopeExhaustiveTruncation opens every possible truncation of a
 // sealed envelope: all must be refused, none may panic.
 func TestEnvelopeExhaustiveTruncation(t *testing.T) {

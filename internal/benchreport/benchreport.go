@@ -86,6 +86,65 @@ func (r *Replay) add(o *Replay) {
 	r.CacheEvictedMB += o.CacheEvictedMB
 }
 
+// ServeEndpoint summarizes one endpoint's (or job kind's) latency and
+// error profile over a measurement window. Quantiles come from the
+// server's log-bucketed histograms, so they carry the bucket
+// resolution (~20%) rather than exact order statistics.
+type ServeEndpoint struct {
+	Name       string  `json:"name"`
+	Count      int64   `json:"count"`
+	Errors     int64   `json:"errors"`
+	Sheds      int64   `json:"sheds,omitempty"`
+	P50Millis  float64 `json:"p50_ms"`
+	P95Millis  float64 `json:"p95_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	MaxMillis  float64 `json:"max_ms"`
+	MeanMillis float64 `json:"mean_ms"`
+}
+
+// Serve is a helix-serve metrics snapshot: admission-control state,
+// per-endpoint HTTP latencies, per-kind job execution latencies, and
+// the artifact-store counters accumulated since the daemon started.
+// The /metrics endpoint renders exactly this shape, and helix-load
+// embeds the final snapshot in its report so scripts/slocheck gates
+// the same numbers an operator would scrape.
+type Serve struct {
+	UptimeMillis  float64         `json:"uptime_ms"`
+	Concurrency   int             `json:"concurrency"`
+	QueueCap      int             `json:"queue_cap"`
+	QueueDepth    int64           `json:"queue_depth"`
+	QueueDepthMax int64           `json:"queue_depth_max"`
+	Draining      bool            `json:"draining,omitempty"`
+	Submitted     int64           `json:"submitted"`
+	Completed     int64           `json:"completed"`
+	Failed        int64           `json:"failed"`
+	Canceled      int64           `json:"canceled"`
+	Shed          int64           `json:"shed"`
+	Endpoints     []ServeEndpoint `json:"endpoints,omitempty"`
+	Jobs          []ServeEndpoint `json:"jobs,omitempty"`
+	Replay        *Replay         `json:"replay,omitempty"`
+}
+
+// LoadSummary is the client side of a helix-load run: the request mix,
+// what the generator observed end to end (submit -> poll -> result),
+// and how many figure outputs disagreed with the reference hashes.
+type LoadSummary struct {
+	Mix            string        `json:"mix"`
+	Kind           string        `json:"kind"`
+	HotKey         string        `json:"hot_key,omitempty"`
+	HotFrac        float64       `json:"hot_frac,omitempty"`
+	Clients        int           `json:"clients"`
+	Seed           int64         `json:"seed"`
+	DurationMillis float64       `json:"duration_ms"`
+	Requests       int64         `json:"requests"`
+	Completed      int64         `json:"completed"`
+	Errors         int64         `json:"errors"`
+	Sheds          int64         `json:"sheds"`
+	HashMismatches int64         `json:"hash_mismatches"`
+	Throughput     float64       `json:"throughput_rps"`
+	E2E            ServeEndpoint `json:"e2e"`
+}
+
 // Runtime captures the Go runtime state at the end of a run.
 type Runtime struct {
 	GoVersion    string  `json:"go_version"`
@@ -126,6 +185,11 @@ type Report struct {
 	Runtime     Runtime      `json:"runtime"`
 	// PerWorker holds each worker's counters in a merged report.
 	PerWorker []WorkerRun `json:"per_worker,omitempty"`
+	// Serve holds the helix-serve daemon metrics of a service run
+	// (written by helix-load, gated by scripts/slocheck).
+	Serve *Serve `json:"serve,omitempty"`
+	// Load holds the load generator's client-side summary.
+	Load *LoadSummary `json:"load,omitempty"`
 	// Interrupted marks a run cut short by a signal or -timeout.
 	Interrupted bool `json:"interrupted,omitempty"`
 	// Partial marks a run where at least one figure degraded cells.
@@ -148,6 +212,31 @@ func Load(path string) ([]Report, error) {
 		return nil, fmt.Errorf("%s contains no runs", path)
 	}
 	return runs, nil
+}
+
+// ExpectedHashes builds the experiment -> output_sha256 map from a
+// report file. Later runs in the array win, so the reference is the
+// most recent recording of each experiment. Interrupted or partial
+// runs never contribute reference hashes. helix-bench -verify and
+// helix-load -verify both resolve their reference through it.
+func ExpectedHashes(path string) (map[string]string, error) {
+	runs, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]string{}
+	for _, r := range runs {
+		if r.Interrupted || r.Partial || r.Error != "" {
+			continue
+		}
+		for _, e := range r.Experiments {
+			want[e.Name] = e.OutputSHA256
+		}
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("%s contains no experiment hashes", path)
+	}
+	return want, nil
 }
 
 // Append appends r to the report array at path, creating the file if

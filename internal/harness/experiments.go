@@ -20,6 +20,19 @@ type Experiment struct {
 // into zero values and the rendered output ends with a PARTIAL FIGURE
 // note naming them. When every cell completes the note is empty, so
 // output is byte-identical to a run without deadlines.
+// FindExperiment resolves one experiment of the canonical list by
+// name. The second return is false for an unknown name; the server
+// validates figure-job requests with it at admission time so a typo is
+// a 400 at submit, not a failed job.
+func FindExperiment(name string, cores int) (Experiment, bool) {
+	for _, e := range Experiments(cores) {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
 func Experiments(cores int) []Experiment {
 	// degrade wraps a generator so timed-out cells mark the figure
 	// partial instead of failing it.

@@ -1,0 +1,410 @@
+package server
+
+// The load generator: closed-loop clients driving a running daemon
+// with a seeded, reproducible request mix. Two mixes matter for a
+// cache-fronted service and they stress opposite ends of it:
+//
+//   - uniform spreads requests across the whole parameter space, so
+//     the artifact store keeps missing and the run measures cold-path
+//     capacity;
+//   - hotkey concentrates HotFrac of the traffic on one key (the
+//     production shape: most users ask for the popular thing), so the
+//     run measures warm-hit latency and proves the memo tiers are
+//     actually serving repeats.
+//
+// Each client is a submit -> poll -> verify loop; end-to-end latency
+// (admission wait included) lands in the same histogram type the
+// server uses, so client-side "e2e" and server-side series gate
+// through one SLO schema. cmd/helix-load is the CLI face; the e2e
+// tests drive RunLoad directly against an httptest server.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"helixrc/internal/benchreport"
+	"helixrc/internal/harness"
+	"helixrc/internal/workloads"
+)
+
+// LoadOptions parameterizes one load run.
+type LoadOptions struct {
+	// BaseURL of the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the closed-loop concurrency (default 4).
+	Clients int
+	// Duration bounds the run (default 5s). Clients stop submitting at
+	// the bound but drain their in-flight request.
+	Duration time.Duration
+	// Mix is "uniform" or "hotkey" (default "hotkey").
+	Mix string
+	// HotFrac is the hot-key share of requests in the hotkey mix
+	// (default 0.9).
+	HotFrac float64
+	// Kind is the job kind to submit (default "figure").
+	Kind string
+	// HotExperiment / HotWorkload name the hot key (defaults "fig9" /
+	// "175.vpr").
+	HotExperiment string
+	HotWorkload   string
+	// Cores for every request (default 16).
+	Cores int
+	// Seed makes the mix reproducible; client i draws from Seed+i.
+	Seed int64
+	// DeadlineMillis forwards a per-request deadline (0 = none).
+	DeadlineMillis int64
+	// PollInterval between status polls (default 5ms).
+	PollInterval time.Duration
+	// VerifyHashes maps experiment -> expected output_sha256; figure
+	// results for mapped experiments are compared and divergence is
+	// counted (and fails the SLO error budget).
+	VerifyHashes map[string]string
+}
+
+func (o *LoadOptions) withDefaults() LoadOptions {
+	out := *o
+	if out.Clients <= 0 {
+		out.Clients = 4
+	}
+	if out.Duration <= 0 {
+		out.Duration = 5 * time.Second
+	}
+	if out.Mix == "" {
+		out.Mix = "hotkey"
+	}
+	if out.HotFrac <= 0 || out.HotFrac > 1 {
+		out.HotFrac = 0.9
+	}
+	if out.Kind == "" {
+		out.Kind = string(JobFigure)
+	}
+	if out.HotExperiment == "" {
+		out.HotExperiment = "fig9"
+	}
+	if out.HotWorkload == "" {
+		out.HotWorkload = "175.vpr"
+	}
+	if out.Cores == 0 {
+		out.Cores = 16
+	}
+	if out.PollInterval <= 0 {
+		out.PollInterval = 5 * time.Millisecond
+	}
+	return out
+}
+
+// LoadResult aggregates one run: client-side counters plus the final
+// server metrics snapshot, ready to append as a benchreport run.
+type LoadResult struct {
+	Summary benchreport.LoadSummary
+	// Serve is the daemon's /metrics snapshot taken after the run.
+	Serve *benchreport.Serve
+}
+
+// Report assembles the benchreport run helix-load appends.
+func (r *LoadResult) Report(label string) benchreport.Report {
+	return benchreport.Report{
+		Label:     label,
+		Timestamp: time.Now().Format(time.RFC3339),
+		Cores:     16,
+		Serve:     r.Serve,
+		Load:      &r.Summary,
+	}
+}
+
+// WaitReady polls /healthz until the daemon answers 200, ctx expires,
+// or the deadline passes. check.sh uses it (through helix-load -wait)
+// to sequence daemon start and load start without sleeps.
+func WaitReady(ctx context.Context, baseURL string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	client := &http.Client{Timeout: time.Second}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server at %s not ready: %w", baseURL, ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// RunLoad drives the daemon until the duration elapses (or ctx is
+// canceled), then snapshots /metrics. Always returns a result; the
+// error reports the run being cut short by ctx.
+func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
+	o := opts.withDefaults()
+	client := &http.Client{Timeout: 30 * time.Second}
+	stop := time.Now().Add(o.Duration)
+
+	type counters struct {
+		requests, completed, errors, sheds, mismatches int64
+	}
+	var e2e endpointMetrics
+	results := make([]counters, o.Clients)
+	errc := make(chan error, o.Clients)
+	for i := 0; i < o.Clients; i++ {
+		go func(i int) {
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)))
+			c := &results[i]
+			for time.Now().Before(stop) && ctx.Err() == nil {
+				req := o.pickRequest(rng)
+				t0 := time.Now()
+				id, code, err := submit(ctx, client, o.BaseURL, req)
+				switch {
+				case err != nil:
+					if ctx.Err() == nil {
+						c.errors++
+					}
+					continue
+				case code == http.StatusTooManyRequests:
+					c.sheds++
+					// Back off briefly. The server's Retry-After is a polite
+					// 1s; a load generator's job is to keep pressure on, so
+					// it only yields long enough to let a worker free up.
+					select {
+					case <-ctx.Done():
+					case <-time.After(10 * time.Millisecond):
+					}
+					continue
+				case code != http.StatusAccepted:
+					c.requests++
+					c.errors++
+					continue
+				}
+				c.requests++
+				view, err := pollDone(ctx, client, o.BaseURL, id, o.PollInterval)
+				if err != nil {
+					if ctx.Err() == nil {
+						c.errors++
+					}
+					continue
+				}
+				e2e.lat.observe(time.Since(t0))
+				switch {
+				case view.Status != StatusDone:
+					c.errors++
+				default:
+					c.completed++
+					if want, ok := o.VerifyHashes[req.Experiment]; ok && view.Result != nil &&
+						req.Kind == string(JobFigure) && view.Result.OutputSHA256 != want {
+						c.mismatches++
+					}
+				}
+			}
+			errc <- nil
+		}(i)
+	}
+	for i := 0; i < o.Clients; i++ {
+		<-errc
+	}
+
+	var sum counters
+	for _, c := range results {
+		sum.requests += c.requests
+		sum.completed += c.completed
+		sum.errors += c.errors
+		sum.sheds += c.sheds
+		sum.mismatches += c.mismatches
+	}
+	summary := benchreport.LoadSummary{
+		Mix:            o.Mix,
+		Kind:           o.Kind,
+		Clients:        o.Clients,
+		Seed:           o.Seed,
+		DurationMillis: float64(o.Duration.Microseconds()) / 1e3,
+		Requests:       sum.requests,
+		Completed:      sum.completed,
+		Errors:         sum.errors,
+		Sheds:          sum.sheds,
+		HashMismatches: sum.mismatches,
+		E2E:            e2e.summary("e2e"),
+	}
+	if o.Mix == "hotkey" {
+		summary.HotFrac = o.HotFrac
+		if o.Kind == string(JobFigure) {
+			summary.HotKey = o.HotExperiment
+		} else {
+			summary.HotKey = o.HotWorkload
+		}
+	}
+	if s := o.Duration.Seconds(); s > 0 {
+		summary.Throughput = float64(sum.completed) / s
+	}
+
+	res := &LoadResult{Summary: summary}
+	if serve, err := fetchMetrics(context.Background(), client, o.BaseURL); err == nil {
+		res.Serve = serve
+	}
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("load run interrupted: %w", err)
+	}
+	return res, nil
+}
+
+// pickRequest draws one request from the configured mix.
+func (o *LoadOptions) pickRequest(rng *rand.Rand) JobRequest {
+	req := JobRequest{Kind: o.Kind, Cores: o.Cores, DeadlineMillis: o.DeadlineMillis}
+	hot := o.Mix == "hotkey" && rng.Float64() < o.HotFrac
+	if o.Kind == string(JobFigure) {
+		names := harness.ExperimentNames()
+		if hot {
+			req.Experiment = o.HotExperiment
+		} else {
+			req.Experiment = names[rng.Intn(len(names))]
+		}
+		return req
+	}
+	if hot {
+		req.Workload = o.HotWorkload
+		req.Level = 3
+	} else {
+		names := workloads.Names()
+		req.Workload = names[rng.Intn(len(names))]
+		req.Level = 1 + rng.Intn(3)
+	}
+	return req
+}
+
+// submit POSTs one job; id is valid only for code 202.
+func submit(ctx context.Context, client *http.Client, base string, jr JobRequest) (id string, code int, err error) {
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return "", 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		io.Copy(io.Discard, resp.Body)
+		return "", resp.StatusCode, nil
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return "", resp.StatusCode, err
+	}
+	return v.ID, resp.StatusCode, nil
+}
+
+// pollDone polls the job until it reaches a terminal state.
+func pollDone(ctx context.Context, client *http.Client, base, id string, interval time.Duration) (*jobView, error) {
+	url := base + "/jobs/" + id
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("poll %s: HTTP %d", id, resp.StatusCode)
+		}
+		var v jobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if v.Status.terminal() {
+			return &v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// fetchMetrics GETs and decodes the daemon's /metrics snapshot.
+func fetchMetrics(ctx context.Context, client *http.Client, base string) (*benchreport.Serve, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	var s benchreport.Serve
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// FormatServe renders a snapshot as the human-readable table slocheck
+// and helix-load print.
+func FormatServe(r *benchreport.Report) string {
+	var b bytes.Buffer
+	if r.Load != nil {
+		l := r.Load
+		fmt.Fprintf(&b, "load: mix=%s kind=%s clients=%d duration=%.1fs", l.Mix, l.Kind, l.Clients, l.DurationMillis/1e3)
+		if l.HotKey != "" {
+			fmt.Fprintf(&b, " hot=%s@%.0f%%", l.HotKey, 100*l.HotFrac)
+		}
+		fmt.Fprintf(&b, "\n  %d requests, %d completed (%.1f/s), %d errors, %d sheds, %d hash mismatches\n",
+			l.Requests, l.Completed, l.Throughput, l.Errors, l.Sheds, l.HashMismatches)
+	}
+	rows := func(title string, es []benchreport.ServeEndpoint) {
+		if len(es) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s\n", title)
+		fmt.Fprintf(&b, "  %-14s %8s %7s %6s %10s %10s %10s %10s\n",
+			"series", "count", "errors", "sheds", "p50 ms", "p95 ms", "p99 ms", "max ms")
+		for _, e := range es {
+			fmt.Fprintf(&b, "  %-14s %8d %7d %6d %10.2f %10.2f %10.2f %10.2f\n",
+				e.Name, e.Count, e.Errors, e.Sheds, e.P50Millis, e.P95Millis, e.P99Millis, e.MaxMillis)
+		}
+	}
+	if r.Load != nil {
+		rows("client (end to end)", []benchreport.ServeEndpoint{r.Load.E2E})
+	}
+	if r.Serve != nil {
+		s := r.Serve
+		rows("server endpoints", s.Endpoints)
+		rows("server jobs", s.Jobs)
+		fmt.Fprintf(&b, "queue: depth %d (max %d) of %d, concurrency %d; submitted %d, completed %d, failed %d, canceled %d, shed %d\n",
+			s.QueueDepth, s.QueueDepthMax, s.QueueCap, s.Concurrency,
+			s.Submitted, s.Completed, s.Failed, s.Canceled, s.Shed)
+		if s.Replay != nil {
+			fmt.Fprintf(&b, "cache: %d recordings, %d replays, %d mem hits, %d mem misses, %d disk hits, %d disk writes\n",
+				s.Replay.Recordings, s.Replay.Replays, s.Replay.MemHits, s.Replay.MemMisses,
+				s.Replay.DiskHits, s.Replay.DiskWrites)
+		}
+	}
+	return b.String()
+}

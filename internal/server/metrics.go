@@ -1,0 +1,157 @@
+// Latency and error accounting for the evaluation daemon. The design
+// constraint is a long-running service: memory must stay bounded no
+// matter how many requests pass through, and a snapshot must be cheap
+// enough to serve on every /metrics scrape. Both rule out keeping raw
+// samples, so latencies land in fixed-size log-bucketed histograms and
+// quantiles are read off the bucket boundaries (~20% resolution — the
+// SLO budgets are set in multiples, not microseconds, so bucket-edge
+// precision is enough to catch a structural regression).
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"helixrc/internal/benchreport"
+)
+
+// The histogram covers 10µs .. ~1.6e5s in 64 geometric buckets with
+// ratio 1.2: bucket i holds durations in [histBase*1.2^i,
+// histBase*1.2^(i+1)). Anything below the base lands in bucket 0,
+// anything above the top in the last bucket.
+const (
+	histBuckets = 64
+	histBaseNS  = 10_000 // 10µs
+	histRatio   = 1.2
+)
+
+// histBounds[i] is the inclusive upper bound (ns) of bucket i,
+// precomputed once — observe() does a binary search over it.
+var histBounds = func() [histBuckets]int64 {
+	var b [histBuckets]int64
+	f := float64(histBaseNS)
+	for i := 0; i < histBuckets; i++ {
+		f *= histRatio
+		b[i] = int64(f)
+	}
+	return b
+}()
+
+// hist is one latency distribution. All methods are safe for
+// concurrent use; observe is a mutex-guarded array bump (no
+// allocation), snapshot copies the counts under the same mutex.
+type hist struct {
+	mu     sync.Mutex
+	counts [histBuckets]int64
+	total  int64
+	sumNS  int64
+	maxNS  int64
+}
+
+func (h *hist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := sort.Search(histBuckets-1, func(i int) bool { return histBounds[i] >= ns })
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sumNS += ns
+	if ns > h.maxNS {
+		h.maxNS = ns
+	}
+	h.mu.Unlock()
+}
+
+// quantiles returns the latency at each requested quantile (0..1] as
+// the upper bound of the bucket where the cumulative count crosses it.
+// A single pass serves all quantiles; qs must be ascending.
+func (h *hist) quantiles(counts *[histBuckets]int64, total int64, qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	if total == 0 {
+		return out
+	}
+	var cum int64
+	qi := 0
+	for i := 0; i < histBuckets && qi < len(qs); i++ {
+		cum += counts[i]
+		for qi < len(qs) && float64(cum) >= qs[qi]*float64(total) {
+			out[qi] = time.Duration(histBounds[i])
+			qi++
+		}
+	}
+	for ; qi < len(qs); qi++ {
+		out[qi] = time.Duration(histBounds[histBuckets-1])
+	}
+	return out
+}
+
+// endpointMetrics is one endpoint's (or job kind's) full profile.
+type endpointMetrics struct {
+	lat    hist
+	errors atomic.Int64 // 5xx responses / failed jobs
+	sheds  atomic.Int64 // 429 responses (admission refusals)
+}
+
+// summary renders the endpoint into the shared report schema.
+func (m *endpointMetrics) summary(name string) benchreport.ServeEndpoint {
+	m.lat.mu.Lock()
+	counts := m.lat.counts
+	total, sum, maxNS := m.lat.total, m.lat.sumNS, m.lat.maxNS
+	m.lat.mu.Unlock()
+	qs := m.lat.quantiles(&counts, total, 0.50, 0.95, 0.99)
+	mean := 0.0
+	if total > 0 {
+		mean = float64(sum) / float64(total) / 1e6
+	}
+	return benchreport.ServeEndpoint{
+		Name:       name,
+		Count:      total,
+		Errors:     m.errors.Load(),
+		Sheds:      m.sheds.Load(),
+		P50Millis:  float64(qs[0].Nanoseconds()) / 1e6,
+		P95Millis:  float64(qs[1].Nanoseconds()) / 1e6,
+		P99Millis:  float64(qs[2].Nanoseconds()) / 1e6,
+		MaxMillis:  float64(maxNS) / 1e6,
+		MeanMillis: mean,
+	}
+}
+
+// metricSet is a named registry of endpoint metrics. Registration is
+// lazy (first observation creates the entry); snapshots are sorted by
+// name so /metrics output is deterministic.
+type metricSet struct {
+	mu sync.Mutex
+	m  map[string]*endpointMetrics
+}
+
+func newMetricSet() *metricSet { return &metricSet{m: map[string]*endpointMetrics{}} }
+
+func (s *metricSet) get(name string) *endpointMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[name]
+	if !ok {
+		e = &endpointMetrics{}
+		s.m[name] = e
+	}
+	return e
+}
+
+func (s *metricSet) summaries() []benchreport.ServeEndpoint {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.m))
+	for name := range s.m {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	out := make([]benchreport.ServeEndpoint, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.get(name).summary(name))
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package server
+
+// Histogram and metric-registry tests: bucket-edge quantile accuracy
+// (a log-bucketed histogram must never report below an observed value,
+// and never more than one bucket ratio above the true quantile),
+// concurrency safety of observe, and deterministic snapshot ordering.
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBoundsMonotone pins the precomputed bucket table: strictly
+// increasing, first bucket covers the base.
+func TestHistBoundsMonotone(t *testing.T) {
+	if histBounds[0] < histBaseNS {
+		t.Fatalf("bucket 0 upper bound %d below base %d", histBounds[0], histBaseNS)
+	}
+	for i := 1; i < histBuckets; i++ {
+		if histBounds[i] <= histBounds[i-1] {
+			t.Fatalf("bucket bounds not increasing at %d: %d <= %d", i, histBounds[i], histBounds[i-1])
+		}
+	}
+}
+
+// TestHistQuantileAccuracy observes a known distribution and checks
+// every reported quantile q against the exact value: never below it,
+// never more than one bucket ratio above its bucket's lower edge.
+func TestHistQuantileAccuracy(t *testing.T) {
+	var h hist
+	// 100 samples: 1ms..100ms. Exact p50 = 50ms, p95 = 95ms, p99 = 99ms.
+	for i := 1; i <= 100; i++ {
+		h.observe(time.Duration(i) * time.Millisecond)
+	}
+	h.mu.Lock()
+	counts, total := h.counts, h.total
+	h.mu.Unlock()
+	if total != 100 {
+		t.Fatalf("total = %d, want 100", total)
+	}
+	qs := h.quantiles(&counts, total, 0.50, 0.95, 0.99)
+	exact := []time.Duration{50 * time.Millisecond, 95 * time.Millisecond, 99 * time.Millisecond}
+	for i, got := range qs {
+		if got < exact[i] {
+			t.Errorf("q%d: %v below exact %v (quantile must be an upper bound)", i, got, exact[i])
+		}
+		if limit := time.Duration(float64(exact[i]) * histRatio * histRatio); got > limit {
+			t.Errorf("q%d: %v exceeds %v (more than one bucket ratio above exact %v)", i, got, limit, exact[i])
+		}
+	}
+	if !(qs[0] <= qs[1] && qs[1] <= qs[2]) {
+		t.Errorf("quantiles not monotone: %v", qs)
+	}
+}
+
+// TestHistExtremes pins the clamping at both ends: sub-base and
+// beyond-table observations land in the edge buckets, negative
+// durations don't corrupt the sums.
+func TestHistExtremes(t *testing.T) {
+	var h hist
+	h.observe(-time.Second)
+	h.observe(time.Nanosecond)
+	h.observe(1e6 * time.Hour)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total != 3 {
+		t.Fatalf("total = %d, want 3", h.total)
+	}
+	if h.counts[0] != 2 {
+		t.Errorf("bucket 0 = %d, want 2 (negative + tiny)", h.counts[0])
+	}
+	if h.counts[histBuckets-1] != 1 {
+		t.Errorf("last bucket = %d, want 1 (huge)", h.counts[histBuckets-1])
+	}
+	if h.sumNS < 0 {
+		t.Errorf("sum went negative: %d", h.sumNS)
+	}
+}
+
+// TestHistConcurrentObserve hammers one histogram from many goroutines
+// (the shape /metrics sees on a busy daemon); run under -race this is
+// the data-race proof, and the total must be exact.
+func TestHistConcurrentObserve(t *testing.T) {
+	var h hist
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.observe(time.Duration(w*each+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total != workers*each {
+		t.Errorf("total = %d, want %d", h.total, workers*each)
+	}
+	var sum int64
+	for _, c := range h.counts {
+		sum += c
+	}
+	if sum != h.total {
+		t.Errorf("bucket sum %d != total %d", sum, h.total)
+	}
+}
+
+// TestEndpointSummary pins the rendered schema: counts, error/shed
+// passthrough, mean and max in milliseconds.
+func TestEndpointSummary(t *testing.T) {
+	m := &endpointMetrics{}
+	m.lat.observe(10 * time.Millisecond)
+	m.lat.observe(20 * time.Millisecond)
+	m.errors.Add(3)
+	m.sheds.Add(2)
+	s := m.summary("submit")
+	if s.Name != "submit" || s.Count != 2 || s.Errors != 3 || s.Sheds != 2 {
+		t.Fatalf("summary header wrong: %+v", s)
+	}
+	if s.MeanMillis < 14 || s.MeanMillis > 16 {
+		t.Errorf("mean %.2fms, want ~15ms", s.MeanMillis)
+	}
+	if s.MaxMillis < 20 || s.MaxMillis > 21 {
+		t.Errorf("max %.2fms, want 20ms", s.MaxMillis)
+	}
+	if s.P50Millis <= 0 || s.P99Millis < s.P50Millis {
+		t.Errorf("quantiles malformed: %+v", s)
+	}
+}
+
+// TestMetricSetDeterministicOrder pins that /metrics output ordering
+// is stable regardless of registration order.
+func TestMetricSetDeterministicOrder(t *testing.T) {
+	s := newMetricSet()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		s.get(n).lat.observe(time.Millisecond)
+	}
+	if s.get("alpha") != s.get("alpha") {
+		t.Fatal("get is not idempotent")
+	}
+	got := s.summaries()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("%d summaries, want %d", len(got), len(want))
+	}
+	var order []string
+	for _, e := range got {
+		order = append(order, e.Name)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+// The admission queue. Load shedding happens at submit: the queue is a
+// buffered channel of depth K drained by exactly W resident workers,
+// and a submit that finds the buffer full fails immediately with
+// errQueueFull — the HTTP layer turns that into 429 + Retry-After.
+// Rejecting at the door instead of queueing unboundedly is what keeps
+// tail latency flat under overload: every admitted job has at most
+// (K/W)+1 job-durations of queue wait ahead of it, and everything else
+// is told to come back, cheaply.
+//
+// Shutdown is graceful by construction: beginShutdown flips the queue
+// to rejecting (errDraining) under the same lock submits take, closes
+// the channel, and waits for the workers to drain it — jobs already
+// admitted (queued or running) always finish; jobs arriving after the
+// flip are never half-accepted. The close-vs-send race that usually
+// haunts this pattern is excluded by the RWMutex: submitters hold it
+// shared while sending, shutdown holds it exclusively while closing.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// errQueueFull sheds load: the bounded buffer is full.
+	errQueueFull = errors.New("server: job queue full")
+	// errDraining rejects work during graceful shutdown.
+	errDraining = errors.New("server: shutting down")
+)
+
+// queue is the bounded admission queue: W workers over a K-deep
+// buffer. exec runs each admitted job on a worker goroutine.
+type queue struct {
+	mu     sync.RWMutex
+	closed bool
+	ch     chan *Job
+	wg     sync.WaitGroup
+
+	running  atomic.Int64 // jobs currently executing
+	depthMax atomic.Int64 // high-water mark of buffered jobs
+}
+
+// newQueue starts the worker pool. depth is the buffer capacity
+// (admitted-but-not-running jobs); workers the execution concurrency.
+func newQueue(depth, workers int, exec func(*Job)) *queue {
+	q := &queue{ch: make(chan *Job, depth)}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for j := range q.ch {
+				q.running.Add(1)
+				exec(j)
+				q.running.Add(-1)
+			}
+		}()
+	}
+	return q
+}
+
+// submit admits j or reports why it cannot: errDraining after
+// beginShutdown, errQueueFull when the buffer is full. It never
+// blocks — admission control is a gate, not a waiting room.
+func (q *queue) submit(j *Job) error {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return errDraining
+	}
+	select {
+	case q.ch <- j:
+		if d := int64(len(q.ch)); d > q.depthMax.Load() {
+			// Benign race on the max: a lost update can only under-report
+			// a transient high-water mark, never corrupt it.
+			q.depthMax.Store(d)
+		}
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// depth returns the current number of buffered (admitted, not yet
+// running) jobs.
+func (q *queue) depth() int64 { return int64(len(q.ch)) }
+
+// beginShutdown flips the queue to rejecting and closes the intake.
+// Idempotent; returns immediately (drain waits, this doesn't).
+func (q *queue) beginShutdown() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+	q.mu.Unlock()
+}
+
+// drain blocks until every admitted job has finished. Call after
+// beginShutdown (a queue that is still accepting never drains).
+func (q *queue) drain() { q.wg.Wait() }

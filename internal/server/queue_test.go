@@ -1,0 +1,256 @@
+package server
+
+// Admission-queue tests (run under -race in CI). The properties that
+// matter for a load-shedding service, each pinned directly against the
+// queue with a gate-controlled executor so nothing depends on job
+// weight: concurrency is exactly bounded by the worker count, overflow
+// 429s are deterministic at capacity, and shutdown drains every
+// admitted job while rejecting new ones.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gateExec builds an executor whose jobs block until release() and
+// which tracks the running high-water mark.
+type gateExec struct {
+	gate     chan struct{}
+	running  atomic.Int64
+	maxSeen  atomic.Int64
+	executed atomic.Int64
+}
+
+func newGateExec() *gateExec { return &gateExec{gate: make(chan struct{})} }
+
+func (g *gateExec) exec(*Job) {
+	n := g.running.Add(1)
+	for {
+		m := g.maxSeen.Load()
+		if n <= m || g.maxSeen.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	<-g.gate
+	g.executed.Add(1)
+	g.running.Add(-1)
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueExactlyBoundedOverflow pins the admission arithmetic: with
+// W workers and a K-deep buffer, exactly W+K jobs are admitted while
+// the workers are blocked, and every further submit fails with
+// errQueueFull — deterministically, not probabilistically.
+func TestQueueExactlyBoundedOverflow(t *testing.T) {
+	const W, K = 3, 5
+	g := newGateExec()
+	q := newQueue(K, W, g.exec)
+
+	// Fill the workers first so the buffer arithmetic below is exact.
+	for i := 0; i < W; i++ {
+		if err := q.submit(&Job{}); err != nil {
+			t.Fatalf("submit %d (worker-bound): %v", i, err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return g.running.Load() == W }, "workers to pick up jobs")
+
+	for i := 0; i < K; i++ {
+		if err := q.submit(&Job{}); err != nil {
+			t.Fatalf("submit %d (buffered): %v", i, err)
+		}
+	}
+	if d := q.depth(); d != K {
+		t.Fatalf("queue depth = %d, want %d", d, K)
+	}
+	for i := 0; i < 4; i++ {
+		if err := q.submit(&Job{}); !errors.Is(err, errQueueFull) {
+			t.Fatalf("overflow submit %d: got %v, want errQueueFull", i, err)
+		}
+	}
+
+	close(g.gate)
+	q.beginShutdown()
+	q.drain()
+	if n := g.executed.Load(); n != W+K {
+		t.Errorf("executed %d jobs, want %d (W+K)", n, W+K)
+	}
+	if m := g.maxSeen.Load(); m > W {
+		t.Errorf("concurrency reached %d, bound is %d workers", m, W)
+	}
+	if m := q.depthMax.Load(); m != K {
+		t.Errorf("depth high-water mark %d, want %d", m, K)
+	}
+}
+
+// TestQueueShutdownDrainsAdmittedRejectsNew pins graceful shutdown:
+// jobs admitted before the flip all finish, submits after the flip get
+// errDraining (never errQueueFull, never a hang), and drain() returns
+// only after the last admitted job completed.
+func TestQueueShutdownDrainsAdmittedRejectsNew(t *testing.T) {
+	const W, K = 2, 4
+	g := newGateExec()
+	q := newQueue(K, W, g.exec)
+
+	const admitted = W + K
+	for i := 0; i < W; i++ {
+		if err := q.submit(&Job{}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return g.running.Load() == W }, "workers to start")
+	for i := W; i < admitted; i++ {
+		if err := q.submit(&Job{}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	q.beginShutdown()
+	q.beginShutdown() // idempotent
+	if err := q.submit(&Job{}); !errors.Is(err, errDraining) {
+		t.Fatalf("submit after shutdown: got %v, want errDraining", err)
+	}
+
+	drained := make(chan struct{})
+	go func() { q.drain(); close(drained) }()
+	select {
+	case <-drained:
+		t.Fatal("drain returned while jobs were still gated")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(g.gate)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not return after jobs finished")
+	}
+	if n := g.executed.Load(); n != admitted {
+		t.Errorf("executed %d jobs, want every one of the %d admitted", n, admitted)
+	}
+}
+
+// TestQueueStressBoundedUnderFlood floods the queue from many
+// goroutines while workers churn, then checks the global accounting:
+// every submit either succeeded or shed (no lost jobs), concurrency
+// never exceeded W, and executed == admitted after the drain. Run with
+// -race, this is also the memory-safety proof for the RWMutex-guarded
+// close-vs-send design.
+func TestQueueStressBoundedUnderFlood(t *testing.T) {
+	const (
+		W         = 4
+		K         = 8
+		clients   = 16
+		perClient = 200
+	)
+	var maxSeen, running, executed atomic.Int64
+	q := newQueue(K, W, func(*Job) {
+		n := running.Add(1)
+		for {
+			m := maxSeen.Load()
+			if n <= m || maxSeen.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		// A tiny but real critical section so workers overlap.
+		time.Sleep(50 * time.Microsecond)
+		executed.Add(1)
+		running.Add(-1)
+	})
+
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				switch err := q.submit(&Job{}); {
+				case err == nil:
+					admitted.Add(1)
+				case errors.Is(err, errQueueFull):
+					shed.Add(1)
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	q.beginShutdown()
+	q.drain()
+
+	if got := admitted.Load() + shed.Load(); got != clients*perClient {
+		t.Errorf("admitted %d + shed %d = %d, want %d (no lost submissions)",
+			admitted.Load(), shed.Load(), got, clients*perClient)
+	}
+	if shed.Load() == 0 {
+		t.Error("flood shed nothing; overload path untested (enlarge perClient)")
+	}
+	if m := maxSeen.Load(); m > W {
+		t.Errorf("concurrency reached %d, bound is %d workers", m, W)
+	}
+	if e := executed.Load(); e != admitted.Load() {
+		t.Errorf("executed %d != admitted %d (admitted jobs must all run)", e, admitted.Load())
+	}
+	if m := q.depthMax.Load(); m > K {
+		t.Errorf("depth high-water mark %d exceeds capacity %d", m, K)
+	}
+}
+
+// TestQueueStressWithConcurrentShutdown races submitters against
+// beginShutdown under -race: the invariant is that every submit
+// resolves to admitted/full/draining (no panic on a closed channel —
+// the classic failure of close-vs-send) and everything admitted still
+// executes.
+func TestQueueStressWithConcurrentShutdown(t *testing.T) {
+	const clients = 8
+	var executed atomic.Int64
+	q := newQueue(4, 2, func(*Job) { executed.Add(1) })
+
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				err := q.submit(&Job{})
+				switch {
+				case err == nil:
+					admitted.Add(1)
+				case errors.Is(err, errDraining):
+					return
+				case errors.Is(err, errQueueFull):
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond)
+	q.beginShutdown()
+	wg.Wait()
+	q.drain()
+	if e := executed.Load(); e != admitted.Load() {
+		t.Errorf("executed %d != admitted %d", e, admitted.Load())
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+// SLO budgets for the serving path, modeled on the perf/budgets.json +
+// `benchdiff -enforce` flow: a checked-in JSON file states what the
+// service must deliver (per-endpoint latency quantile ceilings, an
+// error-rate cap, a shed-rate cap), scripts/slocheck gates a
+// helix-load report against it, and scripts/check.sh runs the gate so
+// a serving regression fails CI instead of drifting in. The schema and
+// evaluation live here — next to the metrics they judge — so the
+// enforcement script and the tests can never drift from the server's
+// own output shape.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"helixrc/internal/benchreport"
+)
+
+// SLOEndpoint is one endpoint's (or job kind's, or the client-side
+// "e2e" series') latency ceilings in milliseconds. A zero ceiling is
+// unchecked.
+type SLOEndpoint struct {
+	// Name matches a benchreport.ServeEndpoint name: an HTTP endpoint
+	// ("submit", "status"), a job kind ("job:figure"), or "e2e" for
+	// the load generator's client-observed submit->result series.
+	Name     string  `json:"name"`
+	P50MS    float64 `json:"p50_ms,omitempty"`
+	P95MS    float64 `json:"p95_ms,omitempty"`
+	P99MS    float64 `json:"p99_ms,omitempty"`
+	MinCount int64   `json:"min_count,omitempty"`
+	// Required fails the check when the series is absent from the
+	// report (defaults true — a missing series usually means the load
+	// run measured nothing).
+	Optional bool `json:"optional,omitempty"`
+}
+
+// SLOBudget is the checked-in budget file (perf/serve_slo_budgets.json).
+type SLOBudget struct {
+	Note string `json:"note,omitempty"`
+	// MinRequests guards against a vacuous pass: a load run that
+	// completed fewer requests than this fails the gate outright.
+	MinRequests int64 `json:"min_requests,omitempty"`
+	// MaxErrorRate caps (errors + hash mismatches) / requests over the
+	// load run. Zero means no errors tolerated.
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MaxShedRate caps sheds / (requests + sheds). Shedding is correct
+	// overload behavior, but a smoke sized under capacity should not
+	// shed at all; the ceiling catches an admission-control regression
+	// that starts refusing work it has room for.
+	MaxShedRate float64 `json:"max_shed_rate"`
+	// Endpoints are the per-series latency ceilings.
+	Endpoints []SLOEndpoint `json:"endpoints"`
+}
+
+// LoadSLO reads and validates a budget file.
+func LoadSLO(path string) (*SLOBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b SLOBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Endpoints) == 0 {
+		return nil, fmt.Errorf("%s defines no endpoint budgets", path)
+	}
+	for _, e := range b.Endpoints {
+		if e.Name == "" {
+			return nil, fmt.Errorf("%s: endpoint budget with empty name", path)
+		}
+	}
+	return &b, nil
+}
+
+// Check gates one report against the budget and returns the
+// violations (empty = pass). The report must carry both the server
+// snapshot (Serve) and the load summary (Load) — helix-load writes
+// both.
+func (b *SLOBudget) Check(r *benchreport.Report) []string {
+	var v []string
+	if r.Serve == nil || r.Load == nil {
+		return []string{"report carries no serve/load sections (was it written by helix-load?)"}
+	}
+	l := r.Load
+	if b.MinRequests > 0 && l.Completed < b.MinRequests {
+		v = append(v, fmt.Sprintf("load run completed %d requests; budget requires >= %d for a meaningful gate",
+			l.Completed, b.MinRequests))
+	}
+	if l.Requests > 0 {
+		rate := float64(l.Errors+l.HashMismatches) / float64(l.Requests)
+		if rate > b.MaxErrorRate {
+			v = append(v, fmt.Sprintf("error rate %.4f (%d errors + %d hash mismatches / %d requests) exceeds %.4f",
+				rate, l.Errors, l.HashMismatches, l.Requests, b.MaxErrorRate))
+		}
+	}
+	if total := l.Requests + l.Sheds; total > 0 {
+		rate := float64(l.Sheds) / float64(total)
+		if rate > b.MaxShedRate {
+			v = append(v, fmt.Sprintf("shed rate %.4f (%d sheds / %d attempts) exceeds %.4f",
+				rate, l.Sheds, total, b.MaxShedRate))
+		}
+	}
+
+	series := map[string]benchreport.ServeEndpoint{"e2e": l.E2E}
+	for _, e := range r.Serve.Endpoints {
+		series[e.Name] = e
+	}
+	for _, e := range r.Serve.Jobs {
+		series[e.Name] = e
+	}
+	for _, want := range b.Endpoints {
+		got, ok := series[want.Name]
+		if !ok || got.Count == 0 {
+			if !want.Optional {
+				v = append(v, fmt.Sprintf("%s: no samples in the report", want.Name))
+			}
+			continue
+		}
+		if want.MinCount > 0 && got.Count < want.MinCount {
+			v = append(v, fmt.Sprintf("%s: %d samples < required %d", want.Name, got.Count, want.MinCount))
+		}
+		check := func(q string, gotMS, maxMS float64) {
+			if maxMS > 0 && gotMS > maxMS {
+				v = append(v, fmt.Sprintf("%s: %s %.1fms exceeds budget %.1fms", want.Name, q, gotMS, maxMS))
+			}
+		}
+		check("p50", got.P50Millis, want.P50MS)
+		check("p95", got.P95Millis, want.P95MS)
+		check("p99", got.P99Millis, want.P99MS)
+	}
+	return v
+}

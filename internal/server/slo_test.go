@@ -1,0 +1,177 @@
+package server
+
+// SLO budget evaluation tests: a healthy report passes a realistic
+// budget, and each budget dimension (min requests, error rate, shed
+// rate, per-series quantile ceilings, required series, sample floors)
+// fires its own violation — checked by substring so the gate's output
+// stays actionable.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"helixrc/internal/benchreport"
+)
+
+// passingReport builds a report a generous budget should accept.
+func passingReport() *benchreport.Report {
+	ep := func(name string, count int64, p50, p95, p99 float64) benchreport.ServeEndpoint {
+		return benchreport.ServeEndpoint{Name: name, Count: count, P50Millis: p50, P95Millis: p95, P99Millis: p99}
+	}
+	return &benchreport.Report{
+		Load: &benchreport.LoadSummary{
+			Requests:  100,
+			Completed: 100,
+			E2E:       ep("e2e", 100, 50, 200, 400),
+		},
+		Serve: &benchreport.Serve{
+			Endpoints: []benchreport.ServeEndpoint{
+				ep("status", 300, 0.2, 1, 2),
+				ep("submit", 100, 0.5, 2, 4),
+			},
+			Jobs: []benchreport.ServeEndpoint{ep("job:figure", 100, 40, 150, 300)},
+		},
+	}
+}
+
+func basicBudget() *SLOBudget {
+	return &SLOBudget{
+		MinRequests:  10,
+		MaxErrorRate: 0,
+		MaxShedRate:  0.01,
+		Endpoints: []SLOEndpoint{
+			{Name: "e2e", P95MS: 1000, MinCount: 10},
+			{Name: "submit", P95MS: 100},
+			{Name: "job:figure", P95MS: 500},
+		},
+	}
+}
+
+func TestSLOCheckPasses(t *testing.T) {
+	if v := basicBudget().Check(passingReport()); len(v) != 0 {
+		t.Fatalf("healthy report violated budget: %v", v)
+	}
+}
+
+// wantViolation asserts exactly the expected violations fire, matched
+// by substring.
+func wantViolation(t *testing.T, v []string, subs ...string) {
+	t.Helper()
+	if len(v) != len(subs) {
+		t.Fatalf("got %d violations %v, want %d matching %v", len(v), v, len(subs), subs)
+	}
+	for i, sub := range subs {
+		if !strings.Contains(v[i], sub) {
+			t.Errorf("violation %d = %q, want substring %q", i, v[i], sub)
+		}
+	}
+}
+
+func TestSLOCheckDimensions(t *testing.T) {
+	t.Run("no sections", func(t *testing.T) {
+		wantViolation(t, basicBudget().Check(&benchreport.Report{}), "no serve/load sections")
+	})
+	t.Run("min requests", func(t *testing.T) {
+		r := passingReport()
+		r.Load.Completed = 5
+		wantViolation(t, basicBudget().Check(r), "completed 5 requests")
+	})
+	t.Run("error rate includes hash mismatches", func(t *testing.T) {
+		r := passingReport()
+		r.Load.Errors = 1
+		r.Load.HashMismatches = 2
+		wantViolation(t, basicBudget().Check(r), "error rate 0.0300")
+	})
+	t.Run("shed rate", func(t *testing.T) {
+		r := passingReport()
+		r.Load.Sheds = 50 // 50 / 150 attempts
+		wantViolation(t, basicBudget().Check(r), "shed rate 0.3333")
+	})
+	t.Run("p95 ceiling", func(t *testing.T) {
+		r := passingReport()
+		r.Load.E2E.P95Millis = 5000
+		wantViolation(t, basicBudget().Check(r), "e2e: p95 5000.0ms exceeds budget 1000.0ms")
+	})
+	t.Run("p50 and p99 ceilings", func(t *testing.T) {
+		b := basicBudget()
+		b.Endpoints = []SLOEndpoint{{Name: "e2e", P50MS: 10, P99MS: 100}}
+		wantViolation(t, b.Check(passingReport()), "e2e: p50 50.0ms", "e2e: p99 400.0ms")
+	})
+	t.Run("missing required series", func(t *testing.T) {
+		b := basicBudget()
+		b.Endpoints = append(b.Endpoints, SLOEndpoint{Name: "job:compile", P95MS: 100})
+		wantViolation(t, b.Check(passingReport()), "job:compile: no samples")
+	})
+	t.Run("missing optional series passes", func(t *testing.T) {
+		b := basicBudget()
+		b.Endpoints = append(b.Endpoints, SLOEndpoint{Name: "job:compile", P95MS: 100, Optional: true})
+		if v := b.Check(passingReport()); len(v) != 0 {
+			t.Fatalf("optional missing series should pass, got %v", v)
+		}
+	})
+	t.Run("min count", func(t *testing.T) {
+		b := basicBudget()
+		b.Endpoints = []SLOEndpoint{{Name: "e2e", MinCount: 1000}}
+		wantViolation(t, b.Check(passingReport()), "e2e: 100 samples < required 1000")
+	})
+	t.Run("zero ceilings unchecked", func(t *testing.T) {
+		b := &SLOBudget{MaxErrorRate: 1, MaxShedRate: 1, Endpoints: []SLOEndpoint{{Name: "e2e"}}}
+		if v := b.Check(passingReport()); len(v) != 0 {
+			t.Fatalf("zero ceilings must not fire: %v", v)
+		}
+	})
+}
+
+func TestLoadSLO(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	t.Run("valid", func(t *testing.T) {
+		p := write("ok.json", `{"max_error_rate":0,"max_shed_rate":0.1,
+			"endpoints":[{"name":"e2e","p95_ms":1000}]}`)
+		b, err := LoadSLO(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Endpoints) != 1 || b.Endpoints[0].Name != "e2e" || b.Endpoints[0].P95MS != 1000 {
+			t.Fatalf("parsed wrong: %+v", b)
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := LoadSLO(filepath.Join(dir, "nope.json")); err == nil {
+			t.Fatal("want error for missing file")
+		}
+	})
+	t.Run("bad json", func(t *testing.T) {
+		p := write("bad.json", `{`)
+		if _, err := LoadSLO(p); err == nil || !strings.Contains(err.Error(), p) {
+			t.Fatalf("want parse error naming %s, got %v", p, err)
+		}
+	})
+	t.Run("no endpoints", func(t *testing.T) {
+		p := write("empty.json", `{"max_error_rate":0}`)
+		if _, err := LoadSLO(p); err == nil || !strings.Contains(err.Error(), "no endpoint budgets") {
+			t.Fatalf("want no-endpoints error, got %v", err)
+		}
+	})
+	t.Run("empty name", func(t *testing.T) {
+		p := write("noname.json", `{"endpoints":[{"p95_ms":10}]}`)
+		if _, err := LoadSLO(p); err == nil || !strings.Contains(err.Error(), "empty name") {
+			t.Fatalf("want empty-name error, got %v", err)
+		}
+	})
+	t.Run("checked-in budget file parses", func(t *testing.T) {
+		// The real budget check.sh enforces must always load.
+		if _, err := LoadSLO("../../perf/serve_slo_budgets.json"); err != nil {
+			t.Fatalf("checked-in budget invalid: %v", err)
+		}
+	})
+}

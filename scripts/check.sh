@@ -22,8 +22,12 @@ go run ./cmd/helix-bench -only fig9 -verify BENCH_2026-08-05.json >/dev/null
 # path that stopped engaging) fails the gate instead of drifting in.
 report=.check-bench.json
 shardreport=.check-shard.json
-rm -f "$report" "$shardreport"
-trap 'rm -f "$report" "$shardreport" "$report.lock" "$shardreport.lock"' EXIT
+servereport=.check-serve.json
+serveaddr=.check-serve.addr
+servecache=.check-serve-cache
+rm -f "$report" "$shardreport" "$servereport" "$serveaddr"
+rm -rf "$servecache"
+trap 'rm -f "$report" "$shardreport" "$report.lock" "$shardreport.lock" "$servereport" "$servereport.lock" "$serveaddr"; rm -rf "$servecache"' EXIT
 go run ./cmd/helix-bench -quiet -verify BENCH_2026-08-07.json -jsonfile "$report" >/dev/null
 go run ./scripts -enforce -budgets perf/budgets.json "$report"
 
@@ -39,3 +43,30 @@ go run ./scripts -enforce -budgets perf/shard_budgets.json "$shardreport"
 # programs cross-checked through interp, HCC parallelization, the sim
 # fast path and trace replay. Deterministic, ~5s.
 go run ./cmd/helix-fuzz -start 0 -seeds 24 -quick -parallel 0
+
+# Serving coverage gate: the daemon package must stay well-tested —
+# below 80% statement coverage the gate fails.
+cover=$(go test -cover -count=1 ./internal/server | awk '{for (i=1;i<=NF;i++) if ($i ~ /^coverage:/) print $(i+1)}' | tr -d '%')
+echo "internal/server coverage: ${cover}%"
+awk -v c="$cover" 'BEGIN { exit (c+0 >= 80.0) ? 0 : 1 }' || {
+  echo "internal/server coverage ${cover}% is below the 80% gate" >&2
+  exit 1
+}
+
+# Serve smoke: start the daemon, hit it with a 10s hot-key figure load
+# (hashes verified against the checked-in report), drain it with
+# SIGTERM, then enforce the serving SLO budgets on the run's report —
+# latency regressions, spurious shedding, figure divergence, or a
+# broken drain path all fail the gate.
+go build -o .check-helix-serve ./cmd/helix-serve
+trap 'rm -f "$report" "$shardreport" "$report.lock" "$shardreport.lock" "$servereport" "$servereport.lock" "$serveaddr" .check-helix-serve; rm -rf "$servecache"; kill "$servepid" 2>/dev/null || true' EXIT
+./.check-helix-serve -addr 127.0.0.1:0 -addrfile "$serveaddr" -cachedir "$servecache" -quiet -concurrency 2 &
+servepid=$!
+for _ in $(seq 1 50); do [ -s "$serveaddr" ] && break; sleep 0.1; done
+[ -s "$serveaddr" ] || { echo "helix-serve never wrote $serveaddr" >&2; exit 1; }
+go run ./cmd/helix-load -addr "http://$(cat "$serveaddr")" \
+  -wait 30s -duration 10s -clients 4 -mix hotkey -kind figure -hot fig9 -hotfrac 0.9 \
+  -verify BENCH_2026-08-07.json -jsonfile "$servereport" -label serve-smoke >/dev/null
+kill -TERM "$servepid"
+wait "$servepid"
+go run ./scripts/slocheck -budgets perf/serve_slo_budgets.json "$servereport"

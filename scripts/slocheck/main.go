@@ -1,0 +1,56 @@
+// slocheck gates a helix-load report against the checked-in serving
+// SLO budgets — the serving-path twin of `go run ./scripts -enforce`.
+//
+// Usage:
+//
+//	go run ./scripts/slocheck -budgets perf/serve_slo_budgets.json REPORT.json
+//
+// The last run of REPORT.json (written by `helix-load -jsonfile`) must
+// carry both the load summary and the server /metrics snapshot. Every
+// budget dimension that fails is printed; any failure exits 1.
+// scripts/check.sh runs this after the serve smoke so a serving
+// regression — latency, errors, hash divergence, or spurious shedding
+// — fails the gate instead of drifting in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"helixrc/internal/benchreport"
+	"helixrc/internal/server"
+)
+
+func main() {
+	budgets := flag.String("budgets", "perf/serve_slo_budgets.json", "SLO budget file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: slocheck [-budgets FILE] REPORT.json")
+		os.Exit(2)
+	}
+
+	b, err := server.LoadSLO(*budgets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	runs, err := benchreport.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := runs[len(runs)-1]
+
+	violations := b.Check(&r)
+	if len(violations) == 0 {
+		fmt.Printf("SLO check passed: %s within %s (%d requests, %d series gated)\n",
+			flag.Arg(0), *budgets, r.Load.Requests, len(b.Endpoints))
+		return
+	}
+	fmt.Printf("SLO check FAILED: %s against %s\n", flag.Arg(0), *budgets)
+	for _, v := range violations {
+		fmt.Printf("  - %s\n", v)
+	}
+	os.Exit(1)
+}
