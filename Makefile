@@ -1,6 +1,6 @@
 # Development entry points. `make check` is the pre-merge gate.
 
-.PHONY: check build test bench bench-shard-smoke bench-smoke fuzz-smoke fuzz serve serve-smoke
+.PHONY: check build test bench bench-shard-smoke bench-smoke explore explore-smoke fuzz-smoke fuzz serve serve-smoke
 
 check:
 	./scripts/check.sh
@@ -34,6 +34,22 @@ bench-smoke:
 	@echo "bench-smoke: fig9 output hash matches BENCH_2026-08-05.json"
 	go test ./internal/sim -count=1 -run 'Allocs'
 	go test ./internal/sim -run '^$$' -bench 'Replay|Trace' -benchtime 1x
+
+# Sweep the full design space (ring latency x signal depth x cores x
+# alias tier) over every generated workload family and append a report
+# to EXPLORE_<date>.json.
+explore:
+	go run ./cmd/helix-explore -json
+
+# Exploration smoke: two worker processes claim-partition a tiny
+# pointer-chase sweep over a shared cache, the parent merges their
+# partial reports, and the merged heatmap + frontier hash must match
+# the checked-in solo reference — the sweep's replay economy and its
+# sharded determinism in one gate.
+explore-smoke:
+	go run ./cmd/helix-explore -family pointer-chase -cores 2 -tiers 1,5 -links 1,8 -signals 0 \
+	  -workers 2 -quiet -verify EXPLORE_2026-08-07.json >/dev/null
+	@echo "explore-smoke: 2-worker pointer-chase sweep matches EXPLORE_2026-08-07.json"
 
 # Run the evaluation daemon on :8080 with a persistent cache.
 serve:

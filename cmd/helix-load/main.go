@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"helixrc/internal/benchreport"
+	"helixrc/internal/cliutil"
 	"helixrc/internal/server"
 )
 
@@ -59,15 +60,17 @@ func main() {
 	)
 	flag.Parse()
 
-	switch *mix {
-	case "hotkey", "uniform":
-	default:
-		log.Fatalf("-mix %q: accepted values are hotkey, uniform", *mix)
+	// Validate at the edge: a typo'd mix or an out-of-range hot fraction
+	// fails here with the accepted range, not after a load run that
+	// silently measured something else.
+	if err := cliutil.CheckOneOf("mix", *mix, "hotkey", "uniform"); err != nil {
+		log.Fatal(err)
 	}
-	switch *kind {
-	case "figure", "simulate", "compile":
-	default:
-		log.Fatalf("-kind %q: accepted values are figure, simulate, compile", *kind)
+	if err := cliutil.CheckOneOf("kind", *kind, "figure", "simulate", "compile"); err != nil {
+		log.Fatal(err)
+	}
+	if err := cliutil.CheckFraction("hotfrac", *hotFrac); err != nil {
+		log.Fatal(err)
 	}
 
 	opts := server.LoadOptions{
@@ -101,6 +104,9 @@ func main() {
 
 	res, err := server.RunLoad(ctx, opts)
 	if err != nil {
+		if res == nil {
+			log.Fatal(err) // options rejected before any request was sent
+		}
 		log.Printf("%v", err)
 	}
 	report := res.Report(*label)

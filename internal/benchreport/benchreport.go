@@ -190,6 +190,8 @@ type Report struct {
 	Serve *Serve `json:"serve,omitempty"`
 	// Load holds the load generator's client-side summary.
 	Load *LoadSummary `json:"load,omitempty"`
+	// Explore holds helix-explore's design-space sweep results.
+	Explore *Explore `json:"explore,omitempty"`
 	// Interrupted marks a run cut short by a signal or -timeout.
 	Interrupted bool `json:"interrupted,omitempty"`
 	// Partial marks a run where at least one figure degraded cells.
@@ -267,6 +269,41 @@ func Append(path string, r Report) error {
 	return atomicio.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// mergeSection unions one optional section across parts: nil where
+// absent, the one carried value where exactly one part (or several
+// agreeing parts) has it, an error when parts genuinely conflict.
+func mergeSection[T any](parts []Report, what string, get func(*Report) *T) (*T, error) {
+	var out *T
+	from := ""
+	for i := range parts {
+		v := get(&parts[i])
+		if v == nil {
+			continue
+		}
+		worker := parts[i].Shard
+		if worker == "" {
+			worker = fmt.Sprintf("%d/%d", i+1, len(parts))
+		}
+		if out == nil {
+			out, from = v, worker
+			continue
+		}
+		if !jsonEqual(out, v) {
+			return nil, fmt.Errorf("benchreport: workers %s and %s carry conflicting %s sections", from, worker, what)
+		}
+	}
+	return out, nil
+}
+
+// jsonEqual compares two values by their canonical JSON encoding —
+// the equality that matters for report sections, since the report is
+// its JSON form.
+func jsonEqual(a, b any) bool {
+	da, ea := json.Marshal(a)
+	db, eb := json.Marshal(b)
+	return ea == nil && eb == nil && string(da) == string(db)
+}
+
 // lockFile takes an exclusive advisory lock on path, blocking until it
 // is available, and returns the unlock function. flock is per open file
 // description, so goroutines within one process contend exactly like
@@ -299,6 +336,12 @@ func lockFile(path string) (func(), error) {
 // only when both workers produced the same output hash — a divergence
 // is an error, never a silent pick. Aggregate counters are summed; each
 // worker's own counters survive under PerWorker, in input order.
+//
+// Optional sections (Serve, Load, Explore) are unioned, not dropped: a
+// section carried by any part survives the merge, so merging a serve
+// report with a bench report keeps both sides. Two parts carrying the
+// same section must agree (deep equality; Explore compares per family)
+// — a conflict is an error, never a silent pick.
 func Merge(parts []Report, order []string) (Report, error) {
 	if len(parts) == 0 {
 		return Report{}, fmt.Errorf("benchreport: nothing to merge")
@@ -370,6 +413,21 @@ func Merge(parts []Report, order []string) (Report, error) {
 	merged.Runtime.NumCPU = first.Runtime.NumCPU
 	merged.Runtime.GOMAXPROCS = first.Runtime.GOMAXPROCS
 	merged.Error = strings.Join(errs, "; ")
+	serve, err := mergeSection(parts, "serve", func(p *Report) *Serve { return p.Serve })
+	if err != nil {
+		return Report{}, err
+	}
+	merged.Serve = serve
+	load, err := mergeSection(parts, "load", func(p *Report) *LoadSummary { return p.Load })
+	if err != nil {
+		return Report{}, err
+	}
+	merged.Load = load
+	explore, err := mergeExplore(parts)
+	if err != nil {
+		return Report{}, err
+	}
+	merged.Explore = explore
 	names := make([]string, 0, len(byName))
 	for name := range byName {
 		names = append(names, name)

@@ -1,0 +1,197 @@
+package benchreport
+
+// The Explore section: cmd/helix-explore's design-space sweep results.
+// One ExploreFamily per generated workload family holds the full grid
+// of measured design points (Cells, grid order) and the cost/speedup
+// frontier derived from it. Everything here is pure data + deterministic
+// derivation, so a merged sharded sweep is byte-identical to a solo one.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ExploreConfig is one measured design point: the swept coordinates,
+// the geomean speedup across the family's scenarios, and the stylized
+// hardware cost.
+type ExploreConfig struct {
+	Cores   int     `json:"cores"`
+	Tier    int     `json:"tier"` // 1-based alias.Tiers index
+	Link    int     `json:"link"` // ring link latency, cycles
+	Signals int     `json:"signals"`
+	Speedup float64 `json:"speedup"`
+	Cost    float64 `json:"cost"`
+}
+
+// ExploreCost is the stylized hardware-cost proxy the frontier ranks
+// by: core count × ring buffering × link speed. More cores, deeper
+// signal buffers and faster links all cost area/power; the alias tier
+// is compiler effort and costs nothing at runtime. Unbounded signal
+// bandwidth (0) is modeled as 8 slots — past that depth the sweep's
+// workloads can't tell the difference, matching Figure 11c's shape.
+func ExploreCost(cores, link, signals int) float64 {
+	slots := float64(signals)
+	if signals == 0 {
+		slots = 8
+	}
+	return float64(cores) * (1 + slots) * (16 / float64(link))
+}
+
+// ExploreFamily is one family's sweep: the scenarios measured, every
+// grid cell, and the cost/speedup frontier.
+type ExploreFamily struct {
+	Family    string          `json:"family"`
+	Scenarios []string        `json:"scenarios"`
+	Cells     []ExploreConfig `json:"cells"`
+	Frontier  []ExploreConfig `json:"frontier"`
+}
+
+// Explore is the report section holding every swept family.
+type Explore struct {
+	Families []ExploreFamily `json:"families"`
+}
+
+// ComputeFrontier returns the cost/speedup-efficient design points:
+// walking configs from cheapest to most expensive, a point survives
+// only if it beats every cheaper point's speedup. The result is
+// deterministic — ties break on the swept coordinates — and input
+// order does not matter.
+func ComputeFrontier(cells []ExploreConfig) []ExploreConfig {
+	sorted := append([]ExploreConfig(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		if a.Speedup != b.Speedup {
+			return a.Speedup > b.Speedup
+		}
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
+		}
+		if a.Tier != b.Tier {
+			return a.Tier < b.Tier
+		}
+		if a.Link != b.Link {
+			return a.Link < b.Link
+		}
+		return a.Signals < b.Signals
+	})
+	var frontier []ExploreConfig
+	best := 0.0
+	for _, c := range sorted {
+		if c.Speedup > best {
+			frontier = append(frontier, c)
+			best = c.Speedup
+		}
+	}
+	return frontier
+}
+
+// Format renders one family's sweep as the text the explore experiment
+// hashes: a speedup heatmap per (cores, tier) block — link latency down,
+// signal bandwidth across — followed by the frontier table.
+func (f *ExploreFamily) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Explore %s: %d scenarios, %d design points\n",
+		f.Family, len(f.Scenarios), len(f.Cells))
+	fmt.Fprintf(&sb, "scenarios: %s\n", strings.Join(f.Scenarios, ", "))
+
+	// Group cells into one heatmap per (cores, tier), preserving grid
+	// order for the axes.
+	type block struct{ cores, tier int }
+	var blocks []block
+	cellsOf := map[block][]ExploreConfig{}
+	var links, signals []int
+	seenL, seenS := map[int]bool{}, map[int]bool{}
+	for _, c := range f.Cells {
+		b := block{c.Cores, c.Tier}
+		if _, ok := cellsOf[b]; !ok {
+			blocks = append(blocks, b)
+		}
+		cellsOf[b] = append(cellsOf[b], c)
+		if !seenL[c.Link] {
+			seenL[c.Link] = true
+			links = append(links, c.Link)
+		}
+		if !seenS[c.Signals] {
+			seenS[c.Signals] = true
+			signals = append(signals, c.Signals)
+		}
+	}
+	for _, b := range blocks {
+		fmt.Fprintf(&sb, "heatmap cores=%d tier=%d (rows: link cycles; cols: signal slots, 0=unbounded)\n", b.cores, b.tier)
+		fmt.Fprintf(&sb, "%8s", "link\\sig")
+		for _, s := range signals {
+			fmt.Fprintf(&sb, " %7d", s)
+		}
+		sb.WriteString("\n")
+		at := map[[2]int]float64{}
+		for _, c := range cellsOf[b] {
+			at[[2]int{c.Link, c.Signals}] = c.Speedup
+		}
+		for _, l := range links {
+			fmt.Fprintf(&sb, "%8d", l)
+			for _, s := range signals {
+				if v, ok := at[[2]int{l, s}]; ok {
+					fmt.Fprintf(&sb, " %7.2f", v)
+				} else {
+					fmt.Fprintf(&sb, " %7s", "-")
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("frontier (cost-ascending; each point beats all cheaper ones)\n")
+	fmt.Fprintf(&sb, "%8s %6s %6s %6s %9s %9s\n", "cores", "tier", "link", "sig", "cost", "speedup")
+	for _, c := range f.Frontier {
+		fmt.Fprintf(&sb, "%8d %6d %6d %6d %9.1f %9.2f\n", c.Cores, c.Tier, c.Link, c.Signals, c.Cost, c.Speedup)
+	}
+	return sb.String()
+}
+
+// mergeExplore unions the Explore sections of sharded partial reports:
+// families present in only one part are carried, families present in
+// several must agree exactly (a worker pair that measured the same
+// family differently is a determinism bug worth failing loudly on).
+// The merged family list is sorted by name so merge order is
+// irrelevant.
+func mergeExplore(parts []Report) (*Explore, error) {
+	byName := map[string]ExploreFamily{}
+	from := map[string]string{}
+	for i, p := range parts {
+		if p.Explore == nil {
+			continue
+		}
+		worker := p.Shard
+		if worker == "" {
+			worker = fmt.Sprintf("%d/%d", i+1, len(parts))
+		}
+		for _, fam := range p.Explore.Families {
+			prev, ok := byName[fam.Family]
+			if !ok {
+				byName[fam.Family] = fam
+				from[fam.Family] = worker
+				continue
+			}
+			if !jsonEqual(prev, fam) {
+				return nil, fmt.Errorf("benchreport: workers %s and %s disagree on explore family %s",
+					from[fam.Family], worker, fam.Family)
+			}
+		}
+	}
+	if len(byName) == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := &Explore{}
+	for _, n := range names {
+		out.Families = append(out.Families, byName[n])
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package benchreport
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMergeUnionsSections is the regression test for the
+// section-dropping bug: merging a bench report with a serve/load report
+// must carry the sections only one side has instead of silently
+// discarding them.
+func TestMergeUnionsSections(t *testing.T) {
+	order := []string{"fig9"}
+	bench := Report{Shard: "1/2", Cores: 16, Parallel: 1,
+		Experiments: []Experiment{exp("fig9", "aaa", 3)}}
+	serve := Report{Shard: "2/2", Cores: 16, Parallel: 1,
+		Serve: &Serve{Submitted: 7, Completed: 6},
+		Load:  &LoadSummary{Mix: "hotkey", Requests: 100}}
+	m, err := Merge([]Report{bench, serve}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Serve == nil || m.Serve.Submitted != 7 {
+		t.Fatalf("Serve section dropped in merge: %+v", m.Serve)
+	}
+	if m.Load == nil || m.Load.Requests != 100 {
+		t.Fatalf("Load section dropped in merge: %+v", m.Load)
+	}
+	// Merge order must not matter for the carried sections.
+	m2, err := Merge([]Report{serve, bench}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Serve, m2.Serve) || !reflect.DeepEqual(m.Load, m2.Load) {
+		t.Fatal("section union depends on part order")
+	}
+}
+
+// TestMergeSectionAgreementAndConflict pins the union semantics: equal
+// duplicated sections merge fine; conflicting ones are an error, never
+// a silent pick.
+func TestMergeSectionAgreementAndConflict(t *testing.T) {
+	order := []string{"fig9"}
+	a := Report{Shard: "1/2", Serve: &Serve{Submitted: 7}}
+	b := Report{Shard: "2/2", Serve: &Serve{Submitted: 7}}
+	if _, err := Merge([]Report{a, b}, order); err != nil {
+		t.Fatalf("agreeing duplicated sections must merge: %v", err)
+	}
+	b.Serve.Submitted = 8
+	_, err := Merge([]Report{a, b}, order)
+	if err == nil {
+		t.Fatal("conflicting Serve sections merged silently")
+	}
+	if !strings.Contains(err.Error(), "serve") {
+		t.Fatalf("conflict error does not name the section: %v", err)
+	}
+}
+
+func famA() ExploreFamily {
+	return ExploreFamily{
+		Family:    "pointer-chase",
+		Scenarios: []string{"gen.pointer-chase.s11"},
+		Cells: []ExploreConfig{
+			{Cores: 2, Tier: 1, Link: 1, Signals: 0, Speedup: 1.5, Cost: ExploreCost(2, 1, 0)},
+			{Cores: 4, Tier: 1, Link: 1, Signals: 0, Speedup: 2.5, Cost: ExploreCost(4, 1, 0)},
+		},
+	}
+}
+
+func famB() ExploreFamily {
+	return ExploreFamily{
+		Family:    "reduction",
+		Scenarios: []string{"gen.reduction.s21"},
+		Cells: []ExploreConfig{
+			{Cores: 2, Tier: 5, Link: 8, Signals: 1, Speedup: 1.9, Cost: ExploreCost(2, 8, 1)},
+		},
+	}
+}
+
+// TestMergeExploreUnion checks the Explore section's per-family union:
+// disjoint families from different workers combine sorted by name;
+// agreeing duplicates pass; diverging duplicates fail naming the
+// family.
+func TestMergeExploreUnion(t *testing.T) {
+	order := []string{"explore:pointer-chase", "explore:reduction"}
+	a := Report{Shard: "1/2",
+		Experiments: []Experiment{exp("explore:pointer-chase", "aaa", 1)},
+		Explore:     &Explore{Families: []ExploreFamily{famA()}}}
+	b := Report{Shard: "2/2",
+		Experiments: []Experiment{exp("explore:reduction", "bbb", 2)},
+		Explore:     &Explore{Families: []ExploreFamily{famB()}}}
+	m, err := Merge([]Report{b, a}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Explore == nil || len(m.Explore.Families) != 2 {
+		t.Fatalf("explore union lost families: %+v", m.Explore)
+	}
+	if m.Explore.Families[0].Family != "pointer-chase" || m.Explore.Families[1].Family != "reduction" {
+		t.Fatalf("explore families not name-sorted: %+v", m.Explore.Families)
+	}
+
+	dup := Report{Shard: "2/2",
+		Experiments: []Experiment{exp("explore:pointer-chase", "aaa", 1)},
+		Explore:     &Explore{Families: []ExploreFamily{famA()}}}
+	if _, err := Merge([]Report{a, dup}, order); err != nil {
+		t.Fatalf("agreeing duplicated family must merge: %v", err)
+	}
+
+	div := famA()
+	div.Cells[0].Speedup = 9.9
+	bad := Report{Shard: "2/2",
+		Experiments: []Experiment{exp("explore:pointer-chase", "aaa", 1)},
+		Explore:     &Explore{Families: []ExploreFamily{div}}}
+	_, err = Merge([]Report{a, bad}, order)
+	if err == nil {
+		t.Fatal("diverging explore family merged silently")
+	}
+	if !strings.Contains(err.Error(), "pointer-chase") {
+		t.Fatalf("explore conflict error does not name the family: %v", err)
+	}
+}
+
+// TestComputeFrontier pins the frontier semantics: cost-ascending,
+// strictly improving speedup, order-insensitive input.
+func TestComputeFrontier(t *testing.T) {
+	cells := []ExploreConfig{
+		{Cores: 8, Link: 1, Signals: 0, Speedup: 4.0, Cost: ExploreCost(8, 1, 0)},   // expensive, best
+		{Cores: 2, Link: 32, Signals: 1, Speedup: 1.2, Cost: ExploreCost(2, 32, 1)}, // cheapest
+		{Cores: 4, Link: 8, Signals: 1, Speedup: 1.1, Cost: ExploreCost(4, 8, 1)},   // dominated: dearer, slower
+		{Cores: 2, Link: 8, Signals: 1, Speedup: 2.0, Cost: ExploreCost(2, 8, 1)},
+	}
+	want := []float64{1.2, 2.0, 4.0}
+	f := ComputeFrontier(cells)
+	if len(f) != len(want) {
+		t.Fatalf("frontier has %d points, want %d: %+v", len(f), len(want), f)
+	}
+	for i, c := range f {
+		if c.Speedup != want[i] {
+			t.Fatalf("frontier speedups %v, want %v", f, want)
+		}
+		if i > 0 && c.Cost < f[i-1].Cost {
+			t.Fatal("frontier not cost-ascending")
+		}
+	}
+	// Input order must not matter.
+	rev := []ExploreConfig{cells[3], cells[2], cells[1], cells[0]}
+	if !reflect.DeepEqual(ComputeFrontier(rev), f) {
+		t.Fatal("frontier depends on input order")
+	}
+}
+
+// TestExploreFormatDeterministic pins the rendered text's stability
+// (the explore experiments hash it) and its key landmarks.
+func TestExploreFormatDeterministic(t *testing.T) {
+	f := famA()
+	f.Frontier = ComputeFrontier(f.Cells)
+	s1, s2 := f.Format(), f.Format()
+	if s1 != s2 {
+		t.Fatal("Format is not deterministic")
+	}
+	for _, want := range []string{"Explore pointer-chase", "heatmap cores=2 tier=1", "frontier"} {
+		if !strings.Contains(s1, want) {
+			t.Fatalf("rendered explore output lacks %q:\n%s", want, s1)
+		}
+	}
+}

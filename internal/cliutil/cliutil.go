@@ -7,6 +7,7 @@ package cliutil
 
 import (
 	"fmt"
+	"strings"
 
 	"helixrc/internal/harness"
 )
@@ -35,6 +36,27 @@ func CheckNonNegative(name string, v int, note string) error {
 		return fmt.Errorf("-%s %d: accepted range is 0.. (%s)", name, v, note)
 	}
 	return nil
+}
+
+// CheckFraction validates a share flag: a fraction in (0..1]. Zero is
+// rejected — a share flag set to 0 is a typo, not a request for an
+// empty mix (leave the flag off to take the default).
+func CheckFraction(name string, v float64) error {
+	if v <= 0 || v > 1 {
+		return fmt.Errorf("-%s %v: accepted range is (0..1]", name, v)
+	}
+	return nil
+}
+
+// CheckOneOf validates an enumerated string flag against its accepted
+// values.
+func CheckOneOf(name, v string, allowed ...string) error {
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("-%s %q: accepted values are %s", name, v, strings.Join(allowed, ", "))
 }
 
 // SetupCacheDir wires a tool's -cachedir/-cacheclear flags into the

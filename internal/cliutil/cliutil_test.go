@@ -43,6 +43,30 @@ func TestCheckNonNegative(t *testing.T) {
 	}
 }
 
+func TestCheckFraction(t *testing.T) {
+	for _, ok := range []float64{0.001, 0.9, 1} {
+		if err := CheckFraction("hotfrac", ok); err != nil {
+			t.Errorf("CheckFraction(%v) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []float64{0, -0.1, 1.01} {
+		err := CheckFraction("hotfrac", bad)
+		if err == nil || !strings.Contains(err.Error(), "(0..1]") {
+			t.Errorf("CheckFraction(%v) = %v, want range error", bad, err)
+		}
+	}
+}
+
+func TestCheckOneOf(t *testing.T) {
+	if err := CheckOneOf("mix", "hotkey", "hotkey", "uniform"); err != nil {
+		t.Errorf("CheckOneOf(hotkey) = %v, want nil", err)
+	}
+	err := CheckOneOf("mix", "zipf", "hotkey", "uniform")
+	if err == nil || !strings.Contains(err.Error(), "hotkey, uniform") {
+		t.Errorf("CheckOneOf(zipf) = %v, want error listing accepted values", err)
+	}
+}
+
 func TestSetupCacheDirClearWithoutDir(t *testing.T) {
 	if err := SetupCacheDir("", true); err == nil {
 		t.Fatal("SetupCacheDir(\"\", clear) = nil, want error")

@@ -49,7 +49,11 @@ type retimeGroup struct {
 	level    hcc.Level
 	ref      bool
 	baseline bool
-	archs    []sim.Config
+	// tier is the 1-based alias-tier override (0 = level default). It is
+	// part of compiled-program identity, so it participates in the
+	// compile and trace keys; the explore sweeps are its only setter.
+	tier  int
+	archs []sim.Config
 }
 
 // prefetchRetimes warms the result caches for the groups' cells,
@@ -111,7 +115,7 @@ func groupKeys(ctx context.Context, g *retimeGroup) (tkey string, keyOf func(sim
 		if len(g.archs) == 0 {
 			return "", nil, fmt.Errorf("harness: group %s has no configs", g.name)
 		}
-		tkey = fmt.Sprintf("trace/%s/L%d/c%d/ref=%v/%s", g.name, g.level, g.archs[0].Cores, g.ref, fp)
+		tkey = traceKey(g.name, g.level, g.archs[0].Cores, g.tier, g.ref, fp)
 	}
 	// Baseline lanes land in the baseline store under CachedBaseline's
 	// core-normalized key; sweep lanes land in the result store under
@@ -147,7 +151,7 @@ func prefetchGroup(ctx context.Context, g *retimeGroup) {
 			return
 		}
 	} else {
-		if w, comp, err = CachedCompile(ctx, g.name, g.level, g.archs[0].Cores); err != nil {
+		if w, comp, err = cachedCompileTier(ctx, g.name, g.level, g.archs[0].Cores, g.tier); err != nil {
 			return
 		}
 	}

@@ -128,9 +128,9 @@ func CacheStats() artifact.Stats {
 
 // workloadFingerprint memoizes the content fingerprint a workload's
 // artifacts are keyed under: the canonical program fingerprint (block
-// names normalized — the DSL draws them from a process-global counter)
-// plus the train/ref argument vectors, which compiles and traces depend
-// on but the program text does not contain.
+// names normalized positionally) plus the train/ref argument vectors,
+// which compiles and traces depend on but the program text does not
+// contain.
 func workloadFingerprint(ctx context.Context, name string) (string, error) {
 	return fpMemo.Do(ctx, name, func(context.Context) (string, error) {
 		w, err := workloads.Get(name)
@@ -178,11 +178,22 @@ type compEntry struct {
 // detaches this caller from the shared compilation without aborting it
 // for others.
 func CachedCompile(ctx context.Context, name string, level hcc.Level, cores int) (*workloads.Workload, *hcc.Compiled, error) {
+	return cachedCompileTier(ctx, name, level, cores, 0)
+}
+
+// cachedCompileTier is CachedCompile with an alias-tier override. Tier
+// zero (the level default) keeps the historical key shape so every
+// existing cache entry — memory or disk — stays addressable; a nonzero
+// tier adds its own key component.
+func cachedCompileTier(ctx context.Context, name string, level hcc.Level, cores, tier int) (*workloads.Workload, *hcc.Compiled, error) {
 	fp, err := workloadFingerprint(ctx, name)
 	if err != nil {
 		return nil, nil, err
 	}
 	key := fmt.Sprintf("compile/%s/L%d/c%d/%s", name, level, cores, fp)
+	if tier > 0 {
+		key = fmt.Sprintf("compile/%s/L%d/c%d/t%d/%s", name, level, cores, tier, fp)
+	}
 	e, err := compStore.Get(ctx, key, func(cctx context.Context) (*compEntry, error) {
 		// hcc.Compile is not interruptible mid-flight (its profiling is
 		// bounded by ProfileBudget); honour an already-dead context
@@ -190,7 +201,7 @@ func CachedCompile(ctx context.Context, name string, level hcc.Level, cores int)
 		if err := cctx.Err(); err != nil {
 			return nil, err
 		}
-		w, comp, err := Compile(name, level, cores)
+		w, comp, err := compileTier(name, level, cores, tier)
 		if err != nil {
 			return nil, err
 		}
@@ -249,6 +260,17 @@ func resultKey(traceKey string, arch sim.Config) string {
 	return "res/" + traceKey + "/" + arch.Fingerprint()
 }
 
+// traceKey derives the parallel-trace key: compiled-program identity
+// (workload content, level, cores, alias tier) plus input selection.
+// Tier zero keeps the historical shape, so pre-tier disk caches stay
+// live; the explore sweeps' tiered traces get a distinct component.
+func traceKey(name string, level hcc.Level, cores, tier int, ref bool, fp string) string {
+	if tier > 0 {
+		return fmt.Sprintf("trace/%s/L%d/c%d/t%d/ref=%v/%s", name, level, cores, tier, ref, fp)
+	}
+	return fmt.Sprintf("trace/%s/L%d/c%d/ref=%v/%s", name, level, cores, ref, fp)
+}
+
 // simWithTrace serves one harness simulation through the record/replay
 // fast path: the first run for a trace key executes and records (and
 // persists the trace when a disk tier is configured), every later run
@@ -294,7 +316,13 @@ func simWithTrace(ctx context.Context, key string, w *workloads.Workload, comp *
 // stored trace when one exists for this (workload content, level,
 // cores, input).
 func runOn(ctx context.Context, name string, level hcc.Level, arch sim.Config, ref bool) (*sim.Result, *hcc.Compiled, error) {
-	w, comp, err := CachedCompile(ctx, name, level, arch.Cores)
+	return runOnTier(ctx, name, level, 0, arch, ref)
+}
+
+// runOnTier is runOn with an alias-tier override for the compile and
+// the trace key (0 = level default, the historical path).
+func runOnTier(ctx context.Context, name string, level hcc.Level, tier int, arch sim.Config, ref bool) (*sim.Result, *hcc.Compiled, error) {
+	w, comp, err := cachedCompileTier(ctx, name, level, arch.Cores, tier)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -302,7 +330,7 @@ func runOn(ctx context.Context, name string, level hcc.Level, arch sim.Config, r
 	if err != nil {
 		return nil, nil, err
 	}
-	key := fmt.Sprintf("trace/%s/L%d/c%d/ref=%v/%s", name, level, arch.Cores, ref, fp)
+	key := traceKey(name, level, arch.Cores, tier, ref, fp)
 	res, err := simWithTrace(ctx, key, w, comp, arch, args(w, ref))
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", name, err)

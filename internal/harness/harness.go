@@ -54,12 +54,18 @@ func args(w *workloads.Workload, ref bool) []int64 {
 // Compile builds a fresh copy of the workload and compiles it at the
 // given level. A fresh copy is required because HCC mutates the program.
 func Compile(name string, level hcc.Level, cores int) (*workloads.Workload, *hcc.Compiled, error) {
+	return compileTier(name, level, cores, 0)
+}
+
+// compileTier is Compile with an alias-tier override (0 = the level's
+// engineered default, which is every path except the explore sweeps).
+func compileTier(name string, level hcc.Level, cores, tier int) (*workloads.Workload, *hcc.Compiled, error) {
 	w, err := workloads.Get(name)
 	if err != nil {
 		return nil, nil, err
 	}
 	comp, err := hcc.Compile(w.Prog, w.Entry, hcc.Options{
-		Level: level, Cores: cores, TrainArgs: w.TrainArgs,
+		Level: level, Cores: cores, TrainArgs: w.TrainArgs, AliasTier: tier,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", name, err)

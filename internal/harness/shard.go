@@ -196,36 +196,46 @@ func (u *WorkUnit) complete() bool {
 // twice. The unit list is deterministic: same experiments, same order,
 // on every worker.
 func PlanUnits(ctx context.Context, experiments []string, cores int) ([]WorkUnit, error) {
+	var groups []retimeGroup
+	for _, exp := range experiments {
+		groups = append(groups, experimentGroups(exp, cores)...)
+	}
+	return planGroups(ctx, groups)
+}
+
+// planGroups merges retime groups into deduplicated work units — the
+// shared core of PlanUnits (paper experiments) and PlanSweep (explore
+// grids): groups sharing a trace key merge, configs sharing a result
+// key are planned once, and the unit order is deterministic.
+func planGroups(ctx context.Context, groups []retimeGroup) ([]WorkUnit, error) {
 	byKey := map[string]*WorkUnit{}
 	seen := map[string]map[string]bool{}
 	var order []string
-	for _, exp := range experiments {
-		for _, g := range experimentGroups(exp, cores) {
-			if len(g.archs) == 0 {
+	for _, g := range groups {
+		if len(g.archs) == 0 {
+			continue
+		}
+		tkey, keyOf, err := groupKeys(ctx, &g)
+		if err != nil {
+			return nil, fmt.Errorf("harness: planning %s: %w", g.name, err)
+		}
+		u, ok := byKey[tkey]
+		if !ok {
+			u = &WorkUnit{Key: tkey, group: retimeGroup{
+				name: g.name, level: g.level, ref: g.ref, baseline: g.baseline, tier: g.tier,
+			}}
+			byKey[tkey] = u
+			seen[tkey] = map[string]bool{}
+			order = append(order, tkey)
+		}
+		for _, arch := range g.archs {
+			rk := keyOf(arch)
+			if seen[tkey][rk] {
 				continue
 			}
-			tkey, keyOf, err := groupKeys(ctx, &g)
-			if err != nil {
-				return nil, fmt.Errorf("harness: planning %s: %w", exp, err)
-			}
-			u, ok := byKey[tkey]
-			if !ok {
-				u = &WorkUnit{Key: tkey, group: retimeGroup{
-					name: g.name, level: g.level, ref: g.ref, baseline: g.baseline,
-				}}
-				byKey[tkey] = u
-				seen[tkey] = map[string]bool{}
-				order = append(order, tkey)
-			}
-			for _, arch := range g.archs {
-				rk := keyOf(arch)
-				if seen[tkey][rk] {
-					continue
-				}
-				seen[tkey][rk] = true
-				u.group.archs = append(u.group.archs, arch)
-				u.resultKeys = append(u.resultKeys, rk)
-			}
+			seen[tkey][rk] = true
+			u.group.archs = append(u.group.archs, arch)
+			u.resultKeys = append(u.resultKeys, rk)
 		}
 	}
 	units := make([]WorkUnit, len(order))

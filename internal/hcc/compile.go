@@ -42,7 +42,11 @@ func Compile(prog *ir.Program, entry *ir.Function, opts Options) (*Compiled, err
 		return nil, fmt.Errorf("hcc: profiling: %w", err)
 	}
 
-	an := alias.New(prog, opts.Level.AliasTier())
+	tier, err := opts.aliasTier()
+	if err != nil {
+		return nil, err
+	}
+	an := alias.New(prog, tier)
 
 	out := &Compiled{Prog: prog, Level: opts.Level, Options: opts, Profile: profile}
 

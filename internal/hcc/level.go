@@ -99,6 +99,24 @@ type Options struct {
 	// CPI approximates the target core's cycles per instruction for the
 	// selection model. Defaults to 1.4 (2-way in-order Atom-like).
 	CPI float64
+
+	// AliasTier overrides the alias-analysis precision the level is
+	// engineered with: a 1-based index into alias.Tiers (1 = VLLPA base
+	// ... 5 = +lib calls). Zero keeps Level.AliasTier(), so existing
+	// configurations are unchanged. helix-explore sweeps this axis to
+	// measure how much speedup each precision rung buys per family.
+	AliasTier int
+}
+
+// aliasTier resolves the effective alias tier, validating an override.
+func (o *Options) aliasTier() (alias.Tier, error) {
+	if o.AliasTier == 0 {
+		return o.Level.AliasTier(), nil
+	}
+	if o.AliasTier < 1 || o.AliasTier > len(alias.Tiers) {
+		return 0, fmt.Errorf("hcc: alias tier %d outside 1..%d", o.AliasTier, len(alias.Tiers))
+	}
+	return alias.Tiers[o.AliasTier-1], nil
 }
 
 func (o *Options) fillDefaults() {

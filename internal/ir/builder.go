@@ -1,16 +1,32 @@
 package ir
 
+import "fmt"
+
 // Builder provides a fluent way to emit instructions into a function. The
 // workload front ends (internal/workloads) are written against it.
 type Builder struct {
 	P *Program
 	F *Function
 	B *Block
+
+	// seq backs FreshName. It is per-builder (and a builder is per
+	// program construction), so repeated builds of the same workload in
+	// one process mint identical raw block names — the textual IR, not
+	// just the canonical fingerprint, is build-independent.
+	seq int
 }
 
 // NewBuilder returns a builder positioned at the function's entry block.
 func NewBuilder(p *Program, f *Function) *Builder {
 	return &Builder{P: p, F: f, B: f.Entry()}
+}
+
+// FreshName mints a unique block name from a builder-local counter.
+// Names stay unique within the function (every block of a function is
+// created through one builder) and deterministic across builds.
+func (b *Builder) FreshName(prefix string) string {
+	b.seq++
+	return fmt.Sprintf("%s.%d", prefix, b.seq)
 }
 
 // NewBlock creates a new block in the function and returns it without

@@ -6,10 +6,12 @@ package ir
 // round-trips everything the compiler and interpreter consume, with one
 // canonicalization: block names are replaced by their position in the
 // function. Builders are free to generate unique block names however
-// they like (the workloads DSL draws them from a process-global
-// counter, so the raw names differ between builds and between
-// processes); block *order* is what fixes UID assignment and therefore
+// they like; block *order* is what fixes UID assignment and therefore
 // compilation, and order is exactly what the positional names encode.
+// (The workloads DSL and irgen now mint names from per-program
+// counters, so raw names are build-independent too — the
+// canonicalization remains as defense in depth against front ends that
+// are not.)
 
 import (
 	"crypto/sha256"

@@ -1,0 +1,294 @@
+package irgen
+
+// Seeded workload families: the generator promoted from fuzzer feedstock
+// to first-class workloads. A family fixes the dependence *shape* of a
+// program — what kind of cross-iteration traffic its loops carry — and
+// the seed plus knobs fix everything else, so a scenario manifest
+// (family, seed, knobs) regenerates a byte-identical program anywhere.
+// All of Generate's invariants (verified IR, guaranteed termination,
+// in-bounds masked accesses, truthful alias metadata, checksum
+// epilogue) hold for family programs too: they are built from the same
+// emission helpers, only with a biased statement mix and a controlled
+// loop skeleton instead of the fuzzer's free-for-all.
+//
+//   - pointer-chase: linked-list walks (pointer-carried dependences
+//     with data-dependent trip counts) interleaved with counted loops
+//     whose bodies favour loads and indirect masked indexing.
+//   - reduction: counted loops dominated by accumulator updates —
+//     loop-carried register dependences HCC should privatize or
+//     recognize as reductions.
+//   - contention: counted loops hammering shared scalar cells and
+//     storing through overlapping arrays — the store-aliasing traffic
+//     that keeps sequential segments hot.
+//   - deep-nest: one nest per loop knob, Depth levels deep with small
+//     inner bounds — selection pressure across nesting levels.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"helixrc/internal/ir"
+)
+
+// Family names one generated-workload family.
+type Family string
+
+// The four families. The string values appear in scenario manifests and
+// on the helix-explore command line.
+const (
+	PointerChase Family = "pointer-chase"
+	Reduction    Family = "reduction"
+	Contention   Family = "contention"
+	DeepNest     Family = "deep-nest"
+)
+
+// Families lists every family in canonical (presentation) order.
+func Families() []Family {
+	return []Family{PointerChase, Reduction, Contention, DeepNest}
+}
+
+// ParseFamily validates a family name.
+func ParseFamily(s string) (Family, error) {
+	for _, f := range Families() {
+		if string(f) == s {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("irgen: unknown family %q (have %v)", s, Families())
+}
+
+// Knobs parameterize one family instance. Zero values take the family
+// defaults; the accepted ranges are enforced by GenerateFamily so a
+// hand-edited manifest fails loudly instead of generating a monster.
+type Knobs struct {
+	// Loops is the number of top-level loop structures (1..8). For
+	// pointer-chase each is a chase loop followed by a counted loop; for
+	// deep-nest each is one nest.
+	Loops int `json:"loops"`
+	// Ops is the body statements emitted per loop level (1..12).
+	Ops int `json:"ops"`
+	// Arrays is the shared global array count (1..4).
+	Arrays int `json:"arrays"`
+	// Cells is the shared scalar cell count (0..4) — cross-iteration
+	// read-modify-write targets.
+	Cells int `json:"cells"`
+	// Depth is the nest depth for deep-nest (2..4); other families
+	// ignore it.
+	Depth int `json:"depth,omitempty"`
+}
+
+// DefaultKnobs returns the family's canonical knob settings — what the
+// checked-in scenario packs use.
+func (f Family) DefaultKnobs() Knobs {
+	switch f {
+	case PointerChase:
+		return Knobs{Loops: 2, Ops: 3, Arrays: 2, Cells: 1}
+	case Reduction:
+		return Knobs{Loops: 3, Ops: 5, Arrays: 2, Cells: 0}
+	case Contention:
+		return Knobs{Loops: 2, Ops: 5, Arrays: 2, Cells: 3}
+	case DeepNest:
+		return Knobs{Loops: 1, Ops: 2, Arrays: 2, Cells: 1, Depth: 3}
+	}
+	return Knobs{}
+}
+
+// weights is the family's statement-mix bias (see bodyWeights).
+func (f Family) weights() bodyWeights {
+	switch f {
+	case PointerChase:
+		return bodyWeights{arith: 3, acc: 2, load: 6, store: 2, cell: 1, indirect: 6, diamond: 1}
+	case Reduction:
+		return bodyWeights{arith: 4, acc: 10, load: 4, store: 1, indirect: 1, diamond: 1}
+	case Contention:
+		return bodyWeights{arith: 2, acc: 2, load: 2, store: 6, cell: 7, indirect: 2, diamond: 1}
+	case DeepNest:
+		return bodyWeights{arith: 5, acc: 4, load: 4, store: 3, cell: 1, indirect: 1, diamond: 2}
+	}
+	return defaultBodyWeights
+}
+
+// validate bounds the knobs (after defaults are applied).
+func (k Knobs) validate(f Family) error {
+	switch {
+	case k.Loops < 1 || k.Loops > 8:
+		return fmt.Errorf("irgen: %s knobs: loops %d outside 1..8", f, k.Loops)
+	case k.Ops < 1 || k.Ops > 12:
+		return fmt.Errorf("irgen: %s knobs: ops %d outside 1..12", f, k.Ops)
+	case k.Arrays < 1 || k.Arrays > 4:
+		return fmt.Errorf("irgen: %s knobs: arrays %d outside 1..4", f, k.Arrays)
+	case k.Cells < 0 || k.Cells > 4:
+		return fmt.Errorf("irgen: %s knobs: cells %d outside 0..4", f, k.Cells)
+	case f == DeepNest && (k.Depth < 2 || k.Depth > 4):
+		return fmt.Errorf("irgen: %s knobs: depth %d outside 2..4", f, k.Depth)
+	case f != DeepNest && k.Depth != 0:
+		return fmt.Errorf("irgen: %s knobs: depth is a deep-nest knob", f)
+	}
+	return nil
+}
+
+// Resolve fills zero knobs from the family defaults and validates the
+// result — the manifest-facing form: a resolved Knobs fully describes
+// the generated program with no implicit defaults left.
+func (k Knobs) Resolve(f Family) (Knobs, error) {
+	k = k.withDefaults(f)
+	if err := k.validate(f); err != nil {
+		return Knobs{}, err
+	}
+	return k, nil
+}
+
+// withDefaults fills zero knobs from the family defaults.
+func (k Knobs) withDefaults(f Family) Knobs {
+	d := f.DefaultKnobs()
+	if k.Loops == 0 {
+		k.Loops = d.Loops
+	}
+	if k.Ops == 0 {
+		k.Ops = d.Ops
+	}
+	if k.Arrays == 0 {
+		k.Arrays = d.Arrays
+	}
+	if k.Cells == 0 {
+		k.Cells = d.Cells
+	}
+	if k.Depth == 0 {
+		k.Depth = d.Depth
+	}
+	return k
+}
+
+// familySeed mixes the family name into the seed so the same numeric
+// seed yields unrelated programs across families.
+func familySeed(f Family, seed uint64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(f))
+	return int64(h.Sum64() ^ (seed*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9))
+}
+
+// GenerateFamily builds the deterministic program of (family, seed,
+// knobs) and returns it with its entry function and the train/ref
+// argument vectors. Identical inputs yield byte-identical textual IR in
+// any process — the scenario manifests' content fingerprints rest on
+// it, and the round-trip tests pin it.
+func GenerateFamily(f Family, seed uint64, k Knobs) (prog *ir.Program, entry *ir.Function, train, ref []int64, err error) {
+	if _, err = ParseFamily(string(f)); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if k, err = k.Resolve(f); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	g := &gen{
+		rng: rand.New(rand.NewSource(familySeed(f, seed))),
+		p:   ir.NewProgram(fmt.Sprintf("%s-s%d", f, seed)),
+	}
+	w := f.weights()
+	g.bw = &w
+	main := g.p.NewFunction("main", 1)
+	g.f = main
+	g.b = ir.NewBuilder(g.p, main)
+
+	g.famPrologue(f, k)
+	for i := 0; i < k.Loops; i++ {
+		switch f {
+		case PointerChase:
+			g.chaseLoop()
+			g.famLoop(1, k.Ops)
+		case DeepNest:
+			g.famLoop(k.Depth, k.Ops)
+		default:
+			g.famLoop(1, k.Ops)
+		}
+	}
+	g.epilogue()
+
+	if err = g.p.Verify(); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("irgen: %s seed %d generated invalid program: %w", f, seed, err)
+	}
+	train = []int64{int64(g.rng.Intn(256))}
+	ref = []int64{int64(g.rng.Intn(256))}
+	return g.p, main, train, ref, nil
+}
+
+// famPrologue is prologue with knob-controlled object counts instead of
+// random draws: trip-count base, checksum register, Arrays global
+// arrays, Cells scalar cells, and two or three accumulators. Family
+// programs skip helpers and arena allocations — the families stress
+// dependence shapes, not the callee-effect or allocation paths.
+func (g *gen) famPrologue(f Family, k Knobs) {
+	m := g.b.Bin(ir.OpAnd, ir.R(g.f.Params[0]), ir.C(63))
+	g.nn = g.b.Bin(ir.OpAdd, ir.R(m), ir.C(16))
+	g.cs = g.b.Const(0)
+
+	for i := 0; i < k.Arrays; i++ {
+		size := int64(8 << g.rng.Intn(4)) // 8, 16, 32, 64
+		ty := g.p.NewType(fmt.Sprintf("arr%d", i))
+		gl := g.p.AddGlobal(fmt.Sprintf("g%d", i), size, ty)
+		gl.Init = make([]int64, size)
+		for j := range gl.Init {
+			gl.Init[j] = int64(g.rng.Intn(1024) - 512)
+		}
+		base := g.b.Const(gl.Addr)
+		g.arrays = append(g.arrays, array{
+			base: base, mask: size - 1, size: size,
+			at: ir.MemAttrs{Type: ty, Path: gl.Name + "[]"},
+		})
+	}
+	for i := 0; i < k.Cells; i++ {
+		ty := g.p.NewType(fmt.Sprintf("cell%d", i))
+		gl := g.p.AddGlobal(fmt.Sprintf("c%d", i), 1, ty)
+		gl.Init = []int64{int64(g.rng.Intn(100))}
+		base := g.b.Const(gl.Addr)
+		g.cells = append(g.cells, array{
+			base: base, mask: 0, size: 1,
+			at: ir.MemAttrs{Type: ty, Path: gl.Name},
+		})
+	}
+	naccs := 2 + g.rng.Intn(2)
+	if f == Reduction {
+		naccs = 3 // reductions want targets to accumulate into
+	}
+	for i := 0; i < naccs; i++ {
+		g.accs = append(g.accs, g.b.Const(int64(g.rng.Intn(50))))
+	}
+	g.pool = append(g.pool, g.nn)
+	g.pool = append(g.pool, g.accs...)
+}
+
+// famLoop emits one counted loop nest of the given depth. The outermost
+// level runs to the input-derived trip count nn; inner levels use small
+// constant bounds (3..6) so a depth-4 nest stays inside the interpreter
+// and profiling budgets.
+func (g *gen) famLoop(depth, ops int) {
+	poolMark := len(g.pool)
+	g.famLoopLevel(depth, ops, true)
+	g.pool = g.pool[:poolMark] // body-defined regs die with the nest
+}
+
+func (g *gen) famLoopLevel(depth, ops int, outer bool) {
+	i := g.b.Const(int64(g.rng.Intn(3)))
+	step := int64(1 + g.rng.Intn(2))
+	bound := ir.Value(ir.R(g.nn))
+	if !outer {
+		bound = ir.C(int64(3 + g.rng.Intn(4)))
+	}
+	head, body, latch, exit := g.block("head"), g.block("body"), g.block("latch"), g.block("exit")
+	g.b.Br(head)
+	g.b.SetBlock(head)
+	t := g.b.Bin(ir.OpCmpLT, ir.R(i), bound)
+	g.b.CondBr(ir.R(t), body, exit)
+	g.b.SetBlock(body)
+	for n := ops; n > 0; n-- {
+		g.bodyOp(i)
+	}
+	if depth > 1 {
+		g.famLoopLevel(depth-1, ops, false)
+	}
+	g.b.Br(latch)
+	g.b.SetBlock(latch)
+	g.b.BinTo(i, ir.OpAdd, ir.R(i), ir.C(step))
+	g.b.Br(head)
+	g.b.SetBlock(exit)
+}

@@ -1,0 +1,106 @@
+package irgen
+
+import (
+	"strings"
+	"testing"
+
+	"helixrc/internal/interp"
+)
+
+// TestFamilyDeterministic pins GenerateFamily's contract: the same
+// (family, seed, knobs) triple yields byte-identical textual IR on
+// repeated same-process calls and identical train/ref vectors. The
+// scenario manifests' content fingerprints depend on this.
+func TestFamilyDeterministic(t *testing.T) {
+	for _, f := range Families() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			p1, e1, tr1, rf1, err := GenerateFamily(f, seed, Knobs{})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", f, seed, err)
+			}
+			p2, e2, tr2, rf2, err := GenerateFamily(f, seed, Knobs{})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", f, seed, err)
+			}
+			if p1.Text(e1) != p2.Text(e2) {
+				t.Errorf("%s seed %d: two builds differ textually", f, seed)
+			}
+			if len(tr1) != len(tr2) || tr1[0] != tr2[0] || rf1[0] != rf2[0] {
+				t.Errorf("%s seed %d: argument vectors differ across builds", f, seed)
+			}
+			if f1, f2 := p1.Fingerprint(e1), p2.Fingerprint(e2); f1 != f2 {
+				t.Errorf("%s seed %d: fingerprints differ: %s vs %s", f, seed, f1, f2)
+			}
+		}
+	}
+}
+
+// TestFamilySeedsDiverge checks that the family salt works: the same
+// numeric seed produces different programs across families (otherwise a
+// scenario pack with one seed per family would sweep one program four
+// times).
+func TestFamilySeedsDiverge(t *testing.T) {
+	texts := map[string]Family{}
+	for _, f := range Families() {
+		p, e, _, _, err := GenerateFamily(f, 1, Knobs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := strings.SplitN(p.Text(e), "\n", 2)[1] // drop the program-name header
+		if prev, dup := texts[body]; dup {
+			t.Errorf("families %s and %s generate identical programs for seed 1", prev, f)
+		}
+		texts[body] = f
+	}
+}
+
+// TestFamilyProgramsRun executes every default-knob family program in
+// the interpreter on its ref input: they must terminate and produce a
+// value (the checksum epilogue folds all state into the return).
+func TestFamilyProgramsRun(t *testing.T) {
+	for _, f := range Families() {
+		for seed := uint64(1); seed <= 2; seed++ {
+			p, e, train, ref, err := GenerateFamily(f, seed, Knobs{})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", f, seed, err)
+			}
+			for _, args := range [][]int64{train, ref} {
+				res, err := interp.Run(p, e, 0, args...)
+				if err != nil {
+					t.Fatalf("%s seed %d args %v: %v", f, seed, args, err)
+				}
+				if res.Steps == 0 {
+					t.Errorf("%s seed %d: program executed zero steps", f, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestFamilyKnobValidation pins the knob bounds and family name checks.
+func TestFamilyKnobValidation(t *testing.T) {
+	if _, err := ParseFamily("no-such-family"); err == nil {
+		t.Error("ParseFamily accepted an unknown family")
+	}
+	cases := []struct {
+		f Family
+		k Knobs
+	}{
+		{PointerChase, Knobs{Loops: 9}},
+		{Reduction, Knobs{Ops: 13}},
+		{Contention, Knobs{Arrays: 5}},
+		{Contention, Knobs{Cells: 5}},
+		{DeepNest, Knobs{Depth: 1}},
+		{DeepNest, Knobs{Depth: 5}},
+		{Reduction, Knobs{Depth: 2}}, // depth on a non-nest family
+	}
+	for _, c := range cases {
+		if _, _, _, _, err := GenerateFamily(c.f, 1, c.k); err == nil {
+			t.Errorf("%s knobs %+v: expected a validation error", c.f, c.k)
+		}
+	}
+	// Extreme-but-legal knobs must still generate valid programs.
+	if _, _, _, _, err := GenerateFamily(DeepNest, 7, Knobs{Loops: 2, Ops: 4, Arrays: 4, Cells: 4, Depth: 4}); err != nil {
+		t.Errorf("deep-nest at max knobs: %v", err)
+	}
+}

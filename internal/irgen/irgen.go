@@ -54,6 +54,25 @@ type gen struct {
 	cs   ir.Reg   // checksum accumulator, becomes the return value
 	accs []ir.Reg // loop-carried accumulators, folded into cs at the end
 	pool []ir.Reg // registers usable as operands at the current point
+
+	// bw selects the statement mix bodyOp draws from; nil means the
+	// fuzzer's default mix. Family generators (family.go) install
+	// biased weights to push a program toward one dependence shape.
+	bw *bodyWeights
+}
+
+// bodyWeights is the statement-mix distribution of bodyOp, one weight
+// per case in declaration order. defaultBodyWeights reproduces the
+// original literal thresholds exactly (total 20), so Generate's random
+// stream — and therefore every fuzzer seed — is unchanged.
+type bodyWeights struct {
+	arith, acc, load, store, cell, indirect, call, diamond int
+}
+
+var defaultBodyWeights = bodyWeights{arith: 5, acc: 3, load: 3, store: 3, cell: 2, indirect: 1, call: 1, diamond: 2}
+
+func (w *bodyWeights) total() int {
+	return w.arith + w.acc + w.load + w.store + w.cell + w.indirect + w.call + w.diamond
 }
 
 // Generate builds a deterministic random program from the seed and
@@ -241,21 +260,34 @@ func (g *gen) bodyOp(i ir.Reg) {
 		}
 		return g.val()
 	}
-	switch k := g.rng.Intn(20); {
-	case k < 5: // plain arithmetic into a fresh register
+	w := g.bw
+	if w == nil {
+		w = &defaultBodyWeights
+	}
+	// Cumulative thresholds over one draw: with the default weights this
+	// is the original Intn(20) switch, byte for byte.
+	c1 := w.arith
+	c2 := c1 + w.acc
+	c3 := c2 + w.load
+	c4 := c3 + w.store
+	c5 := c4 + w.cell
+	c6 := c5 + w.indirect
+	c7 := c6 + w.call
+	switch k := g.rng.Intn(w.total()); {
+	case k < c1: // plain arithmetic into a fresh register
 		r := g.b.Bin(arithOps[g.rng.Intn(len(arithOps))], iv(), g.val())
 		g.pool = append(g.pool, r)
-	case k < 8: // accumulate (loop-carried register dependence)
+	case k < c2: // accumulate (loop-carried register dependence)
 		acc := g.accs[g.rng.Intn(len(g.accs))]
 		g.b.BinTo(acc, accOps[g.rng.Intn(len(accOps))], ir.R(acc), iv())
-	case k < 11: // array load
+	case k < c3: // array load
 		a := g.arrays[g.rng.Intn(len(g.arrays))]
 		r := g.b.Load(ir.R(g.index(a, iv())), 0, a.at)
 		g.pool = append(g.pool, r)
-	case k < 14: // array store
+	case k < c4: // array store
 		a := g.arrays[g.rng.Intn(len(g.arrays))]
 		g.b.Store(ir.R(g.index(a, iv())), 0, g.val(), a.at)
-	case k < 16: // scalar cell read-modify-write (cross-iteration mem dep)
+	case k < c5: // scalar cell read-modify-write (cross-iteration mem dep)
 		if len(g.cells) == 0 {
 			r := g.b.Bin(ir.OpXor, iv(), g.val())
 			g.pool = append(g.pool, r)
@@ -265,7 +297,7 @@ func (g *gen) bodyOp(i ir.Reg) {
 		v := g.b.Load(ir.R(c.base), 0, c.at)
 		w := g.b.Bin(accOps[g.rng.Intn(len(accOps))], ir.R(v), iv())
 		g.b.Store(ir.R(c.base), 0, ir.R(w), c.at)
-	case k < 17: // indirect masked indexing through a loaded value
+	case k < c6: // indirect masked indexing through a loaded value
 		a1 := g.arrays[g.rng.Intn(len(g.arrays))]
 		a2 := g.arrays[g.rng.Intn(len(g.arrays))]
 		idx := g.b.Load(ir.R(g.index(a1, iv())), 0, a1.at)
@@ -276,7 +308,7 @@ func (g *gen) bodyOp(i ir.Reg) {
 		} else {
 			g.b.Store(ir.R(addr), 0, g.val(), a2.at)
 		}
-	case k < 18: // call
+	case k < c7: // call
 		if len(g.helpers) > 0 && g.rng.Intn(2) == 0 {
 			h := g.helpers[g.rng.Intn(len(g.helpers))]
 			args := make([]ir.Value, len(h.Params))

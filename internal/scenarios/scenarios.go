@@ -1,0 +1,297 @@
+// Package scenarios turns the irgen workload families into named,
+// pinned workloads. A Manifest is the durable identity of one generated
+// program: the (family, seed, knobs) triple that regenerates it, the
+// argument vectors it runs with, its expected loop statistics, and the
+// content fingerprint of the generated IR. Manifests round-trip through
+// checked-in JSON packs (scenarios/*.json at the repo root), so a
+// design-space sweep names its subjects the same way the paper suite
+// does — by content — and a generator drift that would silently change
+// every sweep shows up as a fingerprint mismatch instead.
+//
+// RegisterPack places each scenario in the workloads registry under
+// "gen.<family>.s<seed>", which puts generated programs on exactly the
+// cached compile/trace/replay path the SPEC analogues use. Names() in
+// internal/workloads keeps reporting only the paper suite, so the paper
+// figures are untouched by however many scenarios a process registers.
+package scenarios
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"helixrc/internal/cfg"
+	"helixrc/internal/ir"
+	"helixrc/internal/irgen"
+	"helixrc/internal/workloads"
+)
+
+// Manifest pins one generated scenario.
+type Manifest struct {
+	// Name is the registry name, "gen.<family>.s<seed>".
+	Name   string      `json:"name"`
+	Family string      `json:"family"`
+	Seed   uint64      `json:"seed"`
+	Knobs  irgen.Knobs `json:"knobs"`
+	// TrainArgs/RefArgs are the generator-drawn input vectors; the
+	// harness profiles on train and measures on ref, like the suite.
+	TrainArgs []int64 `json:"train_args"`
+	RefArgs   []int64 `json:"ref_args"`
+	// Loops/Blocks/Instrs are expected static statistics of the
+	// generated program — a human-readable sanity layer under the
+	// fingerprint: a knob edit that changes program shape shows up here
+	// even before hashing.
+	Loops  int `json:"loops"`
+	Blocks int `json:"blocks"`
+	Instrs int `json:"instrs"`
+	// Fingerprint is ir.Program.Fingerprint of the generated program —
+	// the same content hash the harness keys artifacts by.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Pack is one family's checked-in scenario set.
+type Pack struct {
+	Note      string     `json:"note,omitempty"`
+	Family    string     `json:"family"`
+	Scenarios []Manifest `json:"scenarios"`
+}
+
+// Name returns the registry name of (family, seed).
+func Name(f irgen.Family, seed uint64) string {
+	return fmt.Sprintf("gen.%s.s%d", f, seed)
+}
+
+// Build generates the (family, seed, knobs) program and returns its
+// manifest together with the built workload.
+func Build(f irgen.Family, seed uint64, k irgen.Knobs) (Manifest, *workloads.Workload, error) {
+	// Resolve first so the manifest records the knobs that actually
+	// shaped the program, not zero placeholders for defaults.
+	k, err := k.Resolve(f)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	p, entry, train, ref, err := irgen.GenerateFamily(f, seed, k)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	loops, blocks, instrs := stats(p)
+	m := Manifest{
+		Name:        Name(f, seed),
+		Family:      string(f),
+		Seed:        seed,
+		Knobs:       k,
+		TrainArgs:   train,
+		RefArgs:     ref,
+		Loops:       loops,
+		Blocks:      blocks,
+		Instrs:      instrs,
+		Fingerprint: p.Fingerprint(entry),
+	}
+	return m, manifestWorkload(m, p, entry), nil
+}
+
+// manifestWorkload wraps a generated program as a registry workload.
+// The paper-statistics fields stay zero: scenarios feed the explore
+// sweeps, not the paper-comparison figures.
+func manifestWorkload(m Manifest, p *ir.Program, entry *ir.Function) *workloads.Workload {
+	return &workloads.Workload{
+		Name:      m.Name,
+		Class:     workloads.INT,
+		Prog:      p,
+		Entry:     entry,
+		TrainArgs: append([]int64(nil), m.TrainArgs...),
+		RefArgs:   append([]int64(nil), m.RefArgs...),
+	}
+}
+
+// stats computes the manifest's static statistics over every function.
+func stats(p *ir.Program) (loops, blocks, instrs int) {
+	for _, fn := range p.Funcs {
+		loops += len(cfg.FindLoops(cfg.New(fn)).Loops)
+		blocks += len(fn.Blocks)
+		for _, b := range fn.Blocks {
+			instrs += len(b.Instrs)
+		}
+	}
+	return loops, blocks, instrs
+}
+
+// Verify regenerates m's program and checks every pinned property: the
+// name convention, argument vectors, loop statistics and the content
+// fingerprint. This is the round-trip guard — a checked-in pack that
+// fails Verify means the generator (or the manifest) drifted.
+func Verify(m Manifest) error {
+	f, err := irgen.ParseFamily(m.Family)
+	if err != nil {
+		return err
+	}
+	if want := Name(f, m.Seed); m.Name != want {
+		return fmt.Errorf("scenarios: %s: name should be %q", m.Name, want)
+	}
+	got, _, err := Build(f, m.Seed, m.Knobs)
+	if err != nil {
+		return err
+	}
+	if got.Fingerprint != m.Fingerprint {
+		return fmt.Errorf("scenarios: %s: fingerprint drifted: manifest %s, generated %s",
+			m.Name, m.Fingerprint, got.Fingerprint)
+	}
+	if !argsEqual(got.TrainArgs, m.TrainArgs) || !argsEqual(got.RefArgs, m.RefArgs) {
+		return fmt.Errorf("scenarios: %s: argument vectors drifted: manifest train=%v ref=%v, generated train=%v ref=%v",
+			m.Name, m.TrainArgs, m.RefArgs, got.TrainArgs, got.RefArgs)
+	}
+	if got.Loops != m.Loops || got.Blocks != m.Blocks || got.Instrs != m.Instrs {
+		return fmt.Errorf("scenarios: %s: statistics drifted: manifest loops=%d blocks=%d instrs=%d, generated loops=%d blocks=%d instrs=%d",
+			m.Name, m.Loops, m.Blocks, m.Instrs, got.Loops, got.Blocks, got.Instrs)
+	}
+	return nil
+}
+
+func argsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// defaultSeeds gives each family its own seed range so packs read
+// unambiguously (the family salt already decorrelates programs).
+var defaultSeeds = map[irgen.Family][]uint64{
+	irgen.PointerChase: {11, 12},
+	irgen.Reduction:    {21, 22},
+	irgen.Contention:   {31, 32},
+	irgen.DeepNest:     {41, 42},
+}
+
+// DefaultPack builds the canonical pack for one family: the default
+// seeds with default knobs. helix-explore -emitpack writes these to
+// disk; the checked-in scenarios/*.json are exactly this output.
+func DefaultPack(f irgen.Family) (Pack, error) {
+	p := Pack{
+		Note:   "generated by helix-explore -emitpack; edit knobs/seeds then re-emit, never hand-edit fingerprints",
+		Family: string(f),
+	}
+	for _, seed := range defaultSeeds[f] {
+		m, _, err := Build(f, seed, irgen.Knobs{})
+		if err != nil {
+			return Pack{}, err
+		}
+		p.Scenarios = append(p.Scenarios, m)
+	}
+	return p, nil
+}
+
+// Validate checks a pack's internal consistency and every manifest's
+// round-trip.
+func (p Pack) Validate() error {
+	if _, err := irgen.ParseFamily(p.Family); err != nil {
+		return err
+	}
+	if len(p.Scenarios) == 0 {
+		return fmt.Errorf("scenarios: pack %s has no scenarios", p.Family)
+	}
+	seen := map[string]bool{}
+	for _, m := range p.Scenarios {
+		if m.Family != p.Family {
+			return fmt.Errorf("scenarios: pack %s contains a %s scenario", p.Family, m.Family)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("scenarios: pack %s lists %s twice", p.Family, m.Name)
+		}
+		seen[m.Name] = true
+		if err := Verify(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterPack validates the pack and registers every scenario in the
+// workloads registry. Already-registered scenario names are skipped, so
+// loading the same pack twice in one process (tests, then a sweep) is
+// safe; colliding with a non-scenario name is still an error.
+func RegisterPack(p Pack) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	have := map[string]bool{}
+	for _, n := range workloads.Registered() {
+		have[n] = true
+	}
+	for _, m := range p.Scenarios {
+		if have[m.Name] {
+			continue
+		}
+		m := m
+		err := workloads.Register(m.Name, func() *workloads.Workload {
+			f, _ := irgen.ParseFamily(m.Family)
+			prog, entry, _, _, err := irgen.GenerateFamily(f, m.Seed, m.Knobs)
+			if err != nil {
+				panic(fmt.Sprintf("scenarios: %s failed to regenerate after validation: %v", m.Name, err))
+			}
+			return manifestWorkload(m, prog, entry)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every *.json pack in dir, sorted by filename.
+func LoadDir(dir string) ([]Pack, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("scenarios: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("scenarios: no *.json packs in %s", dir)
+	}
+	var packs []Pack
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("scenarios: %w", err)
+		}
+		var p Pack
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("scenarios: %s: %w", n, err)
+		}
+		packs = append(packs, p)
+	}
+	return packs, nil
+}
+
+// WriteDir writes one "<family>.json" per pack into dir (creating it),
+// in the stable indented encoding the repo checks in.
+func WriteDir(dir string, packs []Pack) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("scenarios: %w", err)
+	}
+	for _, p := range packs {
+		data, err := json.MarshalIndent(p, "", "  ")
+		if err != nil {
+			return fmt.Errorf("scenarios: %w", err)
+		}
+		path := filepath.Join(dir, p.Family+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("scenarios: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package scenarios
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"helixrc/internal/difftest"
+	"helixrc/internal/hcc"
+	"helixrc/internal/ir"
+	"helixrc/internal/irgen"
+	"helixrc/internal/workloads"
+)
+
+// packDir is the checked-in pack location, relative to this package.
+const packDir = "../../scenarios"
+
+// TestCheckedInPacksRoundTrip is the manifest round-trip oracle over
+// the real checked-in packs: load JSON, regenerate every program, and
+// require fingerprints, argument vectors and loop statistics to match
+// what the pack pins. Generator drift fails here first.
+func TestCheckedInPacksRoundTrip(t *testing.T) {
+	packs, err := LoadDir(packDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packs) != len(irgen.Families()) {
+		t.Fatalf("checked-in packs cover %d families, want %d", len(packs), len(irgen.Families()))
+	}
+	for _, p := range packs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Family, err)
+		}
+	}
+}
+
+// TestCheckedInPacksMatchDefaults requires the checked-in packs to be
+// exactly what `helix-explore -emitpack` would write today — the files
+// are generated artifacts, and hand edits or a stale emit show up here.
+func TestCheckedInPacksMatchDefaults(t *testing.T) {
+	packs, err := LoadDir(packDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFamily := map[string]Pack{}
+	for _, p := range packs {
+		byFamily[p.Family] = p
+	}
+	for _, f := range irgen.Families() {
+		want, err := DefaultPack(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := byFamily[string(f)]
+		if !ok {
+			t.Errorf("no checked-in pack for %s", f)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: checked-in pack differs from DefaultPack — re-run helix-explore -emitpack", f)
+		}
+	}
+}
+
+// TestRegisterPack registers the checked-in packs and checks the
+// registry path end to end: Get regenerates each scenario, the built
+// program's fingerprint matches the manifest, and repeated Gets are
+// byte-identical (the per-program name counter at work). RegisterPack
+// is also required to be idempotent for already-registered names.
+func TestRegisterPack(t *testing.T) {
+	packs, err := LoadDir(packDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range packs {
+		if err := RegisterPack(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := RegisterPack(p); err != nil {
+			t.Errorf("%s: second RegisterPack not idempotent: %v", p.Family, err)
+		}
+		for _, m := range p.Scenarios {
+			w1, err := workloads.Get(m.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := workloads.Get(m.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := w1.Prog.Fingerprint(w1.Entry); got != m.Fingerprint {
+				t.Errorf("%s: registry build fingerprint %s, manifest %s", m.Name, got, m.Fingerprint)
+			}
+			if w1.Prog.Text(w1.Entry) != w2.Prog.Text(w2.Entry) {
+				t.Errorf("%s: two registry builds differ textually", m.Name)
+			}
+		}
+	}
+}
+
+// TestPackFileNaming pins the one-file-per-family layout WriteDir
+// produces and LoadDir's sorted order.
+func TestPackFileNaming(t *testing.T) {
+	dir := t.TempDir()
+	var packs []Pack
+	for _, f := range irgen.Families() {
+		p, err := DefaultPack(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packs = append(packs, p)
+	}
+	if err := WriteDir(dir, packs); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range irgen.Families() {
+		if _, err := LoadDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := filepath.Glob(filepath.Join(dir, string(f)+".json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(packs) {
+		t.Fatalf("round-trip lost packs: wrote %d, read %d", len(packs), len(got))
+	}
+	for _, p := range got {
+		if err := p.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestVerifyCatchesDrift corrupts each pinned manifest field in turn
+// and requires Verify to reject it.
+func TestVerifyCatchesDrift(t *testing.T) {
+	m, _, err := Build(irgen.Reduction, 21, irgen.Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Manifest){
+		"name":        func(m *Manifest) { m.Name = "gen.reduction.s999" },
+		"fingerprint": func(m *Manifest) { m.Fingerprint = "helixir-fp1:deadbeef" },
+		"train args":  func(m *Manifest) { m.TrainArgs = []int64{m.TrainArgs[0] + 1} },
+		"ref args":    func(m *Manifest) { m.RefArgs = []int64{m.RefArgs[0] + 1} },
+		"loops":       func(m *Manifest) { m.Loops++ },
+		"instrs":      func(m *Manifest) { m.Instrs-- },
+		"family":      func(m *Manifest) { m.Family = "no-such-family" },
+	}
+	for what, mutate := range mutations {
+		bad := m
+		bad.TrainArgs = append([]int64(nil), m.TrainArgs...)
+		bad.RefArgs = append([]int64(nil), m.RefArgs...)
+		mutate(&bad)
+		if err := Verify(bad); err == nil {
+			t.Errorf("Verify accepted a manifest with corrupted %s", what)
+		}
+	}
+	if err := Verify(m); err != nil {
+		t.Errorf("Verify rejected an unmodified manifest: %v", err)
+	}
+}
+
+// TestFamilyDifftestSweep runs the interp-vs-parallel functional oracle
+// over one scenario per family: parallelized simulated execution must
+// return the sequential interpreter's value at every swept level and
+// core count. This is the functional safety net under the explore
+// sweeps — replay retiming can only be trusted if the recorded
+// executions themselves are correct.
+func TestFamilyDifftestSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("difftest matrix is slow")
+	}
+	for _, f := range irgen.Families() {
+		f := f
+		t.Run(string(f), func(t *testing.T) {
+			t.Parallel()
+			seed := defaultSeeds[f][0]
+			build := func() (*ir.Program, *ir.Function, []int64, error) {
+				p, entry, _, ref, err := irgen.GenerateFamily(f, seed, irgen.Knobs{})
+				return p, entry, ref, err
+			}
+			opt := difftest.Options{
+				Levels:    []hcc.Level{hcc.V1, hcc.V3},
+				Cores:     []int{2, 8},
+				SkipCross: true,
+			}
+			if fail := difftest.Check(context.Background(), build, opt); fail != nil {
+				t.Fatalf("%s seed %d: %v\nprogram:\n%s", f, seed, fail, fail.Program)
+			}
+		})
+	}
+}

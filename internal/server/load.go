@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"helixrc/internal/benchreport"
@@ -67,6 +68,27 @@ type LoadOptions struct {
 	VerifyHashes map[string]string
 }
 
+// validate rejects option values that are set but wrong. withDefaults
+// fills unset (zero) values only — it must never paper over a bad one,
+// or a run silently measures a different mix than the caller asked for
+// (an out-of-range HotFrac used to reset to 0.9 that way).
+func (o *LoadOptions) validate() error {
+	switch o.Mix {
+	case "", "hotkey", "uniform":
+	default:
+		return fmt.Errorf("load mix %q: accepted values are hotkey, uniform", o.Mix)
+	}
+	switch o.Kind {
+	case "", string(JobFigure), string(JobSimulate), string(JobCompile):
+	default:
+		return fmt.Errorf("load kind %q: accepted values are %s, %s, %s", o.Kind, JobFigure, JobSimulate, JobCompile)
+	}
+	if o.HotFrac < 0 || o.HotFrac > 1 {
+		return fmt.Errorf("load hot fraction %v: accepted range is (0..1] (0 = default)", o.HotFrac)
+	}
+	return nil
+}
+
 func (o *LoadOptions) withDefaults() LoadOptions {
 	out := *o
 	if out.Clients <= 0 {
@@ -78,7 +100,7 @@ func (o *LoadOptions) withDefaults() LoadOptions {
 	if out.Mix == "" {
 		out.Mix = "hotkey"
 	}
-	if out.HotFrac <= 0 || out.HotFrac > 1 {
+	if out.HotFrac == 0 {
 		out.HotFrac = 0.9
 	}
 	if out.Kind == "" {
@@ -147,9 +169,14 @@ func WaitReady(ctx context.Context, baseURL string, timeout time.Duration) error
 }
 
 // RunLoad drives the daemon until the duration elapses (or ctx is
-// canceled), then snapshots /metrics. Always returns a result; the
-// error reports the run being cut short by ctx.
+// canceled), then snapshots /metrics. Options are validated up front
+// (set-but-wrong values are errors, not silent defaults); past
+// validation it always returns a result, and the error reports the run
+// being cut short by ctx.
 func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	o := opts.withDefaults()
 	client := &http.Client{Timeout: 30 * time.Second}
 	stop := time.Now().Add(o.Duration)
@@ -167,7 +194,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 			for time.Now().Before(stop) && ctx.Err() == nil {
 				req := o.pickRequest(rng)
 				t0 := time.Now()
-				id, code, err := submit(ctx, client, o.BaseURL, req)
+				id, code, retryAfter, err := submit(ctx, client, o.BaseURL, req)
 				switch {
 				case err != nil:
 					if ctx.Err() == nil {
@@ -176,12 +203,21 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadResult, error) {
 					continue
 				case code == http.StatusTooManyRequests:
 					c.sheds++
-					// Back off briefly. The server's Retry-After is a polite
-					// 1s; a load generator's job is to keep pressure on, so
-					// it only yields long enough to let a worker free up.
+					// Back off for as long as the server asked (it knows its
+					// queue), but never past the run's end — a shed on the
+					// last seconds must not stall the drain. Without a usable
+					// Retry-After, yield just long enough for a worker to
+					// free up.
+					backoff := retryAfter
+					if backoff <= 0 {
+						backoff = 10 * time.Millisecond
+					}
+					if rem := time.Until(stop); backoff > rem {
+						backoff = rem
+					}
 					select {
 					case <-ctx.Done():
-					case <-time.After(10 * time.Millisecond):
+					case <-time.After(backoff):
 					}
 					continue
 				case code != http.StatusAccepted:
@@ -283,31 +319,47 @@ func (o *LoadOptions) pickRequest(rng *rand.Rand) JobRequest {
 	return req
 }
 
-// submit POSTs one job; id is valid only for code 202.
-func submit(ctx context.Context, client *http.Client, base string, jr JobRequest) (id string, code int, err error) {
+// submit POSTs one job; id is valid only for code 202. On a shed (429)
+// retryAfter carries the server's Retry-After delay, zero when the
+// header is absent or unparseable.
+func submit(ctx context.Context, client *http.Client, base string, jr JobRequest) (id string, code int, retryAfter time.Duration, err error) {
 	body, err := json.Marshal(jr)
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/jobs", bytes.NewReader(body))
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		io.Copy(io.Discard, resp.Body)
-		return "", resp.StatusCode, nil
+		return "", resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After")), nil
 	}
 	var v jobView
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		return "", resp.StatusCode, err
+		return "", resp.StatusCode, 0, err
 	}
-	return v.ID, resp.StatusCode, nil
+	return v.ID, resp.StatusCode, 0, nil
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the form this server emits). The HTTP-date form and garbage both
+// yield zero — the caller falls back to its own backoff.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // pollDone polls the job until it reaches a terminal state.

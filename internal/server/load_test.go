@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLoadValidatesOptions is the regression test for the silent
+// HotFrac reset: set-but-wrong options must be rejected up front, not
+// papered over with defaults mid-run.
+func TestRunLoadValidatesOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opts LoadOptions
+		want string // substring of the error
+	}{
+		{"bad mix", LoadOptions{Mix: "zipf"}, "mix"},
+		{"bad kind", LoadOptions{Kind: "render"}, "kind"},
+		{"negative hotfrac", LoadOptions{HotFrac: -0.1}, "hot fraction"},
+		{"hotfrac above one", LoadOptions{HotFrac: 1.5}, "hot fraction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RunLoad(context.Background(), tc.opts)
+			if err == nil {
+				t.Fatalf("RunLoad accepted %+v", tc.opts)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadOptionsDefaultsOnlyFillZeros pins the split between validate
+// and withDefaults: an unset HotFrac takes the default, an explicit
+// in-range one survives untouched.
+func TestLoadOptionsDefaultsOnlyFillZeros(t *testing.T) {
+	if got := (&LoadOptions{}).withDefaults().HotFrac; got != 0.9 {
+		t.Fatalf("unset HotFrac defaulted to %v, want 0.9", got)
+	}
+	if got := (&LoadOptions{HotFrac: 0.25}).withDefaults().HotFrac; got != 0.25 {
+		t.Fatalf("explicit HotFrac rewritten to %v", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		h    string
+		want time.Duration
+	}{
+		{"1", time.Second},
+		{"30", 30 * time.Second},
+		{"", 0},
+		{"-5", 0},
+		{"soon", 0},
+		{"Wed, 21 Oct 2026 07:28:00 GMT", 0}, // HTTP-date form: fall back
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.h); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.h, got, tc.want)
+		}
+	}
+}
+
+// TestLoadBackoffHonorsRetryAfter runs the generator against a server
+// that always sheds with Retry-After: 1. Honoring the header means one
+// shed consumes the rest of a short run (so the shed count stays tiny),
+// and capping the sleep at the run's end means the whole call still
+// returns promptly instead of overshooting by the full second.
+func TestLoadBackoffHonorsRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	start := time.Now()
+	res, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:  srv.URL,
+		Clients:  1,
+		Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if res.Summary.Sheds < 1 {
+		t.Fatalf("expected at least one shed, got %d", res.Summary.Sheds)
+	}
+	// A 10ms fixed backoff would shed ~15 times in 150ms; honoring the
+	// 1s header caps the count at a couple of submits.
+	if res.Summary.Sheds > 4 {
+		t.Fatalf("%d sheds in 150ms: Retry-After not honored", res.Summary.Sheds)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("run took %v: backoff not capped at the run's end", elapsed)
+	}
+}

@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSameProcessDoubleBuild pins the per-program block-name counter:
+// building the same workload twice in one process must produce
+// byte-identical *raw* textual IR, not merely an identical canonical
+// fingerprint. (The DSL once minted block names from a process-global
+// counter, so a second build shifted every name and only the
+// positional canonicalization in ir.Fingerprint hid it.)
+func TestSameProcessDoubleBuild(t *testing.T) {
+	for _, name := range Names() {
+		w1, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1, t2 := w1.Prog.Text(w1.Entry), w2.Prog.Text(w2.Entry)
+		if t1 != t2 {
+			t.Errorf("%s: two same-process builds differ textually", name)
+		}
+		if f1, f2 := w1.Prog.Fingerprint(w1.Entry), w2.Prog.Fingerprint(w2.Entry); f1 != f2 {
+			t.Errorf("%s: fingerprints differ: %s vs %s", name, f1, f2)
+		}
+	}
+}
+
+// TestConcurrentBuildsDeterministic builds every workload from many
+// goroutines at once (the parallel experiment engine's access pattern)
+// and requires each build to match the single-threaded text exactly —
+// no shared counter state can leak between concurrent builds.
+func TestConcurrentBuildsDeterministic(t *testing.T) {
+	want := map[string]string{}
+	for _, name := range Names() {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = w.Prog.Text(w.Entry)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 4*len(want))
+	for i := 0; i < 4; i++ {
+		for _, name := range Names() {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				w, err := Get(name)
+				if err != nil {
+					errs <- name + ": " + err.Error()
+					return
+				}
+				if w.Prog.Text(w.Entry) != want[name] {
+					errs <- name + ": concurrent build diverged from solo build"
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestRegisterRejectsDuplicates pins Register's collision and
+// validation behaviour.
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register("", nil); err == nil {
+		t.Error("Register accepted an empty name and nil builder")
+	}
+	if err := Register("164.gzip", Gzip); err == nil {
+		t.Error("Register accepted a name colliding with the paper suite")
+	}
+	name := "test.register.unique"
+	if err := Register(name, Gzip); err != nil {
+		t.Fatalf("Register(%s): %v", name, err)
+	}
+	if err := Register(name, Gzip); err == nil {
+		t.Error("Register accepted the same name twice")
+	}
+	if _, err := Get(name); err != nil {
+		t.Errorf("Get(%s) after Register: %v", name, err)
+	}
+}

@@ -1,24 +1,20 @@
 package workloads
 
 import (
-	"fmt"
-	"sync/atomic"
-
 	"helixrc/internal/ir"
 )
 
 // The workload DSL: thin structured-control helpers over the IR builder so
 // each benchmark file reads like the C loops it models.
-
-// blockSeq is atomic so concurrent Get calls (the parallel experiment
-// engine builds workloads from many goroutines) mint unique block names
-// without racing. The names are purely cosmetic — no output depends on
-// them — so cross-goroutine interleaving of the sequence is harmless.
-var blockSeq atomic.Int64
-
-func freshName(prefix string) string {
-	return fmt.Sprintf("%s.%d", prefix, blockSeq.Add(1))
-}
+//
+// Block names come from the builder's per-program counter
+// (ir.Builder.FreshName), not a package global: two builds of the same
+// workload in one process — concurrent Get calls from the parallel
+// experiment engine included — produce byte-identical textual IR, which
+// the same-process double-build test pins. (A process-global counter
+// here once forced the fingerprint canonicalization to paper over
+// build-dependent names; the canonicalization stays, as defense in
+// depth, but it is no longer load-bearing for the DSL.)
 
 // Loop emits a canonical counted loop:
 //
@@ -34,9 +30,9 @@ func Loop(b *ir.Builder, name string, n ir.Value, body func(i ir.Reg)) {
 
 // LoopFrom is Loop with an existing start register and a custom step.
 func LoopFrom(b *ir.Builder, name string, i ir.Reg, n ir.Value, step int64, body func(i ir.Reg)) {
-	head := b.NewBlock(freshName(name + ".head"))
-	bodyB := b.NewBlock(freshName(name + ".body"))
-	exit := b.NewBlock(freshName(name + ".exit"))
+	head := b.NewBlock(b.FreshName(name + ".head"))
+	bodyB := b.NewBlock(b.FreshName(name + ".body"))
+	exit := b.NewBlock(b.FreshName(name + ".exit"))
 	b.Br(head)
 	b.SetBlock(head)
 	c := b.Bin(ir.OpCmpLT, ir.R(i), n)
@@ -52,9 +48,9 @@ func LoopFrom(b *ir.Builder, name string, i ir.Reg, n ir.Value, step int64, body
 // continue condition in the header and returns it; body runs while the
 // condition is nonzero.
 func While(b *ir.Builder, name string, cond func() ir.Reg, body func()) {
-	head := b.NewBlock(freshName(name + ".head"))
-	bodyB := b.NewBlock(freshName(name + ".body"))
-	exit := b.NewBlock(freshName(name + ".exit"))
+	head := b.NewBlock(b.FreshName(name + ".head"))
+	bodyB := b.NewBlock(b.FreshName(name + ".body"))
+	exit := b.NewBlock(b.FreshName(name + ".exit"))
 	b.Br(head)
 	b.SetBlock(head)
 	c := cond()
@@ -68,11 +64,11 @@ func While(b *ir.Builder, name string, cond func() ir.Reg, body func()) {
 // If emits a two-armed conditional; either arm may be nil. Both arms fall
 // through to a join block where the builder is left.
 func If(b *ir.Builder, cond ir.Value, then func(), els func()) {
-	thenB := b.NewBlock(freshName("then"))
-	join := b.NewBlock(freshName("join"))
+	thenB := b.NewBlock(b.FreshName("then"))
+	join := b.NewBlock(b.FreshName("join"))
 	elsB := join
 	if els != nil {
-		elsB = b.NewBlock(freshName("else"))
+		elsB = b.NewBlock(b.FreshName("else"))
 	}
 	b.CondBr(cond, thenB, elsB)
 	b.SetBlock(thenB)

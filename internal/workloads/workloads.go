@@ -13,6 +13,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"helixrc/internal/ir"
 )
@@ -52,17 +53,42 @@ type Workload struct {
 	PaperCoverage [4]float64
 }
 
-var registry = map[string]func() *Workload{
-	"164.gzip":   Gzip,
-	"175.vpr":    Vpr,
-	"197.parser": Parser,
-	"300.twolf":  Twolf,
-	"181.mcf":    Mcf,
-	"256.bzip2":  Bzip2,
-	"183.equake": Equake,
-	"179.art":    Art,
-	"188.ammp":   Ammp,
-	"177.mesa":   Mesa,
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() *Workload{
+		"164.gzip":   Gzip,
+		"175.vpr":    Vpr,
+		"197.parser": Parser,
+		"300.twolf":  Twolf,
+		"181.mcf":    Mcf,
+		"256.bzip2":  Bzip2,
+		"183.equake": Equake,
+		"179.art":    Art,
+		"188.ammp":   Ammp,
+		"177.mesa":   Mesa,
+	}
+)
+
+// Register adds a named workload builder to the registry, making it
+// resolvable through Get (and therefore through the whole cached
+// harness path) alongside the ten SPEC analogues. The builder must
+// return a fresh, deterministic workload on every call: HCC mutates
+// programs, so Get hands each caller its own copy, and the harness
+// keys artifacts by content fingerprint, so two calls must produce
+// byte-identical textual IR. internal/scenarios registers its
+// generated families here; Names() deliberately keeps reporting only
+// the paper suite, so every figure stays byte-identical.
+func Register(name string, build func() *Workload) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("workloads: Register needs a name and a builder")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, ok := registry[name]; ok {
+		return fmt.Errorf("workloads: %q is already registered", name)
+	}
+	registry[name] = build
+	return nil
 }
 
 // Names returns all workload names, INT first then FP, in paper order.
@@ -81,8 +107,10 @@ func FPNames() []string { return Names()[6:] }
 
 // Get builds a workload by name.
 func Get(name string) (*Workload, error) {
+	registryMu.RLock()
 	f, ok := registry[name]
 	if !ok {
+		defer registryMu.RUnlock()
 		known := make([]string, 0, len(registry))
 		for k := range registry {
 			known = append(known, k)
@@ -90,7 +118,22 @@ func Get(name string) (*Workload, error) {
 		sort.Strings(known)
 		return nil, fmt.Errorf("workloads: unknown %q (have %v)", name, known)
 	}
+	registryMu.RUnlock()
 	return f(), nil
+}
+
+// Registered lists every registered workload name in sorted order —
+// the paper suite plus any generated scenarios — for tools that
+// enumerate the full registry rather than the paper figures.
+func Registered() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for k := range registry {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // All builds the full suite in paper order.

@@ -22,12 +22,13 @@ go run ./cmd/helix-bench -only fig9 -verify BENCH_2026-08-05.json >/dev/null
 # path that stopped engaging) fails the gate instead of drifting in.
 report=.check-bench.json
 shardreport=.check-shard.json
+explorereport=.check-explore.json
 servereport=.check-serve.json
 serveaddr=.check-serve.addr
 servecache=.check-serve-cache
-rm -f "$report" "$shardreport" "$servereport" "$serveaddr"
+rm -f "$report" "$shardreport" "$explorereport" "$servereport" "$serveaddr"
 rm -rf "$servecache"
-trap 'rm -f "$report" "$shardreport" "$report.lock" "$shardreport.lock" "$servereport" "$servereport.lock" "$serveaddr"; rm -rf "$servecache"' EXIT
+trap 'rm -f "$report" "$shardreport" "$explorereport" "$report.lock" "$shardreport.lock" "$explorereport.lock" "$servereport" "$servereport.lock" "$serveaddr"; rm -rf "$servecache"' EXIT
 go run ./cmd/helix-bench -quiet -verify BENCH_2026-08-07.json -jsonfile "$report" >/dev/null
 go run ./scripts -enforce -budgets perf/budgets.json "$report"
 
@@ -38,6 +39,15 @@ go run ./scripts -enforce -budgets perf/budgets.json "$report"
 # livelocks, or perturbs a single byte of figure output.
 go run ./cmd/helix-bench -workers 2 -only fig9 -quiet -verify BENCH_2026-08-05.json -jsonfile "$shardreport" >/dev/null
 go run ./scripts -enforce -budgets perf/shard_budgets.json "$shardreport"
+
+# Exploration smoke: two worker processes claim-partition a tiny
+# pointer-chase design-space sweep over a shared cache; the merged
+# heatmap + frontier must hash-match the checked-in solo reference
+# (sharded determinism), and the budget gate fails if the sweep's cells
+# stopped being served by batched replay and went back to simulating.
+go run ./cmd/helix-explore -family pointer-chase -cores 2 -tiers 1,5 -links 1,8 -signals 0 \
+  -workers 2 -quiet -verify EXPLORE_2026-08-07.json -jsonfile "$explorereport" >/dev/null
+go run ./scripts -enforce -budgets perf/explore_budgets.json "$explorereport"
 
 # Differential fuzzing smoke: a fixed-seed sweep of generated loop
 # programs cross-checked through interp, HCC parallelization, the sim
