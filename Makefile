@@ -1,6 +1,6 @@
 # Development entry points. `make check` is the pre-merge gate.
 
-.PHONY: check build test bench bench-shard-smoke bench-smoke explore explore-smoke fuzz-smoke fuzz serve serve-smoke
+.PHONY: check build test bench bench-shard-smoke bench-smoke explore explore-smoke fuzz-smoke fuzz serve serve-smoke remote-smoke
 
 check:
 	./scripts/check.sh
@@ -70,6 +70,24 @@ serve-smoke:
 	kill -TERM $$pid; wait $$pid
 	go run ./scripts/slocheck -budgets perf/serve_slo_budgets.json .smoke-serve.json
 	rm -f .smoke-serve.json .smoke-serve.json.lock .smoke-serve.addr .smoke-helix-serve; rm -rf .smoke-serve-cache
+
+# Multi-machine smoke: a helix-serve blob backend plus two workers with
+# disjoint scratch caches (no -cachedir) that share recordings and work
+# claims only through the daemon — the merged figure hash must match
+# the checked-in solo reference, and the budget gate fails if the
+# remote tier stopped engaging. The same sequence scripts/check.sh runs.
+remote-smoke:
+	rm -f .smoke-remote.json .smoke-remote.addr; rm -rf .smoke-remote-blobs
+	go build -o .smoke-helix-serve ./cmd/helix-serve
+	./.smoke-helix-serve -addr 127.0.0.1:0 -addrfile .smoke-remote.addr -blobdir .smoke-remote-blobs -quiet & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do [ -s .smoke-remote.addr ] && break; sleep 0.1; done; \
+	go run ./cmd/helix-bench -workers 2 -only fig9 -quiet -remote "http://$$(cat .smoke-remote.addr)" \
+	  -verify BENCH_2026-08-05.json -jsonfile .smoke-remote.json >/dev/null || { kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+	go run ./scripts -enforce -budgets perf/remote_budgets.json .smoke-remote.json
+	@echo "remote-smoke: 2 disjoint-cache workers over the blob backend match BENCH_2026-08-05.json"
+	rm -f .smoke-remote.json .smoke-remote.json.lock .smoke-remote.addr .smoke-helix-serve; rm -rf .smoke-remote-blobs
 
 # Differential fuzzing smoke: a fixed-seed sweep of generated programs
 # through the interp/HCC/sim/replay oracle stack (~5s). Deterministic —

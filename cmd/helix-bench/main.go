@@ -16,6 +16,7 @@
 //	helix-bench -cachedir .cache   # persist traces + baselines across runs
 //	helix-bench -cachedir .cache -cacheclear   # wipe the disk tier first
 //	helix-bench -workers 4         # shard the evaluation over 4 worker processes
+//	helix-bench -workers 2 -remote http://host:8080  # share through helix-serve
 //
 // Experiment names: fig1 fig2 fig3 fig4 table1 fig7 fig8 fig9 fig10
 // fig11a fig11b fig11c fig11d fig12 tlp.
@@ -25,20 +26,27 @@
 // wall-clock changes.
 //
 // -workers N forks N copies of this binary that share nothing but the
-// cache directory (a temporary one if -cachedir is not given). The
-// workers partition the work coordinator-free through atomic claim
-// files in the cache dir — first the trace recordings (the dominant
-// cost, deduplicated across figures), then whole experiments — and
-// each writes a partial report the parent merges deterministically.
-// A crashed worker's claims expire after -lease and are stolen, so
-// the evaluation completes as long as one worker survives. Because
-// experiments cannot overlap inside one process (the analysis passes
-// mutate workload state), -workers replaces in-process parallelism:
-// children default to -parallel 1; pass -parallel explicitly to run
-// hybrid. For manual or multi-machine sharding, run each worker
-// yourself with -shard i/n against a shared -cachedir, a common fresh
-// -runid and a per-worker -jsonfile, then merge the partial reports
-// with `go run ./scripts -merge`.
+// cache substrate. By default that is a cache directory (a temporary
+// one if -cachedir is not given) with atomic claim files in it; with
+// -remote it is a helix-serve blob backend, whose claim table replaces
+// the claim files and whose blob store carries the recordings — and if
+// no -cachedir is given, each worker runs on its own disjoint scratch
+// cache, proving the daemon is the only shared state (the
+// multi-machine topology). Workers partition the work coordinator-free
+// — first the trace recordings (the dominant cost, deduplicated across
+// figures), then whole experiments — and each writes a partial report
+// the parent merges deterministically. A crashed worker's claims
+// expire after -lease and are stolen, so the evaluation completes as
+// long as one worker survives; a dead -remote daemon degrades every
+// lookup to a cache miss and every claim to uncoordinated (duplicated,
+// still byte-identical) work. Because experiments cannot overlap
+// inside one process (the analysis passes mutate workload state),
+// -workers replaces in-process parallelism: children default to
+// -parallel 1; pass -parallel explicitly to run hybrid. For manual or
+// multi-machine sharding, run each worker yourself with -shard i/n
+// against a shared -cachedir or -remote, a common fresh -runid and a
+// per-worker -jsonfile, then merge the partial reports with
+// `go run ./scripts -merge`.
 //
 // SIGINT/SIGTERM (and -timeout expiry) cancel in-flight work: workers
 // drain, the run stops after the current cells return, and -json still
@@ -50,598 +58,103 @@ package main
 
 import (
 	"context"
-	"crypto/sha256"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
-	"os/exec"
-	"os/signal"
-	"path/filepath"
-	"runtime"
 	"strconv"
-	"strings"
-	"syscall"
 	"time"
 
 	"helixrc/internal/artifact"
-	"helixrc/internal/benchreport"
 	"helixrc/internal/cliutil"
+	"helixrc/internal/drive"
 	"helixrc/internal/harness"
 )
 
-// options collects the parsed flags so the three run modes (solo,
-// worker, parent) share one configuration surface.
-type options struct {
-	only        string
-	cores       int
-	parallel    int
-	workers     int
-	shard       string
-	runid       string
-	lease       time.Duration
-	jsonOut     bool
-	jsonFile    string
-	slowSim     bool
-	noReplay    bool
-	cacheBudget int64
-	verify      string
-	label       string
-	timeout     time.Duration
-	cellTimeout time.Duration
-	quiet       bool
-	cacheDir    string
-	cacheClear  bool
-}
-
 func main() {
-	var o options
-	flag.StringVar(&o.only, "only", "", "run a single experiment (e.g. fig7)")
-	flag.IntVar(&o.cores, "cores", 16, "core count for the headline experiments")
-	flag.IntVar(&o.parallel, "parallel", 0, "experiment-engine worker count (0 = all CPUs, 1 = sequential)")
-	flag.IntVar(&o.workers, "workers", 0, "shard the evaluation over N worker processes sharing the cache dir (0 = this process only)")
-	flag.StringVar(&o.shard, "shard", "", "run as worker i of n (\"i/n\") against a shared -cachedir; requires -runid and -jsonfile")
-	flag.StringVar(&o.runid, "runid", "", "work-claiming scope for -shard workers; pick a fresh value per evaluation")
-	flag.DurationVar(&o.lease, "lease", time.Minute, "work-claim lease: a crashed worker's claims become stealable after this long")
-	flag.BoolVar(&o.jsonOut, "json", false, "append a machine-readable report to BENCH_<date>.json")
-	flag.StringVar(&o.jsonFile, "jsonfile", "", "append the machine-readable report to this file instead of BENCH_<date>.json (implies -json)")
-	flag.BoolVar(&o.slowSim, "slowsim", false, "use the retained reference simulator stepper (identical output, slower)")
-	flag.BoolVar(&o.noReplay, "noreplay", false, "disable the trace record/replay fast path (identical output, slower)")
-	flag.Int64Var(&o.cacheBudget, "cachebudget", harness.DefaultCacheBudget>>20, "harness memo-cache byte budget in MB (0 = unbounded)")
-	flag.StringVar(&o.verify, "verify", "", "BENCH_*.json file to verify output hashes against (exit 1 on mismatch)")
-	flag.StringVar(&o.label, "label", "", "free-form label recorded in the JSON report")
-	flag.DurationVar(&o.timeout, "timeout", 0, "bound the whole run's wall clock (0 = none)")
-	flag.DurationVar(&o.cellTimeout, "celltimeout", 0, "bound each experiment cell; slow cells degrade to zero values in a flagged partial figure (0 = none)")
-	flag.BoolVar(&o.quiet, "quiet", false, "silence engine diagnostics (cache evictions)")
-	flag.StringVar(&o.cacheDir, "cachedir", "", "disk tier for recorded traces and baseline results; a warm run re-times them without re-simulating")
-	flag.BoolVar(&o.cacheClear, "cacheclear", false, "wipe the -cachedir disk tier before running")
+	var o drive.Options
+	var only string
+	drive.RegisterFlags(&o, "evaluation", "BENCH")
+	flag.StringVar(&only, "only", "", "run a single experiment (e.g. fig7)")
+	flag.IntVar(&o.Cores, "cores", 16, "core count for the headline experiments")
+	flag.BoolVar(&o.SlowSim, "slowsim", false, "use the retained reference simulator stepper (identical output, slower)")
+	flag.BoolVar(&o.NoReplay, "noreplay", false, "disable the trace record/replay fast path (identical output, slower)")
+	flag.DurationVar(&o.CellTimeout, "celltimeout", 0, "bound each experiment cell; slow cells degrade to zero values in a flagged partial figure (0 = none)")
 	flag.Parse()
 
-	if err := cliutil.CheckCores(o.cores); err != nil {
-		log.Fatal(err)
-	}
-	if o.workers < 0 {
-		log.Fatalf("-workers %d: accepted range is 0..", o.workers)
-	}
-	if o.workers > 0 && o.shard != "" {
-		log.Fatal("-workers and -shard are mutually exclusive (the parent forks the shards itself)")
-	}
-
-	// SIGINT/SIGTERM cancel in-flight experiment cells (or, in parent
-	// mode, forward to the workers); the report below is still written
-	// (flagged interrupted).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if o.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, o.timeout)
-		defer cancel()
-	}
-
-	if o.workers > 0 {
-		os.Exit(runParent(ctx, &o))
-	}
-	os.Exit(runLocal(ctx, &o))
-}
-
-// selectedExperiments applies -only to the canonical experiment list.
-func selectedExperiments(o *options) []harness.Experiment {
-	var sel []harness.Experiment
-	for _, e := range harness.Experiments(o.cores) {
-		if o.only == "" || e.Name == o.only {
-			sel = append(sel, e)
-		}
-	}
-	return sel
-}
-
-// runLocal executes experiments in this process: the default
-// single-process mode, or one -shard worker of a sharded evaluation.
-func runLocal(ctx context.Context, o *options) int {
-	harness.SetParallelism(o.parallel)
-	harness.SetSlowSim(o.slowSim)
-	harness.SetNoReplay(o.noReplay)
-	harness.SetCacheBudget(o.cacheBudget << 20)
-	harness.SetCellTimeout(o.cellTimeout)
-	if o.quiet {
-		harness.SetQuiet()
-	}
-	if err := cliutil.SetupCacheDir(o.cacheDir, o.cacheClear); err != nil {
+	if err := cliutil.CheckCores(o.Cores); err != nil {
 		log.Fatal(err)
 	}
 
-	var claimer *artifact.Claimer
-	if o.shard != "" {
-		if _, _, err := parseShard(o.shard); err != nil {
-			log.Fatal(err)
-		}
-		if o.cacheDir == "" || o.runid == "" {
-			log.Fatal("-shard requires -cachedir (the shared store workers coordinate through) and -runid (a value all workers of this evaluation share, fresh per evaluation)")
-		}
-		if o.jsonFile == "" {
-			log.Fatal("-shard requires -jsonfile for this worker's partial report")
-		}
-		claimer = artifact.NewClaimer(
-			filepath.Join(o.cacheDir, "claims", o.runid),
-			fmt.Sprintf("shard %s pid%d", o.shard, os.Getpid()),
-			o.lease)
-	}
-
-	var wantSHA map[string]string
-	if o.verify != "" {
-		var err error
-		if wantSHA, err = benchreport.ExpectedHashes(o.verify); err != nil {
-			log.Fatalf("loading %s: %v", o.verify, err)
-		}
-	}
-
-	selected := selectedExperiments(o)
-	start := time.Now()
-
-	// Sharded phase A: warm the shared store cooperatively. The unit
-	// plan is identical on every worker (content-keyed), so the claim
-	// files partition the recordings; each worker ends with every
-	// Result either local or one disk read away.
-	if claimer != nil {
-		names := make([]string, len(selected))
-		for i, e := range selected {
-			names[i] = e.Name
-		}
-		units, err := harness.PlanUnits(ctx, names, o.cores)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "shard %s: planning work units: %v (continuing uncoordinated)\n", o.shard, err)
-		} else {
-			harness.RunPlan(ctx, units, claimer)
-		}
-	}
-
-	reports, mismatches, interrupted, runErr := runExperiments(ctx, o, selected, claimer, wantSHA)
-	total := time.Since(start)
-
-	if o.jsonOut || o.jsonFile != "" {
-		if err := appendLocalReport(o, claimer, reports, total, interrupted, runErr); err != nil {
-			log.Fatalf("writing benchmark report: %v", err)
-		}
-	}
-
-	if runErr != nil {
-		log.Printf("%v", runErr)
-		return 1
-	}
-	if interrupted {
-		log.Printf("interrupted after %.1fs with %d experiment(s) complete", total.Seconds(), len(reports))
-		return 1
-	}
-	if mismatches > 0 {
-		log.Printf("verify: %d experiment(s) diverge from %s", mismatches, o.verify)
-		return 1
-	}
-	if o.only == "" && o.shard == "" {
-		fmt.Println(strings.Repeat("=", 60))
-		fmt.Printf("All experiments complete in %.1fs (%d workers). See EXPERIMENTS.md for the paper-vs-measured comparison.\n",
-			total.Seconds(), harness.Parallelism())
-	}
-	return 0
+	os.Exit(drive.Run(&o, plan(&o, only)))
 }
 
-// runExperiments drives the selected experiments. Without a claimer
-// they run in order, stopping at the first failure (the single-process
-// contract). With one, experiments are claimed whole through the shared
-// claim directory: each worker renders the experiments it wins, skips
-// the ones another worker finished, polls the ones still held (so a
-// crashed holder's lease can expire and be stolen), and keeps going
-// past individual failures — some other experiment's worker may still
-// need this one to participate.
-func runExperiments(ctx context.Context, o *options, selected []harness.Experiment, claimer *artifact.Claimer, wantSHA map[string]string) (reports []benchreport.Experiment, mismatches int, interrupted bool, runErr error) {
-	if claimer == nil {
-		for _, e := range selected {
-			if ctx.Err() != nil {
-				interrupted = true
-				break
-			}
-			rep, err := runOne(ctx, o, e, wantSHA, &mismatches)
-			if err != nil {
-				if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-					interrupted = true
-					break
-				}
-				runErr = err
-				break
-			}
-			reports = append(reports, rep)
-		}
-		return
-	}
-
-	done := make(map[string]bool, len(selected))
-	for len(done) < len(selected) {
-		if ctx.Err() != nil {
-			interrupted = true
-			return
-		}
-		progress := false
-		for _, e := range selected {
-			if done[e.Name] || ctx.Err() != nil {
-				continue
-			}
-			lease, st, err := claimer.Acquire(harness.ExperimentClaimKey(e.Name, o.cores))
-			if err != nil {
-				// Claim dir unusable: run it ourselves. Worst case is a
-				// duplicated experiment, which the merge accepts as long
-				// as the outputs agree (and they do — byte-identical).
-				lease, st = nil, artifact.ClaimAcquired
-			}
-			switch st {
-			case artifact.ClaimAcquired:
-				rep, err := runOne(ctx, o, e, wantSHA, &mismatches)
-				if err != nil {
-					if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-						if lease != nil {
-							lease.Release() // let a surviving worker rerun it
-						}
-						interrupted = true
-						return
-					}
-					if lease != nil {
-						lease.Done("error: " + err.Error())
-					}
-					runErr = errors.Join(runErr, err)
-				} else {
-					if lease != nil {
-						lease.Done(rep.OutputSHA256)
-					}
-					reports = append(reports, rep)
-				}
-				done[e.Name] = true
-				progress = true
-			case artifact.ClaimDone:
-				done[e.Name] = true
-				progress = true
-			case artifact.ClaimHeld:
-				// revisit next pass
-			}
-		}
-		if !progress {
-			select {
-			case <-ctx.Done():
-				interrupted = true
-				return
-			case <-time.After(100 * time.Millisecond):
-			}
-		}
-	}
-	return
-}
-
-// runOne renders one experiment, prints it, and verifies its hash.
-func runOne(ctx context.Context, o *options, e harness.Experiment, wantSHA map[string]string, mismatches *int) (benchreport.Experiment, error) {
-	expStart := time.Now()
-	out, err := e.Run(ctx)
-	if err != nil {
-		return benchreport.Experiment{}, fmt.Errorf("%s: %w", e.Name, err)
-	}
-	wall := time.Since(expStart)
-	fmt.Printf("==== %s ====\n%s\n", e.Name, out)
-	sha := fmt.Sprintf("%x", sha256.Sum256([]byte(out)))
-	verifyOne(e.Name, sha, wantSHA, o.verify, mismatches)
-	return benchreport.Experiment{
-		Name:         e.Name,
-		WallMillis:   float64(wall.Microseconds()) / 1e3,
-		OutputSHA256: sha,
-		Output:       out,
-		Partial:      strings.Contains(out, "PARTIAL FIGURE:"),
-	}, nil
-}
-
-func verifyOne(name, sha string, wantSHA map[string]string, verifyPath string, mismatches *int) {
-	if wantSHA == nil {
-		return
-	}
-	switch want, ok := wantSHA[name]; {
-	case !ok:
-		fmt.Printf("verify %s: no reference hash in %s (skipped)\n", name, verifyPath)
-	case want != sha:
-		fmt.Printf("verify %s: MISMATCH (want %s, got %s)\n", name, want[:12], sha[:12])
-		*mismatches++
-	default:
-		fmt.Printf("verify %s: ok\n", name)
-	}
-}
-
-// replaySection assembles the replay/caching counters of this process,
-// including the work-claiming counters when sharded.
-func replaySection(claimer *artifact.Claimer) *benchreport.Replay {
-	recordings, replays := harness.ReplayStats()
-	batches, batchConfigs, batchFallbacks := harness.BatchStats()
-	cs := harness.CacheStats()
-	if claimer != nil {
-		cs.Add(claimer.Stats())
-	}
-	return &benchreport.Replay{
-		Recordings:     recordings,
-		Replays:        replays,
-		Batches:        batches,
-		BatchConfigs:   batchConfigs,
-		BatchFallbacks: batchFallbacks,
-		Claims:         cs.Claims,
-		Steals:         cs.Steals,
-		ExpiredLeases:  cs.ExpiredLeases,
-		DupSuppressed:  cs.DupSuppressed,
-		MemHits:        cs.MemHits,
-		MemMisses:      cs.MemMisses,
-		DiskHits:       cs.DiskHits,
-		DiskMisses:     cs.DiskMisses,
-		DiskWrites:     cs.DiskWrites,
-		DiskLoadMS:     float64(cs.DiskLoadNS) / 1e6,
-		CacheEvictions: cs.Evictions,
-		CacheEvictedMB: float64(cs.EvictedBytes) / (1 << 20),
-	}
-}
-
-// appendLocalReport writes this process's (solo or partial) report.
-func appendLocalReport(o *options, claimer *artifact.Claimer, reports []benchreport.Experiment, total time.Duration, interrupted bool, runErr error) error {
-	anyPartial := false
-	for _, r := range reports {
-		anyPartial = anyPartial || r.Partial
-	}
-	errText := ""
-	if runErr != nil {
-		errText = runErr.Error()
-	}
-	path := o.jsonFile
-	if path == "" {
-		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
-	}
-	err := benchreport.Append(path, benchreport.Report{
-		Label:       o.label,
-		Timestamp:   time.Now().Format(time.RFC3339),
-		Parallel:    harness.Parallelism(),
-		Shard:       o.shard,
-		SlowSim:     o.slowSim,
-		NoReplay:    o.noReplay,
-		Cores:       o.cores,
-		TotalMillis: float64(total.Microseconds()) / 1e3,
-		Experiments: reports,
-		Replay:      replaySection(claimer),
-		Runtime:     snapshotRuntime(),
-		Interrupted: interrupted,
-		Partial:     anyPartial,
-		Error:       errText,
-	})
-	if err == nil {
-		fmt.Printf("benchmark report appended to %s\n", path)
-	}
-	return err
-}
-
-// parseShard validates an "i/n" shard label (1-based).
-func parseShard(s string) (i, n int, err error) {
-	idx, count, ok := strings.Cut(s, "/")
-	if ok {
-		i, _ = strconv.Atoi(idx)
-		n, _ = strconv.Atoi(count)
-	}
-	if !ok || i < 1 || n < 1 || i > n {
-		return 0, 0, fmt.Errorf("-shard %q: want i/n with 1 <= i <= n", s)
-	}
-	return i, n, nil
-}
-
-// runParent forks -workers worker processes over a shared cache
-// directory and merges their partial reports. The parent itself never
-// simulates: it owns the run id (which scopes the claim files), the
-// lifetime of a temporary cache dir when none was given, and the
-// deterministic reassembly + verification of the merged report.
-func runParent(ctx context.Context, o *options) int {
-	cacheDir := o.cacheDir
-	if cacheDir == "" {
-		tmp, err := os.MkdirTemp("", "helix-bench-cache-*")
-		if err != nil {
-			log.Fatalf("creating temporary cache dir: %v", err)
-		}
-		defer os.RemoveAll(tmp)
-		cacheDir = tmp
-	} else if o.cacheClear {
-		// Clear once, here, rather than racing N children over it.
-		if err := cliutil.SetupCacheDir(cacheDir, true); err != nil {
-			log.Fatal(err)
-		}
-	}
-	runid := fmt.Sprintf("r%d-%d", os.Getpid(), time.Now().UnixNano())
-	partialDir := filepath.Join(cacheDir, "partials", runid)
-	if err := os.MkdirAll(partialDir, 0o755); err != nil {
-		log.Fatalf("creating %s: %v", partialDir, err)
-	}
-	// The run's coordination state is worthless after the merge; the
-	// artifacts (traces, baselines, results) stay.
-	defer os.RemoveAll(partialDir)
-	defer os.RemoveAll(filepath.Join(cacheDir, "claims", runid))
-
-	exe, err := os.Executable()
-	if err != nil {
-		log.Fatalf("resolving own binary: %v", err)
-	}
-	// Experiments cannot overlap within one process, so process-level
-	// sharding is the parallelism; children run their cells sequentially
-	// unless the user explicitly asked for hybrid with -parallel.
-	childPar := o.parallel
-	if childPar == 0 {
-		childPar = 1
-	}
-
-	start := time.Now()
-	partials := make([]string, o.workers)
-	cmds := make([]*exec.Cmd, o.workers)
-	for i := 1; i <= o.workers; i++ {
-		partials[i-1] = filepath.Join(partialDir, fmt.Sprintf("worker_%d.json", i))
-		args := []string{
-			"-shard", fmt.Sprintf("%d/%d", i, o.workers),
-			"-runid", runid,
-			"-cachedir", cacheDir,
-			"-jsonfile", partials[i-1],
-			"-cores", strconv.Itoa(o.cores),
-			"-parallel", strconv.Itoa(childPar),
-			"-lease", o.lease.String(),
-			"-cachebudget", strconv.FormatInt(o.cacheBudget, 10),
-		}
-		if o.only != "" {
-			args = append(args, "-only", o.only)
-		}
-		if o.slowSim {
-			args = append(args, "-slowsim")
-		}
-		if o.noReplay {
-			args = append(args, "-noreplay")
-		}
-		if o.quiet {
-			args = append(args, "-quiet")
-		}
-		if o.label != "" {
-			args = append(args, "-label", o.label)
-		}
-		if o.timeout > 0 {
-			args = append(args, "-timeout", o.timeout.String())
-		}
-		if o.cellTimeout > 0 {
-			args = append(args, "-celltimeout", o.cellTimeout.String())
-		}
-		cmd := exec.CommandContext(ctx, exe, args...)
-		cmd.Stdout = io.Discard // the parent reprints the merged figures
-		cmd.Stderr = os.Stderr
-		cmd.Cancel = func() error { return cmd.Process.Signal(os.Interrupt) }
-		cmd.WaitDelay = 15 * time.Second
-		if err := cmd.Start(); err != nil {
-			log.Fatalf("starting worker %d: %v", i, err)
-		}
-		cmds[i-1] = cmd
-	}
-	workerFailures := 0
-	for i, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "worker %d/%d: %v\n", i+1, o.workers, err)
-			workerFailures++
-		}
-	}
-	total := time.Since(start)
-
-	// Merge whatever partial reports exist — a crashed worker leaves no
-	// file, but its stolen experiments appear in a survivor's partial.
-	var parts []benchreport.Report
-	for i, p := range partials {
-		runs, err := benchreport.Load(p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "worker %d/%d left no partial report: %v\n", i+1, o.workers, err)
+// plan selects the experiments (-only filters the canonical list) and
+// describes the run to the shared orchestrator.
+func plan(o *drive.Options, only string) *drive.Plan {
+	var exps []drive.Experiment
+	for _, e := range harness.Experiments(o.Cores) {
+		if only != "" && e.Name != only {
 			continue
 		}
-		parts = append(parts, runs[len(runs)-1])
-	}
-	if len(parts) == 0 {
-		log.Printf("no worker produced a partial report")
-		return 1
-	}
-	merged, err := benchreport.Merge(parts, harness.ExperimentNames())
-	if err != nil {
-		log.Printf("merging partial reports: %v", err)
-		return 1
-	}
-	merged.Workers = o.workers
-	merged.Label = o.label
-	merged.TotalMillis = float64(total.Microseconds()) / 1e3
-
-	var wantSHA map[string]string
-	if o.verify != "" {
-		if wantSHA, err = benchreport.ExpectedHashes(o.verify); err != nil {
-			log.Fatalf("loading %s: %v", o.verify, err)
-		}
-	}
-	mismatches := 0
-	for _, e := range merged.Experiments {
-		fmt.Printf("==== %s ====\n%s\n", e.Name, e.Output)
-		verifyOne(e.Name, e.OutputSHA256, wantSHA, o.verify, &mismatches)
+		exps = append(exps, drive.Experiment{
+			Name:     e.Name,
+			ClaimKey: harness.ExperimentClaimKey(e.Name, o.Cores),
+			Run:      e.Run,
+		})
 	}
 
-	// Completeness: every selected experiment must have been rendered by
-	// some worker.
-	have := make(map[string]bool, len(merged.Experiments))
-	for _, e := range merged.Experiments {
-		have[e.Name] = true
+	childArgs := []string{"-cores", strconv.Itoa(o.Cores)}
+	if only != "" {
+		childArgs = append(childArgs, "-only", only)
 	}
-	var missing []string
-	for _, e := range selectedExperiments(o) {
-		if !have[e.Name] {
-			missing = append(missing, e.Name)
-		}
+	if o.SlowSim {
+		childArgs = append(childArgs, "-slowsim")
 	}
-
-	if o.jsonOut || o.jsonFile != "" {
-		path := o.jsonFile
-		if path == "" {
-			path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
-		}
-		if err := benchreport.Append(path, merged); err != nil {
-			log.Fatalf("writing benchmark report: %v", err)
-		}
-		fmt.Printf("benchmark report appended to %s\n", path)
+	if o.NoReplay {
+		childArgs = append(childArgs, "-noreplay")
+	}
+	if o.CellTimeout > 0 {
+		childArgs = append(childArgs, "-celltimeout", o.CellTimeout.String())
 	}
 
-	switch {
-	case merged.Error != "":
-		log.Printf("%s", merged.Error)
-		return 1
-	case len(missing) > 0:
-		log.Printf("incomplete evaluation: missing %s", strings.Join(missing, ", "))
-		return 1
-	case merged.Interrupted:
-		log.Printf("interrupted after %.1fs with %d experiment(s) complete", total.Seconds(), len(merged.Experiments))
-		return 1
-	case mismatches > 0:
-		log.Printf("verify: %d experiment(s) diverge from %s", mismatches, o.verify)
-		return 1
-	case workerFailures > 0:
-		log.Printf("%d worker(s) failed (results recovered via lease stealing)", workerFailures)
-		return 1
-	}
-	if o.only == "" {
-		fmt.Println(strings.Repeat("=", 60))
-		fmt.Printf("All experiments complete in %.1fs (%d worker processes). See EXPERIMENTS.md for the paper-vs-measured comparison.\n",
-			total.Seconds(), o.workers)
-	}
-	return 0
-}
-
-func snapshotRuntime() benchreport.Runtime {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return benchreport.Runtime{
-		GoVersion:    runtime.Version(),
-		NumCPU:       runtime.NumCPU(),
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		NumGoroutine: runtime.NumGoroutine(),
-		NumGC:        ms.NumGC,
-		HeapAllocMB:  float64(ms.HeapAlloc) / (1 << 20),
-		TotalAllocMB: float64(ms.TotalAlloc) / (1 << 20),
-		PauseTotalMS: float64(ms.PauseTotalNs) / 1e6,
+	return &drive.Plan{
+		What:             "benchmark",
+		Units:            "experiment(s)",
+		IncompleteWhat:   "evaluation",
+		ReportPrefix:     "BENCH",
+		TempCachePattern: "helix-bench-cache-*",
+		Experiments:      exps,
+		MergeOrder:       harness.ExperimentNames(),
+		ChildArgs:        childArgs,
+		Warm: func(ctx context.Context, claims artifact.Claims) {
+			// Sharded phase A: warm the shared store cooperatively. The
+			// unit plan is identical on every worker (content-keyed), so
+			// the claims partition the recordings.
+			if claims == nil {
+				return
+			}
+			names := make([]string, len(exps))
+			for i, e := range exps {
+				names[i] = e.Name
+			}
+			units, err := harness.PlanUnits(ctx, names, o.Cores)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shard %s: planning work units: %v (continuing uncoordinated)\n", o.Shard, err)
+				return
+			}
+			harness.RunPlan(ctx, units, claims)
+		},
+		Banner: func(total time.Duration, workers int) string {
+			if only != "" {
+				return ""
+			}
+			if workers > 0 {
+				return fmt.Sprintf("All experiments complete in %.1fs (%d worker processes). See EXPERIMENTS.md for the paper-vs-measured comparison.",
+					total.Seconds(), workers)
+			}
+			return fmt.Sprintf("All experiments complete in %.1fs (%d workers). See EXPERIMENTS.md for the paper-vs-measured comparison.",
+				total.Seconds(), harness.Parallelism())
+		},
 	}
 }

@@ -11,6 +11,7 @@
 //	helix-explore -json                   # append a report to EXPLORE_<date>.json
 //	helix-explore -verify FILE            # compare output hashes against a report
 //	helix-explore -workers 4              # shard the sweep over 4 processes
+//	helix-explore -workers 2 -remote http://host:8080  # share through helix-serve
 //	helix-explore -emitpack               # regenerate scenarios/*.json and exit
 //
 // Every (family, scenario) pair is recorded exactly once per (cores,
@@ -20,45 +21,40 @@
 // twelve recordings plus two baselines, not 72 simulations — which is
 // what makes grid reshaping cheap enough to iterate on.
 //
-// The sweep runs on the same cached, sharded machinery as helix-bench:
-// -cachedir persists recordings across runs, and -workers N forks N
-// claim-coordinated workers whose merged report is byte-identical to a
-// solo run. Scenario packs are loaded from -pack (default scenarios/ in
-// the working directory); -emitpack regenerates the default packs after
-// a deliberate generator change.
+// The sweep runs on the same cached, sharded machinery as helix-bench
+// (internal/drive): -cachedir persists recordings across runs, -remote
+// shares them through a helix-serve blob backend, and -workers N forks
+// N claim-coordinated workers whose merged report is byte-identical to
+// a solo run. Scenario packs are loaded from -pack (default scenarios/
+// in the working directory); -emitpack regenerates the default packs
+// after a deliberate generator change.
 package main
 
 import (
 	"context"
-	"crypto/sha256"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
-	"os/exec"
-	"os/signal"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"helixrc/internal/artifact"
 	"helixrc/internal/benchreport"
 	"helixrc/internal/cliutil"
+	"helixrc/internal/drive"
 	"helixrc/internal/harness"
 	"helixrc/internal/hcc"
 	"helixrc/internal/irgen"
 	"helixrc/internal/scenarios"
 )
 
-// options collects the parsed flags so the three run modes (solo,
-// worker, parent) share one configuration surface.
-type options struct {
+// sweepFlags are the explore-specific knobs: the grid axes, the pack
+// source, and the compilation level.
+type sweepFlags struct {
 	family      string
 	packDir     string
 	level       int
@@ -66,81 +62,169 @@ type options struct {
 	tiersList   string
 	linksList   string
 	signalsList string
-	parallel    int
-	workers     int
-	shard       string
-	runid       string
-	lease       time.Duration
-	jsonOut     bool
-	jsonFile    string
-	cacheBudget int64
-	verify      string
-	label       string
-	timeout     time.Duration
-	quiet       bool
-	cacheDir    string
-	cacheClear  bool
 	emitPack    bool
 
 	grid []harness.SweepConfig // derived from the four axis lists
 }
 
 func main() {
-	var o options
-	flag.StringVar(&o.family, "family", "", "comma-separated family filter (default: every checked-in pack)")
-	flag.StringVar(&o.packDir, "pack", "scenarios", "directory of scenario packs (*.json)")
-	flag.IntVar(&o.level, "level", 3, "HCC compilation level for the parallel runs (1..3)")
-	flag.StringVar(&o.coresList, "cores", "2,4,8", "core counts to sweep (comma-separated)")
-	flag.StringVar(&o.tiersList, "tiers", "1,5", "alias tiers to sweep, 1-based alias.Tiers indices (comma-separated)")
-	flag.StringVar(&o.linksList, "links", "1,8,32", "ring link latencies in cycles to sweep (comma-separated)")
-	flag.StringVar(&o.signalsList, "signals", "0,1", "signal buffer depths to sweep, 0 = unbounded (comma-separated)")
-	flag.IntVar(&o.parallel, "parallel", 0, "sweep-cell worker count (0 = all CPUs, 1 = sequential)")
-	flag.IntVar(&o.workers, "workers", 0, "shard the sweep over N worker processes sharing the cache dir (0 = this process only)")
-	flag.StringVar(&o.shard, "shard", "", "run as worker i of n (\"i/n\") against a shared -cachedir; requires -runid and -jsonfile")
-	flag.StringVar(&o.runid, "runid", "", "work-claiming scope for -shard workers; pick a fresh value per sweep")
-	flag.DurationVar(&o.lease, "lease", time.Minute, "work-claim lease: a crashed worker's claims become stealable after this long")
-	flag.BoolVar(&o.jsonOut, "json", false, "append a machine-readable report to EXPLORE_<date>.json")
-	flag.StringVar(&o.jsonFile, "jsonfile", "", "append the machine-readable report to this file instead of EXPLORE_<date>.json (implies -json)")
-	flag.Int64Var(&o.cacheBudget, "cachebudget", harness.DefaultCacheBudget>>20, "harness memo-cache byte budget in MB (0 = unbounded)")
-	flag.StringVar(&o.verify, "verify", "", "EXPLORE_*.json file to verify output hashes against (exit 1 on mismatch)")
-	flag.StringVar(&o.label, "label", "", "free-form label recorded in the JSON report")
-	flag.DurationVar(&o.timeout, "timeout", 0, "bound the whole run's wall clock (0 = none)")
-	flag.BoolVar(&o.quiet, "quiet", false, "silence engine diagnostics (cache evictions)")
-	flag.StringVar(&o.cacheDir, "cachedir", "", "disk tier for recorded traces and baseline results; a warm run re-times them without re-simulating")
-	flag.BoolVar(&o.cacheClear, "cacheclear", false, "wipe the -cachedir disk tier before running")
-	flag.BoolVar(&o.emitPack, "emitpack", false, "regenerate the default scenario packs into -pack and exit")
+	var o drive.Options
+	var sf sweepFlags
+	drive.RegisterFlags(&o, "sweep", "EXPLORE")
+	flag.StringVar(&sf.family, "family", "", "comma-separated family filter (default: every checked-in pack)")
+	flag.StringVar(&sf.packDir, "pack", "scenarios", "directory of scenario packs (*.json)")
+	flag.IntVar(&sf.level, "level", 3, "HCC compilation level for the parallel runs (1..3)")
+	flag.StringVar(&sf.coresList, "cores", "2,4,8", "core counts to sweep (comma-separated)")
+	flag.StringVar(&sf.tiersList, "tiers", "1,5", "alias tiers to sweep, 1-based alias.Tiers indices (comma-separated)")
+	flag.StringVar(&sf.linksList, "links", "1,8,32", "ring link latencies in cycles to sweep (comma-separated)")
+	flag.StringVar(&sf.signalsList, "signals", "0,1", "signal buffer depths to sweep, 0 = unbounded (comma-separated)")
+	flag.BoolVar(&sf.emitPack, "emitpack", false, "regenerate the default scenario packs into -pack and exit")
 	flag.Parse()
 
-	if o.emitPack {
-		os.Exit(emitPacks(o.packDir))
+	if sf.emitPack {
+		os.Exit(emitPacks(sf.packDir))
 	}
-	if err := cliutil.CheckLevel(o.level); err != nil {
+	if err := cliutil.CheckLevel(sf.level); err != nil {
 		log.Fatal(err)
 	}
-	grid, err := buildGrid(o.coresList, o.tiersList, o.linksList, o.signalsList)
+	grid, err := buildGrid(sf.coresList, sf.tiersList, sf.linksList, sf.signalsList)
 	if err != nil {
 		log.Fatal(err)
 	}
-	o.grid = grid
-	if o.workers < 0 {
-		log.Fatalf("-workers %d: accepted range is 0..", o.workers)
+	sf.grid = grid
+
+	packs, runs, err := selectFamilies(&sf)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if o.workers > 0 && o.shard != "" {
-		log.Fatal("-workers and -shard are mutually exclusive (the parent forks the shards itself)")
+	// Register every loaded pack (not just the selected families): the
+	// registry is content-validated either way, and registration order
+	// then matches across workers regardless of their -family split.
+	for _, p := range packs {
+		if err := scenarios.RegisterPack(p); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if o.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, o.timeout)
-		defer cancel()
+	os.Exit(drive.Run(&o, plan(&o, &sf, runs)))
+}
+
+// plan describes the sweep to the shared orchestrator: one experiment
+// per family, the phase-A warm-up, and the Explore report section.
+func plan(o *drive.Options, sf *sweepFlags, runs []familyRun) *drive.Plan {
+	level := hcc.Level(sf.level)
+	var scenarioNames []string
+	for _, fr := range runs {
+		scenarioNames = append(scenarioNames, fr.scenarios...)
 	}
 
-	if o.workers > 0 {
-		os.Exit(runParent(ctx, &o))
+	// The Explore section is collected alongside the experiment reports:
+	// runOne appends its family exactly when the orchestrator accepts its
+	// rendered output, so the two stay aligned.
+	var fams []benchreport.ExploreFamily
+	exps := make([]drive.Experiment, len(runs))
+	for i, fr := range runs {
+		fr := fr
+		exps[i] = drive.Experiment{
+			Name:     experimentName(fr.family),
+			ClaimKey: harness.ExperimentClaimKey(experimentName(fr.family), 0),
+			Run: func(ctx context.Context) (string, error) {
+				fam, err := sweepFamily(ctx, sf, level, fr)
+				if err != nil {
+					return "", err
+				}
+				fams = append(fams, fam)
+				return fam.Format(), nil
+			},
+		}
 	}
-	os.Exit(runLocal(ctx, &o))
+
+	childArgs := []string{
+		"-pack", sf.packDir,
+		"-level", strconv.Itoa(sf.level),
+		"-cores", sf.coresList,
+		"-tiers", sf.tiersList,
+		"-links", sf.linksList,
+		"-signals", sf.signalsList,
+	}
+	if sf.family != "" {
+		childArgs = append(childArgs, "-family", sf.family)
+	}
+
+	return &drive.Plan{
+		What:             "explore",
+		Units:            "famil(ies)",
+		IncompleteWhat:   "sweep",
+		ReportPrefix:     "EXPLORE",
+		TempCachePattern: "helix-explore-cache-*",
+		Experiments:      exps,
+		MergeOrder:       experimentOrder(runs),
+		ChildArgs:        childArgs,
+		Warm: func(ctx context.Context, claims artifact.Claims) {
+			// Phase A: warm the store. Sharded, the content-keyed unit
+			// plan is identical on every worker and the claims partition
+			// the recordings; solo, the prefetch batches every timing lane
+			// of a recording into one trace traversal. Either way each
+			// (scenario, cores, tier) is recorded exactly once.
+			if claims == nil {
+				harness.PrefetchSweep(ctx, scenarioNames, level, sf.grid)
+				return
+			}
+			units, err := harness.PlanSweep(ctx, scenarioNames, level, sf.grid)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shard %s: planning sweep units: %v (continuing uncoordinated)\n", o.Shard, err)
+				return
+			}
+			harness.RunPlan(ctx, units, claims)
+		},
+		Attach: func(r *benchreport.Report) {
+			if len(fams) > 0 {
+				r.Explore = &benchreport.Explore{Families: fams}
+			}
+		},
+		Banner: func(total time.Duration, workers int) string {
+			if workers > 0 {
+				return fmt.Sprintf("Sweep complete in %.1fs (%d worker processes): %d families × %d design points.",
+					total.Seconds(), workers, len(runs), len(sf.grid))
+			}
+			return fmt.Sprintf("Sweep complete in %.1fs: %d families × %d design points.",
+				total.Seconds(), len(runs), len(sf.grid))
+		},
+	}
+}
+
+// sweepFamily sweeps one family: every (scenario × grid point) cell,
+// the geomean across scenarios per point, and the frontier. After the
+// phase-A warm-up the cells are pure cache reads, so ParMap here costs
+// memory lookups, not simulation.
+func sweepFamily(ctx context.Context, sf *sweepFlags, level hcc.Level, fr familyRun) (benchreport.ExploreFamily, error) {
+	ns := len(fr.scenarios)
+	// Cell i is (grid point i/ns, scenario i%ns), so the slice below
+	// recovers each point's per-scenario speedups contiguously.
+	speedups, err := harness.ParMap(ctx, len(sf.grid)*ns, func(ctx context.Context, i int) (float64, error) {
+		return harness.SweepCell(ctx, fr.scenarios[i%ns], level, sf.grid[i/ns])
+	})
+	if err != nil {
+		return benchreport.ExploreFamily{}, err
+	}
+	cells := make([]benchreport.ExploreConfig, len(sf.grid))
+	for ci, cfg := range sf.grid {
+		per := speedups[ci*ns : (ci+1)*ns]
+		cells[ci] = benchreport.ExploreConfig{
+			Cores:   cfg.Cores,
+			Tier:    cfg.Tier,
+			Link:    cfg.Link,
+			Signals: cfg.Signals,
+			Speedup: harness.Geomean(per),
+			Cost:    benchreport.ExploreCost(cfg.Cores, cfg.Link, cfg.Signals),
+		}
+	}
+	return benchreport.ExploreFamily{
+		Family:    fr.family,
+		Scenarios: append([]string(nil), fr.scenarios...),
+		Cells:     cells,
+		Frontier:  benchreport.ComputeFrontier(cells),
+	}, nil
 }
 
 // emitPacks regenerates the canonical pack of every family. This is the
@@ -237,14 +321,14 @@ type familyRun struct {
 // selectFamilies loads the packs and applies the -family filter. The
 // result is sorted by family name, which is the canonical experiment
 // order a merged sharded report must reassemble.
-func selectFamilies(o *options) ([]scenarios.Pack, []familyRun, error) {
-	packs, err := scenarios.LoadDir(o.packDir)
+func selectFamilies(sf *sweepFlags) ([]scenarios.Pack, []familyRun, error) {
+	packs, err := scenarios.LoadDir(sf.packDir)
 	if err != nil {
 		return nil, nil, err
 	}
 	want := map[string]bool{}
-	if o.family != "" {
-		for _, part := range strings.Split(o.family, ",") {
+	if sf.family != "" {
+		for _, part := range strings.Split(sf.family, ",") {
 			f, err := irgen.ParseFamily(strings.TrimSpace(part))
 			if err != nil {
 				return nil, nil, err
@@ -254,7 +338,7 @@ func selectFamilies(o *options) ([]scenarios.Pack, []familyRun, error) {
 	}
 	var runs []familyRun
 	for _, p := range packs {
-		if o.family != "" && !want[p.Family] {
+		if sf.family != "" && !want[p.Family] {
 			continue
 		}
 		delete(want, p.Family)
@@ -270,10 +354,10 @@ func selectFamilies(o *options) ([]scenarios.Pack, []familyRun, error) {
 			missing = append(missing, f)
 		}
 		sort.Strings(missing)
-		return nil, nil, fmt.Errorf("no pack in %s for family %s", o.packDir, strings.Join(missing, ", "))
+		return nil, nil, fmt.Errorf("no pack in %s for family %s", sf.packDir, strings.Join(missing, ", "))
 	}
 	if len(runs) == 0 {
-		return nil, nil, fmt.Errorf("no families selected from %s", o.packDir)
+		return nil, nil, fmt.Errorf("no families selected from %s", sf.packDir)
 	}
 	sort.Slice(runs, func(i, j int) bool { return runs[i].family < runs[j].family })
 	return packs, runs, nil
@@ -288,526 +372,4 @@ func experimentOrder(runs []familyRun) []string {
 		names[i] = experimentName(fr.family)
 	}
 	return names
-}
-
-// runLocal executes the sweep in this process: the default solo mode,
-// or one -shard worker of a sharded sweep.
-func runLocal(ctx context.Context, o *options) int {
-	harness.SetParallelism(o.parallel)
-	harness.SetCacheBudget(o.cacheBudget << 20)
-	if o.quiet {
-		harness.SetQuiet()
-	}
-	if err := cliutil.SetupCacheDir(o.cacheDir, o.cacheClear); err != nil {
-		log.Fatal(err)
-	}
-
-	packs, runs, err := selectFamilies(o)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Register every loaded pack (not just the selected families): the
-	// registry is content-validated either way, and registration order
-	// then matches across workers regardless of their -family split.
-	for _, p := range packs {
-		if err := scenarios.RegisterPack(p); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	var claimer *artifact.Claimer
-	if o.shard != "" {
-		if _, _, err := parseShard(o.shard); err != nil {
-			log.Fatal(err)
-		}
-		if o.cacheDir == "" || o.runid == "" {
-			log.Fatal("-shard requires -cachedir (the shared store workers coordinate through) and -runid (a value all workers of this sweep share, fresh per sweep)")
-		}
-		if o.jsonFile == "" {
-			log.Fatal("-shard requires -jsonfile for this worker's partial report")
-		}
-		claimer = artifact.NewClaimer(
-			filepath.Join(o.cacheDir, "claims", o.runid),
-			fmt.Sprintf("shard %s pid%d", o.shard, os.Getpid()),
-			o.lease)
-	}
-
-	var wantSHA map[string]string
-	if o.verify != "" {
-		if wantSHA, err = benchreport.ExpectedHashes(o.verify); err != nil {
-			log.Fatalf("loading %s: %v", o.verify, err)
-		}
-	}
-
-	var names []string
-	for _, fr := range runs {
-		names = append(names, fr.scenarios...)
-	}
-	level := hcc.Level(o.level)
-	start := time.Now()
-
-	// Phase A: warm the store. Sharded, the content-keyed unit plan is
-	// identical on every worker and the claim files partition the
-	// recordings; solo, the prefetch batches every timing lane of a
-	// recording into one trace traversal. Either way each (scenario,
-	// cores, tier) is recorded exactly once.
-	if claimer != nil {
-		units, err := harness.PlanSweep(ctx, names, level, o.grid)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "shard %s: planning sweep units: %v (continuing uncoordinated)\n", o.shard, err)
-		} else {
-			harness.RunPlan(ctx, units, claimer)
-		}
-	} else {
-		harness.PrefetchSweep(ctx, names, level, o.grid)
-	}
-
-	reports, fams, mismatches, interrupted, runErr := runFamilies(ctx, o, runs, claimer, wantSHA)
-	total := time.Since(start)
-
-	if o.jsonOut || o.jsonFile != "" {
-		if err := appendLocalReport(o, claimer, reports, fams, total, interrupted, runErr); err != nil {
-			log.Fatalf("writing explore report: %v", err)
-		}
-	}
-
-	if runErr != nil {
-		log.Printf("%v", runErr)
-		return 1
-	}
-	if interrupted {
-		log.Printf("interrupted after %.1fs with %d famil(ies) complete", total.Seconds(), len(reports))
-		return 1
-	}
-	if mismatches > 0 {
-		log.Printf("verify: %d famil(ies) diverge from %s", mismatches, o.verify)
-		return 1
-	}
-	if o.shard == "" {
-		fmt.Println(strings.Repeat("=", 60))
-		fmt.Printf("Sweep complete in %.1fs: %d families × %d design points.\n",
-			total.Seconds(), len(runs), len(o.grid))
-	}
-	return 0
-}
-
-// runFamilies drives the per-family sweeps. Without a claimer they run
-// in order, stopping at the first failure. With one, families are
-// claimed whole through the shared claim directory, exactly like
-// helix-bench's experiments: render what we win, skip what another
-// worker finished, poll what is still held.
-func runFamilies(ctx context.Context, o *options, runs []familyRun, claimer *artifact.Claimer, wantSHA map[string]string) (reports []benchreport.Experiment, fams []benchreport.ExploreFamily, mismatches int, interrupted bool, runErr error) {
-	if claimer == nil {
-		for _, fr := range runs {
-			if ctx.Err() != nil {
-				interrupted = true
-				break
-			}
-			rep, fam, err := runOne(ctx, o, fr, wantSHA, &mismatches)
-			if err != nil {
-				if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-					interrupted = true
-					break
-				}
-				runErr = err
-				break
-			}
-			reports = append(reports, rep)
-			fams = append(fams, fam)
-		}
-		return
-	}
-
-	done := make(map[string]bool, len(runs))
-	for len(done) < len(runs) {
-		if ctx.Err() != nil {
-			interrupted = true
-			return
-		}
-		progress := false
-		for _, fr := range runs {
-			if done[fr.family] || ctx.Err() != nil {
-				continue
-			}
-			lease, st, err := claimer.Acquire(harness.ExperimentClaimKey(experimentName(fr.family), 0))
-			if err != nil {
-				// Claim dir unusable: run it ourselves. Worst case is a
-				// duplicated family, which the merge accepts as long as the
-				// outputs agree (and they do — byte-identical).
-				lease, st = nil, artifact.ClaimAcquired
-			}
-			switch st {
-			case artifact.ClaimAcquired:
-				rep, fam, err := runOne(ctx, o, fr, wantSHA, &mismatches)
-				if err != nil {
-					if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-						if lease != nil {
-							lease.Release() // let a surviving worker rerun it
-						}
-						interrupted = true
-						return
-					}
-					if lease != nil {
-						lease.Done("error: " + err.Error())
-					}
-					runErr = errors.Join(runErr, err)
-				} else {
-					if lease != nil {
-						lease.Done(rep.OutputSHA256)
-					}
-					reports = append(reports, rep)
-					fams = append(fams, fam)
-				}
-				done[fr.family] = true
-				progress = true
-			case artifact.ClaimDone:
-				done[fr.family] = true
-				progress = true
-			case artifact.ClaimHeld:
-				// revisit next pass
-			}
-		}
-		if !progress {
-			select {
-			case <-ctx.Done():
-				interrupted = true
-				return
-			case <-time.After(100 * time.Millisecond):
-			}
-		}
-	}
-	return
-}
-
-// runOne sweeps one family: every (scenario × grid point) cell, the
-// geomean across scenarios per point, the frontier, and the rendered
-// text the report hashes. After the phase-A warm-up the cells are pure
-// cache reads, so ParMap here costs memory lookups, not simulation.
-func runOne(ctx context.Context, o *options, fr familyRun, wantSHA map[string]string, mismatches *int) (benchreport.Experiment, benchreport.ExploreFamily, error) {
-	expStart := time.Now()
-	level := hcc.Level(o.level)
-	ns := len(fr.scenarios)
-	// Cell i is (grid point i/ns, scenario i%ns), so the slice below
-	// recovers each point's per-scenario speedups contiguously.
-	speedups, err := harness.ParMap(ctx, len(o.grid)*ns, func(ctx context.Context, i int) (float64, error) {
-		return harness.SweepCell(ctx, fr.scenarios[i%ns], level, o.grid[i/ns])
-	})
-	if err != nil {
-		return benchreport.Experiment{}, benchreport.ExploreFamily{}, fmt.Errorf("%s: %w", experimentName(fr.family), err)
-	}
-	cells := make([]benchreport.ExploreConfig, len(o.grid))
-	for ci, cfg := range o.grid {
-		per := speedups[ci*ns : (ci+1)*ns]
-		cells[ci] = benchreport.ExploreConfig{
-			Cores:   cfg.Cores,
-			Tier:    cfg.Tier,
-			Link:    cfg.Link,
-			Signals: cfg.Signals,
-			Speedup: harness.Geomean(per),
-			Cost:    benchreport.ExploreCost(cfg.Cores, cfg.Link, cfg.Signals),
-		}
-	}
-	fam := benchreport.ExploreFamily{
-		Family:    fr.family,
-		Scenarios: append([]string(nil), fr.scenarios...),
-		Cells:     cells,
-		Frontier:  benchreport.ComputeFrontier(cells),
-	}
-	out := fam.Format()
-	wall := time.Since(expStart)
-	name := experimentName(fr.family)
-	fmt.Printf("==== %s ====\n%s\n", name, out)
-	sha := fmt.Sprintf("%x", sha256.Sum256([]byte(out)))
-	verifyOne(name, sha, wantSHA, o.verify, mismatches)
-	return benchreport.Experiment{
-		Name:         name,
-		WallMillis:   float64(wall.Microseconds()) / 1e3,
-		OutputSHA256: sha,
-		Output:       out,
-	}, fam, nil
-}
-
-func verifyOne(name, sha string, wantSHA map[string]string, verifyPath string, mismatches *int) {
-	if wantSHA == nil {
-		return
-	}
-	switch want, ok := wantSHA[name]; {
-	case !ok:
-		fmt.Printf("verify %s: no reference hash in %s (skipped)\n", name, verifyPath)
-	case want != sha:
-		fmt.Printf("verify %s: MISMATCH (want %s, got %s)\n", name, want[:12], sha[:12])
-		*mismatches++
-	default:
-		fmt.Printf("verify %s: ok\n", name)
-	}
-}
-
-// replaySection assembles the replay/caching counters of this process,
-// including the work-claiming counters when sharded.
-func replaySection(claimer *artifact.Claimer) *benchreport.Replay {
-	recordings, replays := harness.ReplayStats()
-	batches, batchConfigs, batchFallbacks := harness.BatchStats()
-	cs := harness.CacheStats()
-	if claimer != nil {
-		cs.Add(claimer.Stats())
-	}
-	return &benchreport.Replay{
-		Recordings:     recordings,
-		Replays:        replays,
-		Batches:        batches,
-		BatchConfigs:   batchConfigs,
-		BatchFallbacks: batchFallbacks,
-		Claims:         cs.Claims,
-		Steals:         cs.Steals,
-		ExpiredLeases:  cs.ExpiredLeases,
-		DupSuppressed:  cs.DupSuppressed,
-		MemHits:        cs.MemHits,
-		MemMisses:      cs.MemMisses,
-		DiskHits:       cs.DiskHits,
-		DiskMisses:     cs.DiskMisses,
-		DiskWrites:     cs.DiskWrites,
-		DiskLoadMS:     float64(cs.DiskLoadNS) / 1e6,
-		CacheEvictions: cs.Evictions,
-		CacheEvictedMB: float64(cs.EvictedBytes) / (1 << 20),
-	}
-}
-
-// appendLocalReport writes this process's (solo or partial) report,
-// including the Explore section the merge unions across workers.
-func appendLocalReport(o *options, claimer *artifact.Claimer, reports []benchreport.Experiment, fams []benchreport.ExploreFamily, total time.Duration, interrupted bool, runErr error) error {
-	errText := ""
-	if runErr != nil {
-		errText = runErr.Error()
-	}
-	var explore *benchreport.Explore
-	if len(fams) > 0 {
-		explore = &benchreport.Explore{Families: fams}
-	}
-	path := o.jsonFile
-	if path == "" {
-		path = fmt.Sprintf("EXPLORE_%s.json", time.Now().Format("2006-01-02"))
-	}
-	err := benchreport.Append(path, benchreport.Report{
-		Label:       o.label,
-		Timestamp:   time.Now().Format(time.RFC3339),
-		Parallel:    harness.Parallelism(),
-		Shard:       o.shard,
-		TotalMillis: float64(total.Microseconds()) / 1e3,
-		Experiments: reports,
-		Explore:     explore,
-		Replay:      replaySection(claimer),
-		Runtime:     snapshotRuntime(),
-		Interrupted: interrupted,
-		Error:       errText,
-	})
-	if err == nil {
-		fmt.Printf("explore report appended to %s\n", path)
-	}
-	return err
-}
-
-// parseShard validates an "i/n" shard label (1-based).
-func parseShard(s string) (i, n int, err error) {
-	idx, count, ok := strings.Cut(s, "/")
-	if ok {
-		i, _ = strconv.Atoi(idx)
-		n, _ = strconv.Atoi(count)
-	}
-	if !ok || i < 1 || n < 1 || i > n {
-		return 0, 0, fmt.Errorf("-shard %q: want i/n with 1 <= i <= n", s)
-	}
-	return i, n, nil
-}
-
-// runParent forks -workers worker processes over a shared cache
-// directory and merges their partial reports, exactly as helix-bench
-// does: the parent never simulates, it owns the run id, the lifetime of
-// a temporary cache dir when none was given, and the deterministic
-// reassembly + verification of the merged report.
-func runParent(ctx context.Context, o *options) int {
-	_, runs, err := selectFamilies(o)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cacheDir := o.cacheDir
-	if cacheDir == "" {
-		tmp, err := os.MkdirTemp("", "helix-explore-cache-*")
-		if err != nil {
-			log.Fatalf("creating temporary cache dir: %v", err)
-		}
-		defer os.RemoveAll(tmp)
-		cacheDir = tmp
-	} else if o.cacheClear {
-		// Clear once, here, rather than racing N children over it.
-		if err := cliutil.SetupCacheDir(cacheDir, true); err != nil {
-			log.Fatal(err)
-		}
-	}
-	runid := fmt.Sprintf("r%d-%d", os.Getpid(), time.Now().UnixNano())
-	partialDir := filepath.Join(cacheDir, "partials", runid)
-	if err := os.MkdirAll(partialDir, 0o755); err != nil {
-		log.Fatalf("creating %s: %v", partialDir, err)
-	}
-	defer os.RemoveAll(partialDir)
-	defer os.RemoveAll(filepath.Join(cacheDir, "claims", runid))
-
-	exe, err := os.Executable()
-	if err != nil {
-		log.Fatalf("resolving own binary: %v", err)
-	}
-	// Families are claimed whole, so process-level sharding is the
-	// parallelism; children run their cells sequentially unless the user
-	// explicitly asked for hybrid with -parallel.
-	childPar := o.parallel
-	if childPar == 0 {
-		childPar = 1
-	}
-
-	start := time.Now()
-	partials := make([]string, o.workers)
-	cmds := make([]*exec.Cmd, o.workers)
-	for i := 1; i <= o.workers; i++ {
-		partials[i-1] = filepath.Join(partialDir, fmt.Sprintf("worker_%d.json", i))
-		args := []string{
-			"-shard", fmt.Sprintf("%d/%d", i, o.workers),
-			"-runid", runid,
-			"-cachedir", cacheDir,
-			"-jsonfile", partials[i-1],
-			"-pack", o.packDir,
-			"-level", strconv.Itoa(o.level),
-			"-cores", o.coresList,
-			"-tiers", o.tiersList,
-			"-links", o.linksList,
-			"-signals", o.signalsList,
-			"-parallel", strconv.Itoa(childPar),
-			"-lease", o.lease.String(),
-			"-cachebudget", strconv.FormatInt(o.cacheBudget, 10),
-		}
-		if o.family != "" {
-			args = append(args, "-family", o.family)
-		}
-		if o.quiet {
-			args = append(args, "-quiet")
-		}
-		if o.label != "" {
-			args = append(args, "-label", o.label)
-		}
-		if o.timeout > 0 {
-			args = append(args, "-timeout", o.timeout.String())
-		}
-		cmd := exec.CommandContext(ctx, exe, args...)
-		cmd.Stdout = io.Discard // the parent reprints the merged sweeps
-		cmd.Stderr = os.Stderr
-		cmd.Cancel = func() error { return cmd.Process.Signal(os.Interrupt) }
-		cmd.WaitDelay = 15 * time.Second
-		if err := cmd.Start(); err != nil {
-			log.Fatalf("starting worker %d: %v", i, err)
-		}
-		cmds[i-1] = cmd
-	}
-	workerFailures := 0
-	for i, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "worker %d/%d: %v\n", i+1, o.workers, err)
-			workerFailures++
-		}
-	}
-	total := time.Since(start)
-
-	// Merge whatever partial reports exist — a crashed worker leaves no
-	// file, but its stolen families appear in a survivor's partial.
-	var parts []benchreport.Report
-	for i, p := range partials {
-		loaded, err := benchreport.Load(p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "worker %d/%d left no partial report: %v\n", i+1, o.workers, err)
-			continue
-		}
-		parts = append(parts, loaded[len(loaded)-1])
-	}
-	if len(parts) == 0 {
-		log.Printf("no worker produced a partial report")
-		return 1
-	}
-	merged, err := benchreport.Merge(parts, experimentOrder(runs))
-	if err != nil {
-		log.Printf("merging partial reports: %v", err)
-		return 1
-	}
-	merged.Workers = o.workers
-	merged.Label = o.label
-	merged.TotalMillis = float64(total.Microseconds()) / 1e3
-
-	var wantSHA map[string]string
-	if o.verify != "" {
-		if wantSHA, err = benchreport.ExpectedHashes(o.verify); err != nil {
-			log.Fatalf("loading %s: %v", o.verify, err)
-		}
-	}
-	mismatches := 0
-	for _, e := range merged.Experiments {
-		fmt.Printf("==== %s ====\n%s\n", e.Name, e.Output)
-		verifyOne(e.Name, e.OutputSHA256, wantSHA, o.verify, &mismatches)
-	}
-
-	// Completeness: every selected family must have been swept by some
-	// worker.
-	have := make(map[string]bool, len(merged.Experiments))
-	for _, e := range merged.Experiments {
-		have[e.Name] = true
-	}
-	var missing []string
-	for _, fr := range runs {
-		if !have[experimentName(fr.family)] {
-			missing = append(missing, experimentName(fr.family))
-		}
-	}
-
-	if o.jsonOut || o.jsonFile != "" {
-		path := o.jsonFile
-		if path == "" {
-			path = fmt.Sprintf("EXPLORE_%s.json", time.Now().Format("2006-01-02"))
-		}
-		if err := benchreport.Append(path, merged); err != nil {
-			log.Fatalf("writing explore report: %v", err)
-		}
-		fmt.Printf("explore report appended to %s\n", path)
-	}
-
-	switch {
-	case merged.Error != "":
-		log.Printf("%s", merged.Error)
-		return 1
-	case len(missing) > 0:
-		log.Printf("incomplete sweep: missing %s", strings.Join(missing, ", "))
-		return 1
-	case merged.Interrupted:
-		log.Printf("interrupted after %.1fs with %d famil(ies) complete", total.Seconds(), len(merged.Experiments))
-		return 1
-	case mismatches > 0:
-		log.Printf("verify: %d famil(ies) diverge from %s", mismatches, o.verify)
-		return 1
-	case workerFailures > 0:
-		log.Printf("%d worker(s) failed (results recovered via lease stealing)", workerFailures)
-		return 1
-	}
-	fmt.Println(strings.Repeat("=", 60))
-	fmt.Printf("Sweep complete in %.1fs (%d worker processes): %d families × %d design points.\n",
-		total.Seconds(), o.workers, len(runs), len(o.grid))
-	return 0
-}
-
-func snapshotRuntime() benchreport.Runtime {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return benchreport.Runtime{
-		GoVersion:    runtime.Version(),
-		NumCPU:       runtime.NumCPU(),
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		NumGoroutine: runtime.NumGoroutine(),
-		NumGC:        ms.NumGC,
-		HeapAllocMB:  float64(ms.HeapAlloc) / (1 << 20),
-		TotalAllocMB: float64(ms.TotalAlloc) / (1 << 20),
-		PauseTotalMS: float64(ms.PauseTotalNs) / 1e6,
-	}
 }

@@ -19,6 +19,13 @@
 //	GET    /metrics    latency quantiles, queue gauges, cache counters
 //	GET    /healthz    liveness (503 while draining)
 //
+// With -blobdir DIR the daemon additionally serves as the shared blob
+// backend of a multi-machine evaluation (the -remote flag of
+// helix-bench and helix-explore):
+//
+//	GET/PUT /blobs/{kind}/{scheme}/{key}   content-addressed artifact tier
+//	POST    /claims/{scope}/{verb}         work-claim table (acquire/done/release)
+//
 // Admission control: at most -concurrency jobs run at once and at most
 // -queue wait; beyond that submissions shed with 429 + Retry-After.
 // Per-request deadlines (deadline_ms) run from admission and are
@@ -60,6 +67,7 @@ func main() {
 		cacheBudget  = flag.Int64("cachebudget", harness.DefaultCacheBudget>>20, "harness memo-cache byte budget in MB (0 = unbounded)")
 		cacheDir     = flag.String("cachedir", "", "disk tier for recorded traces and baseline results (survives restarts)")
 		cacheClear   = flag.Bool("cacheclear", false, "wipe the -cachedir disk tier before serving")
+		blobDir      = flag.String("blobdir", "", "serve a blob backend from this directory: /blobs/{kind}/{scheme}/{key} GET/PUT plus /claims/{scope} work-claiming, for -remote clients (helix-bench, helix-explore)")
 		quiet        = flag.Bool("quiet", false, "silence engine diagnostics (cache evictions)")
 	)
 	flag.Parse()
@@ -79,6 +87,7 @@ func main() {
 		DefaultDeadline: *defDeadline,
 		MaxDeadline:     *maxDeadline,
 		RetainJobs:      *retain,
+		BlobDir:         *blobDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

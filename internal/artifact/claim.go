@@ -31,6 +31,41 @@ import (
 	"helixrc/internal/atomicio"
 )
 
+// Claims is the work-claiming protocol RunPlan and the drive
+// orchestration speak: Claimer implements it over a shared directory,
+// RemoteClaimer over a helix-serve daemon. An Acquire error means the
+// coordination substrate itself failed (unreachable daemon, unwritable
+// directory); callers degrade to uncoordinated execution — the units
+// are idempotent, so the cost is duplicated work, never a wrong
+// result.
+type Claims interface {
+	// Owner returns this worker's label (used to spread workers across
+	// the unit list and to attribute claim files).
+	Owner() string
+	// Acquire attempts to claim key without blocking; see
+	// Claimer.Acquire for the state machine.
+	Acquire(key string) (Lease, ClaimState, error)
+	// NoteDuplicate records one unit skipped because another worker
+	// completed it first.
+	NoteDuplicate()
+	// Stats returns the cumulative claim counters.
+	Stats() Stats
+}
+
+// Lease is a held claim. Exactly one of Done or Release should be
+// called when the holder is finished with the unit.
+type Lease interface {
+	// Key returns the claimed work-unit key.
+	Key() string
+	// Done replaces the lease with a durable done marker, so every
+	// other worker — now or after this process exits — skips the unit.
+	// note is free-form (an output hash, an error), for debugging.
+	Done(note string) error
+	// Release drops the lease without marking the unit done, so
+	// another worker can claim it (the failure path).
+	Release() error
+}
+
 // ClaimState is the outcome of one Acquire attempt.
 type ClaimState int
 
@@ -119,21 +154,18 @@ func (c *Claimer) path(key string) string {
 	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".claim")
 }
 
-// Lease is a held claim. Exactly one of Done or Release should be
-// called when the holder is finished with the unit.
-type Lease struct {
+// fileLease is a held file claim (the Claimer's Lease).
+type fileLease struct {
 	c    *Claimer
 	key  string
 	path string
 }
 
 // Key returns the claimed work-unit key.
-func (l *Lease) Key() string { return l.key }
+func (l *fileLease) Key() string { return l.key }
 
-// Done replaces the lease with a durable done marker (atomic rename),
-// so every other worker — now or after this process exits — skips the
-// unit. note is free-form (an output hash, an error), for debugging.
-func (l *Lease) Done(note string) error {
+// Done replaces the lease with a durable done marker (atomic rename).
+func (l *fileLease) Done(note string) error {
 	data, err := json.Marshal(claimFile{Key: l.key, Owner: l.c.owner, State: "done", Note: note})
 	if err != nil {
 		return err
@@ -141,11 +173,10 @@ func (l *Lease) Done(note string) error {
 	return atomicio.WriteFile(l.path, append(data, '\n'), 0o644)
 }
 
-// Release drops the lease without marking the unit done, so another
-// worker can claim it (the failure path). The claim file is removed
-// only if this claimer still owns it — a stealer may have replaced it
-// after our lease expired.
-func (l *Lease) Release() error {
+// Release drops the lease without marking the unit done. The claim
+// file is removed only if this claimer still owns it — a stealer may
+// have replaced it after our lease expired.
+func (l *fileLease) Release() error {
 	data, err := os.ReadFile(l.path)
 	if err != nil {
 		return nil // already gone
@@ -163,7 +194,7 @@ func (l *Lease) Release() error {
 // lease is stolen transparently — the expiry and the steal are counted
 // — and a corrupt claim file is treated like an expired one (the unit
 // behind it is idempotent, so reclaiming is always safe).
-func (c *Claimer) Acquire(key string) (*Lease, ClaimState, error) {
+func (c *Claimer) Acquire(key string) (Lease, ClaimState, error) {
 	path := c.path(key)
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return nil, 0, fmt.Errorf("artifact: claim dir: %w", err)
@@ -204,7 +235,7 @@ func (c *Claimer) Acquire(key string) (*Lease, ClaimState, error) {
 			if stole {
 				c.steals.Add(1)
 			}
-			return &Lease{c: c, key: key, path: path}, ClaimAcquired, nil
+			return &fileLease{c: c, key: key, path: path}, ClaimAcquired, nil
 		}
 		if !errors.Is(lerr, fs.ErrExist) {
 			return nil, 0, fmt.Errorf("artifact: claiming %s: %w", key, lerr)

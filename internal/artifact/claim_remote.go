@@ -1,0 +1,156 @@
+package artifact
+
+// Remote work claiming over a helix-serve daemon. RemoteClaimer speaks
+// the same Claims protocol as the file-based Claimer, but against an
+// in-memory claim table the daemon hosts:
+//
+//	POST /claims/{scope}/acquire  {"key","owner","ttl_ms"}
+//	  -> {"state":"acquired"|"held"|"done","stole":bool,"expired":bool}
+//	POST /claims/{scope}/done     {"key","owner","note"}
+//	POST /claims/{scope}/release  {"key","owner"}
+//
+// scope is the run id, so concurrent runs sharing one daemon never see
+// each other's claims. Unlike the artifact tiers, claiming cannot
+// silently degrade inside this type — coordination either happened or
+// it didn't — so a transport failure surfaces as an Acquire error and
+// the *caller* degrades: RunPlan and the drive loop fall back to
+// uncoordinated execution, which is safe because every guarded unit is
+// idempotent (the worst case is duplicated work with hash-identical
+// results, which the report merge accepts).
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// ClaimRequest is the body of every claims POST.
+type ClaimRequest struct {
+	Key   string `json:"key"`
+	Owner string `json:"owner"`
+	TTLMS int64  `json:"ttl_ms,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+// ClaimResponse is the acquire response body.
+type ClaimResponse struct {
+	State string `json:"state"` // "acquired", "held", "done"
+	// Stole reports that the acquisition replaced an expired lease;
+	// Expired that an expired lease was observed (set on steals too).
+	Stole   bool `json:"stole,omitempty"`
+	Expired bool `json:"expired,omitempty"`
+}
+
+// RemoteClaimer hands out leases over work-unit keys held in a
+// helix-serve claim table. All methods are safe for concurrent use.
+type RemoteClaimer struct {
+	base, scope, owner string
+	ttl                time.Duration
+	client             *http.Client
+
+	claims, steals, expired, dup atomic.Int64
+}
+
+// NewRemoteClaimer returns a claimer speaking to the daemon at base
+// (e.g. "http://host:8080"), scoped to one run. owner and ttl have
+// Claimer semantics; ttl <= 0 defaults to one minute.
+func NewRemoteClaimer(base, scope, owner string, ttl time.Duration) *RemoteClaimer {
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	return &RemoteClaimer{
+		base: base, scope: scope, owner: owner, ttl: ttl,
+		client: &http.Client{Timeout: remoteTimeout},
+	}
+}
+
+// Owner returns the claimer's owner label.
+func (c *RemoteClaimer) Owner() string { return c.owner }
+
+// Stats returns the claimer's cumulative counters in the shared Stats
+// shape (see Claimer.Stats).
+func (c *RemoteClaimer) Stats() Stats {
+	return Stats{
+		Claims:        c.claims.Load(),
+		Steals:        c.steals.Load(),
+		ExpiredLeases: c.expired.Load(),
+		DupSuppressed: c.dup.Load(),
+	}
+}
+
+// NoteDuplicate records one unit of work this worker skipped because
+// another worker completed it.
+func (c *RemoteClaimer) NoteDuplicate() { c.dup.Add(1) }
+
+// post sends one claims verb and decodes the response.
+func (c *RemoteClaimer) post(verb string, req ClaimRequest) (ClaimResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return ClaimResponse{}, fmt.Errorf("artifact: encoding claim %s: %w", req.Key, err)
+	}
+	u := c.base + "/claims/" + url.PathEscape(c.scope) + "/" + verb
+	resp, err := c.client.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ClaimResponse{}, fmt.Errorf("artifact: claim %s: %w", verb, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return ClaimResponse{}, fmt.Errorf("artifact: claim %s response: %w", verb, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ClaimResponse{}, fmt.Errorf("artifact: claim %s: %s: %s", verb, resp.Status, bytes.TrimSpace(data))
+	}
+	var cr ClaimResponse
+	if err := json.Unmarshal(data, &cr); err != nil {
+		return ClaimResponse{}, fmt.Errorf("artifact: claim %s response: %w", verb, err)
+	}
+	return cr, nil
+}
+
+// Acquire attempts to claim key; the state machine matches
+// Claimer.Acquire (the daemon steals expired leases server-side).
+func (c *RemoteClaimer) Acquire(key string) (Lease, ClaimState, error) {
+	cr, err := c.post("acquire", ClaimRequest{Key: key, Owner: c.owner, TTLMS: c.ttl.Milliseconds()})
+	if err != nil {
+		return nil, 0, err
+	}
+	if cr.Expired {
+		c.expired.Add(1)
+	}
+	switch cr.State {
+	case "acquired":
+		c.claims.Add(1)
+		if cr.Stole {
+			c.steals.Add(1)
+		}
+		return &remoteLease{c: c, key: key}, ClaimAcquired, nil
+	case "held":
+		return nil, ClaimHeld, nil
+	case "done":
+		return nil, ClaimDone, nil
+	}
+	return nil, 0, fmt.Errorf("artifact: claim acquire: unknown state %q", cr.State)
+}
+
+// remoteLease is a held daemon claim.
+type remoteLease struct {
+	c   *RemoteClaimer
+	key string
+}
+
+func (l *remoteLease) Key() string { return l.key }
+
+func (l *remoteLease) Done(note string) error {
+	_, err := l.c.post("done", ClaimRequest{Key: l.key, Owner: l.c.owner, Note: note})
+	return err
+}
+
+func (l *remoteLease) Release() error {
+	_, err := l.c.post("release", ClaimRequest{Key: l.key, Owner: l.c.owner})
+	return err
+}

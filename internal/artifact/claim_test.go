@@ -150,7 +150,7 @@ func TestClaimCorruptFileIsReclaimable(t *testing.T) {
 	}
 	// Truncate the claim file to garbage: a later worker treats it like
 	// an expired lease and reclaims.
-	if err := os.WriteFile(la.path, []byte("{not json"), 0o644); err != nil {
+	if err := os.WriteFile(la.(*fileLease).path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	b := NewClaimer(dir, "b", time.Minute)

@@ -1,0 +1,138 @@
+package artifact
+
+// The remote tier speaks a two-verb HTTP blob protocol against a
+// helix-serve daemon:
+//
+//	GET /blobs/{kind}/{scheme}/{keyhash}  -> 200 + envelope bytes | 404
+//	PUT /blobs/{kind}/{scheme}/{keyhash}  <- envelope bytes
+//
+// The path carries the url-escaped scheme so writers under different
+// fingerprint schemes can never collide, and the keyhash is the same
+// sha256-of-key filename the disk tier uses. The body is the sealed
+// envelope verbatim — the daemon stores opaque bytes, and the client
+// re-verifies checksum/scheme/key on every load, so a corrupt, stale,
+// or malicious response degrades to a miss exactly like a flipped bit
+// on disk.
+//
+// Availability follows the same policy as integrity: any transport
+// error, timeout, or non-2xx status is a silent miss (loads) or a
+// dropped write (saves). A transport error additionally opens a short
+// circuit breaker so a dead daemon costs one failed dial per breaker
+// window instead of one per lookup — killing helix-serve mid-run slows
+// the evaluation down to local recomputation, it never fails it.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// remoteTimeout bounds one blob round trip.
+	remoteTimeout = 15 * time.Second
+	// remoteBreakerWindow is how long the tier stays silent after a
+	// transport error before probing the daemon again.
+	remoteBreakerWindow = 2 * time.Second
+	// remoteMaxBlob bounds a GET response body (1 GiB — comfortably
+	// above the largest trace the memory budget would ever admit).
+	remoteMaxBlob = 1 << 30
+)
+
+// remoteTier stores envelopes in an HTTP blob daemon. The base URL is
+// swappable at runtime (SetRemote) and empty means disabled.
+type remoteTier struct {
+	kind, scheme string
+	base         atomic.Pointer[string]
+	client       *http.Client
+	// downUntil is the circuit breaker: until this unix-nano instant,
+	// loads and saves fail fast without touching the network.
+	downUntil atomic.Int64
+}
+
+func newRemoteTier(kind, scheme string) *remoteTier {
+	return &remoteTier{kind: kind, scheme: scheme, client: &http.Client{Timeout: remoteTimeout}}
+}
+
+func (t *remoteTier) Name() string { return "remote" }
+
+func (t *remoteTier) baseURL() string {
+	if p := t.base.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (t *remoteTier) Enabled() bool { return t.baseURL() != "" }
+
+// SetBase installs (or, with "", removes) the daemon base URL.
+func (t *remoteTier) SetBase(base string) {
+	if base == "" {
+		t.base.Store(nil)
+		return
+	}
+	t.base.Store(&base)
+}
+
+func (t *remoteTier) url(base, key string) string {
+	return base + "/blobs/" + url.PathEscape(t.kind) + "/" + url.PathEscape(t.scheme) + "/" + keyFilename(key)
+}
+
+// tripped reports whether the circuit breaker is open.
+func (t *remoteTier) tripped() bool {
+	return time.Now().UnixNano() < t.downUntil.Load()
+}
+
+// trip opens the circuit breaker after a transport error.
+func (t *remoteTier) trip(op string, err error) {
+	t.downUntil.Store(time.Now().Add(remoteBreakerWindow).UnixNano())
+	logf("artifact: %s remote %s: %v (backing off %v)", t.kind, op, err, remoteBreakerWindow)
+}
+
+func (t *remoteTier) Load(key string) ([]byte, bool) {
+	base := t.baseURL()
+	if base == "" || t.tripped() {
+		return nil, false
+	}
+	resp, err := t.client.Get(t.url(base, key))
+	if err != nil {
+		t.trip("get", err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, remoteMaxBlob+1))
+	if err != nil {
+		t.trip("read", err)
+		return nil, false
+	}
+	if len(data) > remoteMaxBlob {
+		return nil, false
+	}
+	return data, true
+}
+
+func (t *remoteTier) Save(key string, sealed []byte) bool {
+	base := t.baseURL()
+	if base == "" || t.tripped() {
+		return false
+	}
+	req, err := http.NewRequest(http.MethodPut, t.url(base, key), bytes.NewReader(sealed))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		t.trip("put", err)
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}

@@ -1,0 +1,312 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blobBackend is a minimal in-memory stand-in for helix-serve's blob
+// endpoints: opaque bytes keyed by URL path. The artifact tests use it
+// instead of internal/server (which imports the harness, which imports
+// this package); the real handler is exercised end-to-end by
+// internal/server's own tests.
+type blobBackend struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func (b *blobBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		data, ok := b.m[r.URL.Path]
+		if !ok {
+			http.Error(w, "no such blob", http.StatusNotFound)
+			return
+		}
+		w.Write(data)
+	case http.MethodPut:
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if b.m == nil {
+			b.m = map[string][]byte{}
+		}
+		b.m[r.URL.Path] = data
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+	}
+}
+
+// mutate applies f to the backend's single stored blob (there must be
+// exactly one).
+func (b *blobBackend) mutate(t *testing.T, f func([]byte) []byte) {
+	t.Helper()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.m) != 1 {
+		t.Fatalf("expected exactly one stored blob, have %d", len(b.m))
+	}
+	for k, v := range b.m {
+		b.m[k] = f(append([]byte(nil), v...))
+	}
+}
+
+func newRemoteStore(t *testing.T, base, kind, scheme string) *Store[int64] {
+	t.Helper()
+	s := NewStore(kind, scheme, func(int64) int64 { return 8 }, intCodec)
+	s.SetRemote(base)
+	return s
+}
+
+// TestStoreRemoteRoundTrip pins the cross-machine contract: an artifact
+// computed under one store is served over HTTP by a fresh store (new
+// memory tier, no disk tier) pointed at the same backend, without
+// recomputing.
+func TestStoreRemoteRoundTrip(t *testing.T) {
+	backend := &blobBackend{}
+	srv := httptest.NewServer(backend)
+	defer srv.Close()
+
+	s1 := newRemoteStore(t, srv.URL, "trace", "scheme1")
+	if v, computed := get(t, s1, "k", 42); v != 42 || !computed {
+		t.Fatalf("cold Get = %d, computed=%v; want 42, true", v, computed)
+	}
+	st := s1.Stats()
+	if st.RemoteMisses != 1 || st.RemoteWrites != 1 || st.RemoteHits != 0 {
+		t.Errorf("cold stats = %+v; want 1 remote miss, 1 write", st)
+	}
+	if st.DiskHits != 0 || st.DiskMisses != 0 || st.DiskWrites != 0 {
+		t.Errorf("disk-less store touched disk counters: %+v", st)
+	}
+
+	s2 := newRemoteStore(t, srv.URL, "trace", "scheme1")
+	if v, computed := get(t, s2, "k", 99); v != 42 || computed {
+		t.Fatalf("remote Get = %d, computed=%v; want 42, false", v, computed)
+	}
+	st = s2.Stats()
+	if st.RemoteHits != 1 || st.RemoteWrites != 0 {
+		t.Errorf("warm stats = %+v; want 1 remote hit, 0 writes", st)
+	}
+	if st.RemoteLoadNS <= 0 {
+		t.Errorf("RemoteLoadNS = %d, want > 0", st.RemoteLoadNS)
+	}
+}
+
+// TestStoreRemotePromotion: a remote hit back-fills the local disk
+// tier, so later cold processes on this machine read disk, not the
+// network.
+func TestStoreRemotePromotion(t *testing.T) {
+	backend := &blobBackend{}
+	srv := httptest.NewServer(backend)
+	defer srv.Close()
+
+	// Seed the backend from a disk-less store (another machine).
+	seed := newRemoteStore(t, srv.URL, "trace", "scheme1")
+	get(t, seed, "k", 42)
+
+	// A two-tier store misses disk, hits remote, and promotes.
+	both := newRemoteStore(t, srv.URL, "trace", "scheme1")
+	both.SetDir(t.TempDir())
+	if v, computed := get(t, both, "k", 99); v != 42 || computed {
+		t.Fatalf("two-tier Get = %d, computed=%v; want 42, false", v, computed)
+	}
+	st := both.Stats()
+	if st.DiskMisses != 1 || st.RemoteHits != 1 || st.DiskWrites != 1 {
+		t.Errorf("stats = %+v; want disk miss, remote hit, promotion write", st)
+	}
+
+	// A disk-only store on the same dir now serves the promoted copy.
+	local := NewStore("trace", "scheme1", nil, intCodec)
+	local.SetDir(both.Dir())
+	if v, computed := get(t, local, "k", 99); v != 42 || computed {
+		t.Fatalf("promoted Get = %d, computed=%v; want 42, false", v, computed)
+	}
+	if st := local.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v; want 1 disk hit", st)
+	}
+}
+
+// TestTierCorruptionDegradesToMiss is the table-driven corruption suite
+// over both persistence tiers: a bit flip, a truncated envelope, an
+// emptied entry, or a future envelope version — stored on disk or
+// served by the blob daemon — is silently recomputed, never an error.
+func TestTierCorruptionDegradesToMiss(t *testing.T) {
+	corruptions := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bitflip-payload", func(b []byte) []byte { b[len(b)-40] ^= 0x01; return b }},
+		{"bitflip-header", func(b []byte) []byte { b[2] ^= 0x80; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"version-skew", func(b []byte) []byte {
+			// A future writer: bump the envelope version and re-seal the
+			// checksum so only the version check can refuse it.
+			binary.LittleEndian.PutUint32(b[len(envMagic):], envVersion+1)
+			return sealBody(b)
+		}},
+	}
+	type tierCase struct {
+		name string
+		// seed computes "k"=42 through a store, returning a mutator over
+		// the stored bytes and a factory for fresh readers of the tier.
+		seed func(t *testing.T) (mutate func(*testing.T, func([]byte) []byte), reader func() *Store[int64])
+		// miss extracts the tier's (hits, misses) from reader stats.
+		miss func(Stats) (int64, int64)
+	}
+	tiers := []tierCase{
+		{
+			name: "disk",
+			seed: func(t *testing.T) (func(*testing.T, func([]byte) []byte), func() *Store[int64]) {
+				s := newDiskStore(t, "trace", "scheme1")
+				get(t, s, "k", 42)
+				path := entryFile(t, s)
+				mutate := func(t *testing.T, f func([]byte) []byte) {
+					data, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, f(data), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				reader := func() *Store[int64] {
+					r := NewStore("trace", "scheme1", nil, intCodec)
+					r.SetDir(s.Dir())
+					return r
+				}
+				return mutate, reader
+			},
+			miss: func(st Stats) (int64, int64) { return st.DiskHits, st.DiskMisses },
+		},
+		{
+			name: "remote",
+			seed: func(t *testing.T) (func(*testing.T, func([]byte) []byte), func() *Store[int64]) {
+				backend := &blobBackend{}
+				srv := httptest.NewServer(backend)
+				t.Cleanup(srv.Close)
+				s := newRemoteStore(t, srv.URL, "trace", "scheme1")
+				get(t, s, "k", 42)
+				reader := func() *Store[int64] { return newRemoteStore(t, srv.URL, "trace", "scheme1") }
+				return backend.mutate, reader
+			},
+			miss: func(st Stats) (int64, int64) { return st.RemoteHits, st.RemoteMisses },
+		},
+	}
+	for _, tier := range tiers {
+		for _, tc := range corruptions {
+			t.Run(tier.name+"/"+tc.name, func(t *testing.T) {
+				mutate, reader := tier.seed(t)
+				mutate(t, tc.mutate)
+				fresh := reader()
+				if v, computed := get(t, fresh, "k", 42); v != 42 || !computed {
+					t.Fatalf("Get over corrupt %s entry = %d, computed=%v; want 42, true", tier.name, v, computed)
+				}
+				hits, misses := tier.miss(fresh.Stats())
+				if hits != 0 || misses != 1 {
+					t.Errorf("%s stats = hits %d, misses %d; want 0, 1", tier.name, hits, misses)
+				}
+				// The recompute repaired the tier: a second fresh reader is
+				// served without computing.
+				again := reader()
+				if v, computed := get(t, again, "k", 99); v != 42 || computed {
+					t.Fatalf("repaired %s Get = %d, computed=%v; want 42, false", tier.name, v, computed)
+				}
+			})
+		}
+	}
+}
+
+// TestStoreRemoteSchemeSkew: a reader under a different scheme never
+// sees another scheme's blobs (the scheme is part of the blob path),
+// degrading to recomputation — version-skewed clients sharing one
+// daemon cannot poison each other.
+func TestStoreRemoteSchemeSkew(t *testing.T) {
+	backend := &blobBackend{}
+	srv := httptest.NewServer(backend)
+	defer srv.Close()
+
+	s := newRemoteStore(t, srv.URL, "trace", "helixir-fp1+simcfg1+hkey1")
+	get(t, s, "k", 42)
+
+	skewed := newRemoteStore(t, srv.URL, "trace", "helixir-fp2+simcfg1+hkey1")
+	if v, computed := get(t, skewed, "k", 7); v != 7 || !computed {
+		t.Fatalf("skewed Get = %d, computed=%v; want 7, true", v, computed)
+	}
+	if st := skewed.Stats(); st.RemoteHits != 0 || st.RemoteMisses != 1 {
+		t.Errorf("stats = %+v; want the skewed scheme refused as a miss", st)
+	}
+}
+
+// TestStoreRemoteDaemonKilled pins the availability contract of the
+// acceptance scenario: killing the daemon mid-run degrades every
+// lookup to a silent miss (local recomputation) and every save to a
+// dropped write — the evaluation never fails.
+func TestStoreRemoteDaemonKilled(t *testing.T) {
+	backend := &blobBackend{}
+	srv := httptest.NewServer(backend)
+
+	s := newRemoteStore(t, srv.URL, "trace", "scheme1")
+	get(t, s, "k1", 42)
+
+	srv.Close() // the daemon dies mid-run
+
+	// Cold lookup of the blob the daemon used to hold: recomputed.
+	fresh := newRemoteStore(t, srv.URL, "trace", "scheme1")
+	if v, computed := get(t, fresh, "k1", 42); v != 42 || !computed {
+		t.Fatalf("Get after daemon death = %d, computed=%v; want 42, true", v, computed)
+	}
+	// New work keeps flowing: computes locally, save dropped silently.
+	if v, computed := get(t, fresh, "k2", 7); v != 7 || !computed {
+		t.Fatalf("new-key Get after daemon death = %d, computed=%v; want 7, true", v, computed)
+	}
+	st := fresh.Stats()
+	if st.RemoteHits != 0 || st.RemoteWrites != 0 {
+		t.Errorf("stats = %+v; want no remote hits or writes after daemon death", st)
+	}
+	// Both values live on in the memory tier.
+	if v, computed := get(t, fresh, "k1", 99); v != 42 || computed {
+		t.Fatalf("memory Get = %d, computed=%v; want 42, false", v, computed)
+	}
+}
+
+// TestRemoteTierBreaker: after a transport error the tier backs off
+// instead of dialing a dead daemon once per lookup.
+func TestRemoteTierBreaker(t *testing.T) {
+	tier := newRemoteTier("trace", "s")
+	tier.SetBase("http://127.0.0.1:1") // nothing listens here
+	if _, ok := tier.Load("k"); ok {
+		t.Fatal("Load against dead daemon succeeded")
+	}
+	if !tier.tripped() {
+		t.Fatal("breaker not tripped after transport error")
+	}
+	start := time.Now()
+	if _, ok := tier.Load("k"); ok || time.Since(start) > 500*time.Millisecond {
+		t.Fatalf("tripped Load not fast-failing (ok=%v, took %v)", ok, time.Since(start))
+	}
+	if tier.Save("k", []byte("x")) {
+		t.Fatal("tripped Save reported success")
+	}
+}
+
+// TestRemoteClaimerDeadDaemon: Acquire against a dead daemon surfaces
+// an error (unlike blob lookups) so callers can degrade to
+// uncoordinated execution explicitly.
+func TestRemoteClaimerDeadDaemon(t *testing.T) {
+	c := NewRemoteClaimer("http://127.0.0.1:1", "scope", "owner", time.Minute)
+	if _, _, err := c.Acquire("k"); err == nil {
+		t.Fatal("Acquire against dead daemon succeeded")
+	}
+}

@@ -4,17 +4,14 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/hex"
 	"errors"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 	"time"
-
-	"helixrc/internal/atomicio"
 )
 
-// envelope format for one disk entry:
+// envelope format for one persisted entry (any tier):
 //
 //	magic "hxart" | u32 envelope version | u32 len + scheme string |
 //	u32 len + full key | u64 len + payload | sha256 of all prior bytes
@@ -25,13 +22,14 @@ import (
 // full key is stored so a filename-hash collision or a key-derivation
 // change can never serve the wrong artifact. Any truncation, bit flip
 // or version bump fails the checksum/field checks and degrades to a
-// miss.
+// miss. Tiers move these sealed bytes opaquely, so the guarantees hold
+// identically for a local file and a blob fetched over the network.
 const (
 	envMagic   = "hxart"
 	envVersion = 1
 )
 
-// Codec serializes artifacts for the disk tier. Encode must be
+// Codec serializes artifacts for the persistence tiers. Encode must be
 // deterministic for a given value; Decode must reject corrupt input
 // with an error (it is allowed to be paranoid — a decode error is just
 // a cache miss).
@@ -42,12 +40,12 @@ type Codec[V any] struct {
 
 // Stats is a Store's cumulative counter snapshot. Memory hits/misses
 // count Get calls served by the memory tier vs those that ran the
-// disk-or-compute path; disk hits/misses split the latter (disk
-// counters stay zero while the disk tier is disabled). Eviction
+// persistence-or-compute path; the per-tier counters split the latter
+// by chain position (a disabled tier's counters stay zero). Eviction
 // counters cover the memory tier's byte-budget LRU. The claim counters
-// belong to a Claimer sharing the same shape (a Store never moves
-// them), so one aggregate covers every source of cache traffic a
-// worker produces.
+// belong to a Claims implementation sharing the same shape (a Store
+// never moves them), so one aggregate covers every source of cache
+// traffic a worker produces.
 type Stats struct {
 	MemHits      int64
 	MemMisses    int64
@@ -57,6 +55,12 @@ type Stats struct {
 	DiskLoadNS   int64 // wall time spent reading+decoding disk hits
 	Evictions    int64
 	EvictedBytes int64
+
+	// Remote blob tier counters (zero unless SetRemote installed one).
+	RemoteHits   int64
+	RemoteMisses int64
+	RemoteWrites int64
+	RemoteLoadNS int64 // wall time spent fetching+decoding remote hits
 
 	// Work-claiming counters (see Claimer.Stats).
 	Claims        int64
@@ -75,6 +79,10 @@ func (s *Stats) Add(o Stats) {
 	s.DiskLoadNS += o.DiskLoadNS
 	s.Evictions += o.Evictions
 	s.EvictedBytes += o.EvictedBytes
+	s.RemoteHits += o.RemoteHits
+	s.RemoteMisses += o.RemoteMisses
+	s.RemoteWrites += o.RemoteWrites
+	s.RemoteLoadNS += o.RemoteLoadNS
 	s.Claims += o.Claims
 	s.Steals += o.Steals
 	s.ExpiredLeases += o.ExpiredLeases
@@ -97,6 +105,10 @@ func (s Stats) Delta(prev Stats) Stats {
 		DiskLoadNS:    s.DiskLoadNS - prev.DiskLoadNS,
 		Evictions:     s.Evictions - prev.Evictions,
 		EvictedBytes:  s.EvictedBytes - prev.EvictedBytes,
+		RemoteHits:    s.RemoteHits - prev.RemoteHits,
+		RemoteMisses:  s.RemoteMisses - prev.RemoteMisses,
+		RemoteWrites:  s.RemoteWrites - prev.RemoteWrites,
+		RemoteLoadNS:  s.RemoteLoadNS - prev.RemoteLoadNS,
 		Claims:        s.Claims - prev.Claims,
 		Steals:        s.Steals - prev.Steals,
 		ExpiredLeases: s.ExpiredLeases - prev.ExpiredLeases,
@@ -104,37 +116,58 @@ func (s Stats) Delta(prev Stats) Stats {
 	}
 }
 
-// Store is a two-tier content-addressed artifact store: a Memo memory
-// tier (singleflight + byte-budget LRU) over an optional disk tier of
-// atomic, checksummed files. A Get that misses memory consults disk
-// before computing; a computed value is written back to disk
-// best-effort (a failed write never fails the Get). The disk tier is
-// disabled until SetDir installs a root directory.
+// chainTier is one slot of a Store's tier chain: the tier plus the
+// Store-owned counters that attribute its traffic (attribution happens
+// after envelope verification, so a tier serving corrupt bytes counts
+// as a miss, not a hit).
+type chainTier struct {
+	tier  Tier
+	stats *tierCounters
+}
+
+// Store is a content-addressed artifact store: a Memo memory tier
+// (singleflight + byte-budget LRU) over a chain of persistence tiers —
+// an optional disk tier of atomic, checksummed files, then an optional
+// remote blob tier speaking HTTP to a helix-serve daemon. A Get that
+// misses memory walks the chain in order before computing; a computed
+// value is written back to every enabled tier best-effort (a failed
+// write never fails the Get), and a hit on a later tier is promoted to
+// the earlier ones. Both persistence tiers are disabled until
+// SetDir/SetRemote install them.
 //
-// All disk entries carry the store's scheme string; entries written
-// under a different scheme or envelope version are treated as misses,
-// so fingerprint-scheme evolution can never serve a stale artifact.
+// All persisted entries carry the store's scheme string; entries
+// written under a different scheme or envelope version are treated as
+// misses, so fingerprint-scheme evolution can never serve a stale
+// artifact — from disk or from a daemon running older code.
 type Store[V any] struct {
 	memo   Memo[V]
 	kind   string // subdirectory under the cache root
 	scheme string
 	codec  *Codec[V] // nil = memory-only store
 
-	dir atomic.Pointer[string]
+	disk   diskTier
+	remote *remoteTier
+	chain  []chainTier
 
-	memHits, memMisses       atomic.Int64
-	diskHits, diskMisses     atomic.Int64
-	diskWrites, diskLoadNano atomic.Int64
+	diskStats, remoteStats tierCounters
+	memHits, memMisses     atomic.Int64
 }
 
 // NewStore returns a store whose disk entries live under
 // <root>/<kind>/ once SetDir is called. cost drives the memory tier's
 // byte-budget LRU (nil disables it); codec serializes values for the
-// disk tier (nil keeps the store memory-only even with a directory
-// set); scheme names the fingerprint/codec scheme the keys and
-// payloads were derived under.
+// persistence tiers (nil keeps the store memory-only even with a
+// directory or daemon set); scheme names the fingerprint/codec scheme
+// the keys and payloads were derived under.
 func NewStore[V any](kind, scheme string, cost func(V) int64, codec *Codec[V]) *Store[V] {
-	return &Store[V]{memo: Memo[V]{name: kind, cost: cost}, kind: kind, scheme: scheme, codec: codec}
+	s := &Store[V]{memo: Memo[V]{name: kind, cost: cost}, kind: kind, scheme: scheme, codec: codec}
+	s.disk.kind = kind
+	s.remote = newRemoteTier(kind, scheme)
+	s.chain = []chainTier{
+		{tier: &s.disk, stats: &s.diskStats},
+		{tier: s.remote, stats: &s.remoteStats},
+	}
+	return s
 }
 
 // SetDir installs (or, with "", removes) the disk tier's root
@@ -142,24 +175,27 @@ func NewStore[V any](kind, scheme string, cost func(V) int64, codec *Codec[V]) *
 // concurrently with Get.
 func (s *Store[V]) SetDir(dir string) {
 	if dir == "" {
-		s.dir.Store(nil)
+		s.disk.dir.Store(nil)
 		return
 	}
-	s.dir.Store(&dir)
+	s.disk.dir.Store(&dir)
 }
 
 // Dir returns the disk tier root, or "" when disabled.
-func (s *Store[V]) Dir() string {
-	if p := s.dir.Load(); p != nil {
-		return *p
-	}
-	return ""
-}
+func (s *Store[V]) Dir() string { return s.disk.root() }
+
+// SetRemote installs (or, with "", removes) the remote blob tier's
+// daemon base URL (e.g. "http://host:8080"). Safe to call concurrently
+// with Get.
+func (s *Store[V]) SetRemote(base string) { s.remote.SetBase(base) }
+
+// Remote returns the remote tier's base URL, or "" when disabled.
+func (s *Store[V]) Remote() string { return s.remote.baseURL() }
 
 // SetBudget bounds the memory tier's summed cost (<= 0 for unbounded).
 func (s *Store[V]) SetBudget(b int64) { s.memo.SetBudget(b) }
 
-// Reset drops the memory tier. Disk entries and counters survive.
+// Reset drops the memory tier. Persisted entries and counters survive.
 func (s *Store[V]) Reset() { s.memo.Reset() }
 
 // Stats returns the cumulative counter snapshot.
@@ -168,31 +204,35 @@ func (s *Store[V]) Stats() Stats {
 	return Stats{
 		MemHits:      s.memHits.Load(),
 		MemMisses:    s.memMisses.Load(),
-		DiskHits:     s.diskHits.Load(),
-		DiskMisses:   s.diskMisses.Load(),
-		DiskWrites:   s.diskWrites.Load(),
-		DiskLoadNS:   s.diskLoadNano.Load(),
+		DiskHits:     s.diskStats.hits.Load(),
+		DiskMisses:   s.diskStats.misses.Load(),
+		DiskWrites:   s.diskStats.writes.Load(),
+		DiskLoadNS:   s.diskStats.loadNano.Load(),
 		Evictions:    ev,
 		EvictedBytes: evB,
+		RemoteHits:   s.remoteStats.hits.Load(),
+		RemoteMisses: s.remoteStats.misses.Load(),
+		RemoteWrites: s.remoteStats.writes.Load(),
+		RemoteLoadNS: s.remoteStats.loadNano.Load(),
 	}
 }
 
-// Get returns the artifact for key, looking up memory, then disk, then
-// computing with fn (exactly once per key across concurrent callers —
-// Memo.Do's singleflight and cancellation semantics apply unchanged).
-// Values that fn computes are persisted to the disk tier best-effort;
-// values loaded from disk re-enter the memory tier so later Gets are
-// memory hits.
+// Get returns the artifact for key, looking up memory, then the tier
+// chain, then computing with fn (exactly once per key across
+// concurrent callers — Memo.Do's singleflight and cancellation
+// semantics apply unchanged). Values that fn computes are persisted to
+// every enabled tier best-effort; values loaded from a tier re-enter
+// the memory tier so later Gets are memory hits.
 func (s *Store[V]) Get(ctx context.Context, key string, fn func(ctx context.Context) (V, error)) (V, error) {
 	ran := false
 	v, err := s.memo.Do(ctx, key, func(cctx context.Context) (V, error) {
 		ran = true // single write, observed only after Do's done-channel sync
-		if v, ok := s.diskLoad(key); ok {
+		if v, ok := s.tierLoad(key); ok {
 			return v, nil
 		}
 		v, err := fn(cctx)
 		if err == nil {
-			s.diskSave(key, v)
+			s.tierSave(key, v)
 		}
 		return v, err
 	})
@@ -211,24 +251,25 @@ func (s *Store[V]) Get(ctx context.Context, key string, fn func(ctx context.Cont
 
 // Put publishes an already-computed artifact under key: the memory tier
 // takes it unless an entry (completed or in-flight) already exists, and
-// a newly inserted value is persisted to the disk tier best-effort.
-// Hit/miss counters are untouched — Put is how batched producers seed
-// the store, not a lookup. Later Gets for the key are memory hits.
+// a newly inserted value is persisted to every enabled tier
+// best-effort. Hit/miss counters are untouched — Put is how batched
+// producers seed the store, not a lookup. Later Gets for the key are
+// memory hits.
 func (s *Store[V]) Put(key string, v V) {
 	if s.memo.Add(key, v) {
-		s.diskSave(key, v)
+		s.tierSave(key, v)
 	}
 }
 
 // Peek returns the artifact for key only if it is already available:
-// memory first, then disk (a disk hit re-enters the memory tier, as
-// with Get). It never computes and never blocks on an in-flight
-// computation. Only the disk tier's hit/miss/load counters move.
+// memory first, then the tier chain (a tier hit re-enters the memory
+// tier, as with Get). It never computes and never blocks on an
+// in-flight computation. Only the tier hit/miss/load counters move.
 func (s *Store[V]) Peek(key string) (V, bool) {
 	if v, ok := s.memo.Peek(key); ok {
 		return v, true
 	}
-	if v, ok := s.diskLoad(key); ok {
+	if v, ok := s.tierLoad(key); ok {
 		s.memo.Add(key, v)
 		return v, true
 	}
@@ -236,72 +277,74 @@ func (s *Store[V]) Peek(key string) (V, bool) {
 	return zero, false
 }
 
-// path maps a key to its disk entry. The filename is a hash of the key;
-// the key itself is stored inside the envelope and verified on load.
-func (s *Store[V]) path(root, key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(root, s.kind, hex.EncodeToString(sum[:])+".art")
-}
-
-// diskLoad reads, verifies and decodes one disk entry. Every failure —
-// missing file, truncation, checksum mismatch, envelope-version or
-// scheme skew, wrong key, codec error — is a miss.
-func (s *Store[V]) diskLoad(key string) (V, bool) {
+// tierLoad walks the chain in order: the first enabled tier whose bytes
+// open (checksum, envelope version, scheme, key) and decode wins, and
+// its sealed bytes are promoted to the enabled tiers earlier in the
+// chain so the next lookup stops sooner. Every failure on the way —
+// missing entry, truncation, checksum mismatch, version or scheme skew,
+// wrong key, codec error, unreachable daemon — counts a miss for the
+// tier that failed and falls through to the next.
+func (s *Store[V]) tierLoad(key string) (V, bool) {
 	var zero V
-	root := s.Dir()
-	if root == "" || s.codec == nil {
+	if s.codec == nil {
 		return zero, false
 	}
-	start := time.Now()
-	data, err := os.ReadFile(s.path(root, key))
-	if err != nil {
-		s.diskMisses.Add(1)
-		return zero, false
+	for i, ct := range s.chain {
+		if !ct.tier.Enabled() {
+			continue
+		}
+		start := time.Now()
+		data, ok := ct.tier.Load(key)
+		if ok {
+			if payload, ok := openEnvelope(data, s.scheme, key); ok {
+				if v, err := s.codec.Decode(payload); err == nil {
+					ct.stats.loadNano.Add(time.Since(start).Nanoseconds())
+					ct.stats.hits.Add(1)
+					for _, earlier := range s.chain[:i] {
+						if earlier.tier.Enabled() && earlier.tier.Save(key, data) {
+							earlier.stats.writes.Add(1)
+						}
+					}
+					return v, true
+				}
+			}
+		}
+		ct.stats.misses.Add(1)
 	}
-	payload, ok := openEnvelope(data, s.scheme, key)
-	if !ok {
-		s.diskMisses.Add(1)
-		return zero, false
-	}
-	v, err := s.codec.Decode(payload)
-	if err != nil {
-		s.diskMisses.Add(1)
-		return zero, false
-	}
-	s.diskLoadNano.Add(time.Since(start).Nanoseconds())
-	s.diskHits.Add(1)
-	return v, true
+	return zero, false
 }
 
-// diskSave writes one entry atomically. Failures are logged and
-// swallowed: the disk tier is an accelerator, never a correctness
-// dependency.
-func (s *Store[V]) diskSave(key string, v V) {
-	root := s.Dir()
-	if root == "" || s.codec == nil {
+// tierSave seals one envelope and writes it to every enabled tier.
+// Failures are logged (by the tier) and swallowed: the chain is an
+// accelerator, never a correctness dependency.
+func (s *Store[V]) tierSave(key string, v V) {
+	if s.codec == nil {
 		return
 	}
-	payload, err := s.codec.Encode(v)
-	if err != nil {
-		logf("artifact: %s encode %s: %v", s.kind, key, err)
-		return
+	var sealed []byte
+	for _, ct := range s.chain {
+		if !ct.tier.Enabled() {
+			continue
+		}
+		if sealed == nil {
+			payload, err := s.codec.Encode(v)
+			if err != nil {
+				logf("artifact: %s encode %s: %v", s.kind, key, err)
+				return
+			}
+			sealed = sealEnvelope(payload, s.scheme, key)
+		}
+		if ct.tier.Save(key, sealed) {
+			ct.stats.writes.Add(1)
+		}
 	}
-	path := s.path(root, key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		logf("artifact: %s mkdir: %v", s.kind, err)
-		return
-	}
-	if err := atomicio.WriteFile(path, sealEnvelope(payload, s.scheme, key), 0o644); err != nil {
-		logf("artifact: %s write %s: %v", s.kind, key, err)
-		return
-	}
-	s.diskWrites.Add(1)
 }
 
 // Clear removes every disk entry of this store's kind under the
-// configured root (no-op when the disk tier is disabled).
+// configured root (no-op when the disk tier is disabled; the remote
+// tier is shared with other workers and is never cleared from here).
 func (s *Store[V]) Clear() error {
-	root := s.Dir()
+	root := s.disk.root()
 	if root == "" {
 		return nil
 	}

@@ -199,7 +199,7 @@ func TestStoreWrongKeyRefused(t *testing.T) {
 	get(t, s, "k1", 42)
 	// Rename k1's entry to where k2 would live.
 	src := entryFile(t, s)
-	dst := s.path(s.Dir(), "k2")
+	dst := s.disk.path(s.Dir(), "k2")
 	if err := os.Rename(src, dst); err != nil {
 		t.Fatal(err)
 	}

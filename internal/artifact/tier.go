@@ -1,0 +1,106 @@
+package artifact
+
+// The persistence side of a Store is a chain of tiers. A tier moves
+// sealed envelope bytes (see sealEnvelope) keyed by the full artifact
+// key; it never sees decoded values, so every implementation inherits
+// the same integrity story — the Store verifies the envelope's
+// checksum, scheme, and key after any tier load, and a tier that
+// returns garbage is indistinguishable from a miss. Tiers must be safe
+// for concurrent use and must degrade, never error: a failed Load is a
+// miss, a failed Save is dropped (the chain is an accelerator, not a
+// correctness dependency).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"helixrc/internal/atomicio"
+)
+
+// Tier is one persistence layer of a Store's chain.
+type Tier interface {
+	// Name labels the tier in stats and logs ("disk", "remote").
+	Name() string
+	// Enabled reports whether the tier is configured. A disabled tier
+	// is skipped entirely — it neither serves nor counts traffic.
+	Enabled() bool
+	// Load returns the sealed envelope bytes for key, or ok=false on
+	// any failure (missing, unreachable, truncated — the Store verifies
+	// content, the tier only has to fetch it).
+	Load(key string) ([]byte, bool)
+	// Save stores sealed envelope bytes under key, best-effort,
+	// reporting whether the write landed.
+	Save(key string, sealed []byte) bool
+}
+
+// tierCounters is one tier's traffic snapshot, owned by the Store so
+// hit/miss attribution happens after envelope verification (a tier
+// that served bytes which failed the checksum counts as a miss).
+type tierCounters struct {
+	hits, misses, writes, loadNano atomic.Int64
+}
+
+// keyFilename maps an artifact key to a fixed-width filename: keys
+// embed fingerprints and slashes, so tiers address them by hash and
+// rely on the envelope (which stores the full key) to reject
+// collisions.
+func keyFilename(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// diskTier stores envelopes as atomic files under <root>/<kind>/.
+// The root is swappable at runtime (SetDir) and empty means disabled.
+type diskTier struct {
+	kind string
+	dir  atomic.Pointer[string]
+}
+
+func (t *diskTier) Name() string { return "disk" }
+
+func (t *diskTier) root() string {
+	if p := t.dir.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (t *diskTier) Enabled() bool { return t.root() != "" }
+
+// path maps a key to its disk entry. The filename is a hash of the key;
+// the key itself is stored inside the envelope and verified on load.
+func (t *diskTier) path(root, key string) string {
+	return filepath.Join(root, t.kind, keyFilename(key)+".art")
+}
+
+func (t *diskTier) Load(key string) ([]byte, bool) {
+	root := t.root()
+	if root == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(t.path(root, key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (t *diskTier) Save(key string, sealed []byte) bool {
+	root := t.root()
+	if root == "" {
+		return false
+	}
+	path := t.path(root, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		logf("artifact: %s mkdir: %v", t.kind, err)
+		return false
+	}
+	if err := atomicio.WriteFile(path, sealed, 0o644); err != nil {
+		logf("artifact: %s write %s: %v", t.kind, key, err)
+		return false
+	}
+	return true
+}

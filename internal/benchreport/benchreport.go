@@ -58,6 +58,10 @@ type Replay struct {
 	DiskMisses     int64   `json:"disk_misses,omitempty"`
 	DiskWrites     int64   `json:"disk_writes,omitempty"`
 	DiskLoadMS     float64 `json:"disk_load_ms,omitempty"`
+	RemoteHits     int64   `json:"remote_hits,omitempty"`
+	RemoteMisses   int64   `json:"remote_misses,omitempty"`
+	RemoteWrites   int64   `json:"remote_writes,omitempty"`
+	RemoteLoadMS   float64 `json:"remote_load_ms,omitempty"`
 	CacheEvictions int64   `json:"cache_evictions"`
 	CacheEvictedMB float64 `json:"cache_evicted_mb"`
 }
@@ -82,6 +86,10 @@ func (r *Replay) add(o *Replay) {
 	r.DiskMisses += o.DiskMisses
 	r.DiskWrites += o.DiskWrites
 	r.DiskLoadMS += o.DiskLoadMS
+	r.RemoteHits += o.RemoteHits
+	r.RemoteMisses += o.RemoteMisses
+	r.RemoteWrites += o.RemoteWrites
+	r.RemoteLoadMS += o.RemoteLoadMS
 	r.CacheEvictions += o.CacheEvictions
 	r.CacheEvictedMB += o.CacheEvictedMB
 }

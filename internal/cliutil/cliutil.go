@@ -7,6 +7,7 @@ package cliutil
 
 import (
 	"fmt"
+	"net/url"
 	"strings"
 
 	"helixrc/internal/harness"
@@ -59,15 +60,52 @@ func CheckOneOf(name, v string, allowed ...string) error {
 	return fmt.Errorf("-%s %q: accepted values are %s", name, v, strings.Join(allowed, ", "))
 }
 
-// SetupCacheDir wires a tool's -cachedir/-cacheclear flags into the
-// harness artifact stores: install the disk tier (when dir is
-// non-empty), then optionally wipe it. -cacheclear without -cachedir is
-// an error — there is nothing to clear.
-func SetupCacheDir(dir string, clear bool) error {
-	if dir == "" {
-		if clear {
-			return fmt.Errorf("-cacheclear requires -cachedir")
+// MaxWorkers bounds a -workers flag: forking more worker processes
+// than this is a typo, not a cluster.
+const MaxWorkers = 256
+
+// CheckWorkers validates a -workers flag (worker process count; 0 runs
+// the evaluation in this process).
+func CheckWorkers(workers int) error {
+	if workers < 0 || workers > MaxWorkers {
+		return fmt.Errorf("-workers %d: accepted range is 0..%d (0 = run in this process, N = fork N worker processes)", workers, MaxWorkers)
+	}
+	return nil
+}
+
+// CheckRemote validates a -remote flag (helix-serve blob backend base
+// URL): http(s), a host, no query/fragment. Trailing slashes are
+// trimmed so path concatenation is uniform.
+func CheckRemote(remote string) (string, error) {
+	remote = strings.TrimRight(remote, "/")
+	u, err := url.Parse(remote)
+	if err != nil {
+		return "", fmt.Errorf("-remote %q: %v", remote, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("-remote %q: want a base URL like http://host:8080", remote)
+	}
+	return remote, nil
+}
+
+// SetupCache wires a tool's -cachedir/-cacheclear/-remote flags into
+// the harness artifact stores: install the disk tier (when dir is
+// non-empty) and the remote blob tier (when remote is non-empty), then
+// optionally wipe the disk tier. -cacheclear without -cachedir is an
+// error — there is nothing to clear (the remote tier is shared with
+// other workers and is never cleared from a client).
+func SetupCache(dir string, clear bool, remote string) error {
+	if dir == "" && clear {
+		return fmt.Errorf("-cacheclear requires -cachedir")
+	}
+	if remote != "" {
+		base, err := CheckRemote(remote)
+		if err != nil {
+			return err
 		}
+		harness.SetCacheRemote(base)
+	}
+	if dir == "" {
 		return nil
 	}
 	harness.SetCacheDir(dir)
@@ -77,4 +115,10 @@ func SetupCacheDir(dir string, clear bool) error {
 		}
 	}
 	return nil
+}
+
+// SetupCacheDir is SetupCache without a remote tier (tools that only
+// take -cachedir/-cacheclear).
+func SetupCacheDir(dir string, clear bool) error {
+	return SetupCache(dir, clear, "")
 }

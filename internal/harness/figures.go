@@ -102,6 +102,21 @@ func SetCacheDir(dir string) {
 // CacheDir returns the configured disk-tier root, or "" when disabled.
 func CacheDir() string { return traceStore.Dir() }
 
+// SetCacheRemote installs base as the remote blob tier's daemon URL
+// for the same persistable stores SetCacheDir covers, so workers on
+// different machines share recordings through one helix-serve blob
+// backend. "" disables the remote tier (the default). Remote failures
+// are silent misses — a dead daemon degrades to local recomputation.
+func SetCacheRemote(base string) {
+	seqStore.SetRemote(base)
+	traceStore.SetRemote(base)
+	resStore.SetRemote(base)
+}
+
+// CacheRemote returns the configured remote-tier base URL, or "" when
+// disabled.
+func CacheRemote() string { return traceStore.Remote() }
+
 // ClearDiskCache removes every persisted artifact under the configured
 // cache dir (no-op without one). helix-bench -cacheclear calls it.
 func ClearDiskCache() error {

@@ -13,11 +13,14 @@ package harness
 //     the trace key), merging duplicates across experiments so a trace
 //     shared by two figures is recorded by exactly one worker.
 //   - RunPlan drains the units coordinator-free: each worker claims a
-//     unit via an atomic lease file (artifact.Claimer) in a run-scoped
-//     claim directory, records+retimes it (prefetchGroup), and leaves
-//     a durable done marker. Crashed workers' leases expire and are
-//     stolen; every unit is idempotent, so the worst race outcome is
-//     duplicated work, never a wrong artifact.
+//     unit through an artifact.Claims implementation — an atomic lease
+//     file in a run-scoped claim directory (artifact.Claimer), or the
+//     claim table of a helix-serve daemon (artifact.RemoteClaimer)
+//     when workers share no filesystem — records+retimes it
+//     (prefetchGroup), and leaves a durable done marker. Crashed
+//     workers' leases expire and are stolen; every unit is idempotent,
+//     so the worst race outcome is duplicated work, never a wrong
+//     artifact.
 //
 // After the cooperative warm-up, workers claim whole experiments (see
 // ExperimentClaimKey) and render their figures from the now-hot
@@ -246,14 +249,15 @@ func planGroups(ctx context.Context, groups []retimeGroup) ([]WorkUnit, error) {
 }
 
 // RunPlan drains the units. With a claimer, workers sharing its claim
-// directory partition the units cooperatively: each unit is claimed by
+// substrate (directory or daemon) partition the units cooperatively:
+// each unit is claimed by
 // one worker, executed (prefetchGroup: record + batched retime,
 // publishing into the shared store), and marked done; units held
 // elsewhere are revisited until their artifacts appear or their lease
 // expires and is stolen. Without a claimer the units run locally in
 // order. Either way RunPlan is best-effort warm-up — a unit that fails
 // here is recomputed by its cells, which attribute the error properly.
-func RunPlan(ctx context.Context, units []WorkUnit, claimer *artifact.Claimer) {
+func RunPlan(ctx context.Context, units []WorkUnit, claimer artifact.Claims) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -1,0 +1,255 @@
+package server
+
+// Blob backend + claim table: the daemon-side half of multi-machine
+// evaluation (DESIGN.md §12). With Config.BlobDir set, the daemon
+// additionally serves
+//
+//	GET /blobs/{kind}/{scheme}/{key}   -> 200 envelope bytes | 404
+//	PUT /blobs/{kind}/{scheme}/{key}   <- envelope bytes -> 204
+//	POST /claims/{scope}/acquire       -> {state, stole?, expired?}
+//	POST /claims/{scope}/done
+//	POST /claims/{scope}/release
+//
+// Blobs are opaque: the daemon never opens the hxart envelope, it just
+// stores bytes atomically under <blobdir>/<kind>/<scheme>/<key>.blob.
+// Integrity lives entirely in the client (internal/artifact), which
+// re-verifies checksum/scheme/key on every load — so a corrupted blob
+// file, a version-skewed writer, or a hostile peer degrades to a cache
+// miss on the reader, never an error. The claim table is the remote
+// counterpart of artifact.Claimer: in-memory (a daemon restart forgets
+// claims, which at worst duplicates idempotent work), scoped by run id,
+// with server-side lease expiry and stealing.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"helixrc/internal/artifact"
+	"helixrc/internal/atomicio"
+)
+
+// blobMaxBytes bounds one PUT body (mirrors the client-side read cap).
+const blobMaxBytes = 1 << 30
+
+// claimMaxScopes bounds the claim table: each scope is one run, so
+// when a long-lived daemon has seen more runs than this, the least
+// recently touched run's claims are forgotten (its workers are long
+// gone; at worst a revived worker duplicates idempotent work).
+const claimMaxScopes = 64
+
+// mountBlobs registers the blob and claims endpoints (called from New
+// when BlobDir is configured).
+func (s *Server) mountBlobs() {
+	s.claims = &claimTable{scopes: map[string]*claimScope{}}
+	s.mux.HandleFunc("GET /blobs/{kind}/{scheme}/{key}", s.instrument("blob-get", s.handleBlobGet))
+	s.mux.HandleFunc("PUT /blobs/{kind}/{scheme}/{key}", s.instrument("blob-put", s.handleBlobPut))
+	s.mux.HandleFunc("POST /claims/{scope}/{verb}", s.instrument("claims", s.handleClaims))
+}
+
+// blobPath validates the request's path segments and maps them to the
+// backing file. kind and key come from trusted-format clients but an
+// HTTP surface validates anyway: key must be a 64-char hex digest
+// (what internal/artifact sends), kind a simple name, and the scheme —
+// free-form by design, it encodes fingerprint versions — is re-escaped
+// so it can never traverse.
+func (s *Server) blobPath(r *http.Request) (string, error) {
+	kind, scheme, key := r.PathValue("kind"), r.PathValue("scheme"), r.PathValue("key")
+	if kind == "" || len(kind) > 64 {
+		return "", fmt.Errorf("bad blob kind %q", kind)
+	}
+	for _, c := range kind {
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '-') {
+			return "", fmt.Errorf("bad blob kind %q", kind)
+		}
+	}
+	if len(key) != 64 {
+		return "", fmt.Errorf("bad blob key %q: want 64 hex chars", key)
+	}
+	for _, c := range key {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return "", fmt.Errorf("bad blob key %q: want 64 hex chars", key)
+		}
+	}
+	dir := url.PathEscape(scheme)
+	if dir == "" || dir == "." || dir == ".." || len(dir) > 255 {
+		return "", fmt.Errorf("bad blob scheme %q", scheme)
+	}
+	return filepath.Join(s.cfg.BlobDir, kind, dir, key+".blob"), nil
+}
+
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	path, err := s.blobPath(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "no such blob"})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "blob read failed"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	path, err := s.blobPath(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, blobMaxBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "blob body: " + err.Error()})
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "blob store failed"})
+		return
+	}
+	// Atomic write: a concurrent GET sees the old blob or the new one,
+	// never a torn one. Two workers PUTting the same key race benignly —
+	// the content is content-addressed, so both bodies are identical.
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "blob store failed"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- claim table ---
+
+// claimEntry is one key's claim state within a scope.
+type claimEntry struct {
+	owner   string
+	expires time.Time
+	done    bool
+	note    string
+}
+
+// claimScope is one run's claims.
+type claimScope struct {
+	entries map[string]*claimEntry
+	touched time.Time
+}
+
+// claimTable is the in-memory, mutex-guarded claim store.
+type claimTable struct {
+	mu     sync.Mutex
+	scopes map[string]*claimScope
+}
+
+// scope returns (creating if needed) the named scope and bounds the
+// table by evicting the least recently touched scope beyond the cap.
+func (t *claimTable) scope(name string, now time.Time) *claimScope {
+	sc := t.scopes[name]
+	if sc == nil {
+		if len(t.scopes) >= claimMaxScopes {
+			oldest, oldestAt := "", now
+			for n, s := range t.scopes {
+				if s.touched.Before(oldestAt) {
+					oldest, oldestAt = n, s.touched
+				}
+			}
+			if oldest != "" {
+				delete(t.scopes, oldest)
+			}
+		}
+		sc = &claimScope{entries: map[string]*claimEntry{}}
+		t.scopes[name] = sc
+	}
+	sc.touched = now
+	return sc
+}
+
+// acquire runs the Claimer.Acquire state machine server-side. The
+// mutex makes expiry-check-and-steal atomic, so the file protocol's
+// benign double-steal race does not exist here.
+func (t *claimTable) acquire(scope, key, owner string, ttl time.Duration, now time.Time) artifact.ClaimResponse {
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sc := t.scope(scope, now)
+	e := sc.entries[key]
+	switch {
+	case e == nil:
+		sc.entries[key] = &claimEntry{owner: owner, expires: now.Add(ttl)}
+		return artifact.ClaimResponse{State: "acquired"}
+	case e.done:
+		return artifact.ClaimResponse{State: "done"}
+	case e.owner == owner:
+		// Idempotent re-acquire by the holder refreshes the lease.
+		e.expires = now.Add(ttl)
+		return artifact.ClaimResponse{State: "acquired"}
+	case e.expires.After(now):
+		return artifact.ClaimResponse{State: "held"}
+	default:
+		e.owner, e.expires = owner, now.Add(ttl)
+		return artifact.ClaimResponse{State: "acquired", Stole: true, Expired: true}
+	}
+}
+
+// done marks key durable-done within the scope (for the run's life).
+func (t *claimTable) done(scope, key, owner, note string, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sc := t.scope(scope, now)
+	sc.entries[key] = &claimEntry{owner: owner, done: true, note: note}
+}
+
+// release drops the claim if owner still holds it (a stealer may not
+// be evicted, and done markers are never released).
+func (t *claimTable) release(scope, key, owner string, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sc := t.scope(scope, now)
+	if e := sc.entries[key]; e != nil && e.owner == owner && !e.done {
+		delete(sc.entries, key)
+	}
+}
+
+func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
+	scope, verb := r.PathValue("scope"), r.PathValue("verb")
+	if scope == "" || len(scope) > 255 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad claim scope"})
+		return
+	}
+	var req artifact.ClaimRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad claim body: " + err.Error()})
+		return
+	}
+	if req.Key == "" || req.Owner == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "claim requires key and owner"})
+		return
+	}
+	now := time.Now()
+	switch verb {
+	case "acquire":
+		writeJSON(w, http.StatusOK, s.claims.acquire(scope, req.Key, req.Owner, time.Duration(req.TTLMS)*time.Millisecond, now))
+	case "done":
+		s.claims.done(scope, req.Key, req.Owner, req.Note, now)
+		writeJSON(w, http.StatusOK, artifact.ClaimResponse{State: "done"})
+	case "release":
+		s.claims.release(scope, req.Key, req.Owner, now)
+		writeJSON(w, http.StatusOK, artifact.ClaimResponse{State: "released"})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown claim verb %q (have acquire, done, release)", verb)})
+	}
+}

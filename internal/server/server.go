@@ -69,6 +69,10 @@ type Config struct {
 	MaxDeadline time.Duration
 	// RetainJobs bounds retained finished job records (default 4096).
 	RetainJobs int
+	// BlobDir enables the blob backend + claim table (blob.go): the
+	// daemon stores artifact envelopes under this directory and serves
+	// them to -remote workers. Empty leaves both surfaces unmounted.
+	BlobDir string
 }
 
 func (c *Config) withDefaults() Config {
@@ -88,10 +92,11 @@ func (c *Config) withDefaults() Config {
 // Server is the evaluation daemon. Create with New, mount Handler,
 // stop with Shutdown.
 type Server struct {
-	cfg  Config
-	q    *queue
-	jobs *jobStore
-	mux  *http.ServeMux
+	cfg    Config
+	q      *queue
+	jobs   *jobStore
+	mux    *http.ServeMux
+	claims *claimTable // nil unless BlobDir is configured
 
 	httpMetrics *metricSet // per-endpoint HTTP latencies
 	jobMetrics  *metricSet // per-kind job execution latencies
@@ -135,6 +140,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.instrument("cancel", s.handleCancel))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	if s.cfg.BlobDir != "" {
+		s.mountBlobs()
+	}
 	return s
 }
 
@@ -344,6 +352,10 @@ func (s *Server) MetricsSnapshot() *benchreport.Serve {
 			DiskMisses:     cs.DiskMisses,
 			DiskWrites:     cs.DiskWrites,
 			DiskLoadMS:     float64(cs.DiskLoadNS) / 1e6,
+			RemoteHits:     cs.RemoteHits,
+			RemoteMisses:   cs.RemoteMisses,
+			RemoteWrites:   cs.RemoteWrites,
+			RemoteLoadMS:   float64(cs.RemoteLoadNS) / 1e6,
 			CacheEvictions: cs.Evictions,
 			CacheEvictedMB: float64(cs.EvictedBytes) / (1 << 20),
 		},

@@ -267,6 +267,12 @@ func printCacheDiff(prev, cur run) {
 	row("disk misses", count(func(r *replayReport) int64 { return r.DiskMisses }))
 	row("disk writes", count(func(r *replayReport) int64 { return r.DiskWrites }))
 	row("disk load ms", func(r *replayReport) string { return fmt.Sprintf("%.1f", r.DiskLoadMS) })
+	if hasRemote(prev.Replay) || hasRemote(cur.Replay) {
+		row("remote hits", count(func(r *replayReport) int64 { return r.RemoteHits }))
+		row("remote misses", count(func(r *replayReport) int64 { return r.RemoteMisses }))
+		row("remote writes", count(func(r *replayReport) int64 { return r.RemoteWrites }))
+		row("remote load ms", func(r *replayReport) string { return fmt.Sprintf("%.1f", r.RemoteLoadMS) })
+	}
 	if hasClaims(prev.Replay) || hasClaims(cur.Replay) {
 		row("claims", count(func(r *replayReport) int64 { return r.Claims }))
 		row("steals", count(func(r *replayReport) int64 { return r.Steals }))
@@ -287,6 +293,12 @@ func printCacheDiff(prev, cur run) {
 // counters (only sharded runs do).
 func hasClaims(r *replayReport) bool {
 	return r != nil && (r.Claims != 0 || r.Steals != 0 || r.ExpiredLeases != 0 || r.DupSuppressed != 0)
+}
+
+// hasRemote reports whether a replay section touched a remote blob
+// tier (only -remote runs do).
+func hasRemote(r *replayReport) bool {
+	return r != nil && (r.RemoteHits != 0 || r.RemoteMisses != 0 || r.RemoteWrites != 0 || r.RemoteLoadMS != 0)
 }
 
 // printPerWorker renders the per-worker section of a merged run.

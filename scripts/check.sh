@@ -26,9 +26,14 @@ explorereport=.check-explore.json
 servereport=.check-serve.json
 serveaddr=.check-serve.addr
 servecache=.check-serve-cache
-rm -f "$report" "$shardreport" "$explorereport" "$servereport" "$serveaddr"
-rm -rf "$servecache"
-trap 'rm -f "$report" "$shardreport" "$explorereport" "$report.lock" "$shardreport.lock" "$explorereport.lock" "$servereport" "$servereport.lock" "$serveaddr"; rm -rf "$servecache"' EXIT
+remotereport=.check-remote.json
+remoteaddr=.check-remote.addr
+remoteblobs=.check-remote-blobs
+servepid=
+remotepid=
+rm -f "$report" "$shardreport" "$explorereport" "$servereport" "$serveaddr" "$remotereport" "$remoteaddr"
+rm -rf "$servecache" "$remoteblobs"
+trap 'rm -f "$report" "$shardreport" "$explorereport" "$report.lock" "$shardreport.lock" "$explorereport.lock" "$servereport" "$servereport.lock" "$serveaddr" "$remotereport" "$remotereport.lock" "$remoteaddr"; rm -rf "$servecache" "$remoteblobs"' EXIT
 go run ./cmd/helix-bench -quiet -verify BENCH_2026-08-07.json -jsonfile "$report" >/dev/null
 go run ./scripts -enforce -budgets perf/budgets.json "$report"
 
@@ -69,7 +74,7 @@ awk -v c="$cover" 'BEGIN { exit (c+0 >= 80.0) ? 0 : 1 }' || {
 # latency regressions, spurious shedding, figure divergence, or a
 # broken drain path all fail the gate.
 go build -o .check-helix-serve ./cmd/helix-serve
-trap 'rm -f "$report" "$shardreport" "$report.lock" "$shardreport.lock" "$servereport" "$servereport.lock" "$serveaddr" .check-helix-serve; rm -rf "$servecache"; kill "$servepid" 2>/dev/null || true' EXIT
+trap 'rm -f "$report" "$shardreport" "$explorereport" "$report.lock" "$shardreport.lock" "$explorereport.lock" "$servereport" "$servereport.lock" "$serveaddr" "$remotereport" "$remotereport.lock" "$remoteaddr" .check-helix-serve; rm -rf "$servecache" "$remoteblobs"; kill "$servepid" "$remotepid" 2>/dev/null || true' EXIT
 ./.check-helix-serve -addr 127.0.0.1:0 -addrfile "$serveaddr" -cachedir "$servecache" -quiet -concurrency 2 &
 servepid=$!
 for _ in $(seq 1 50); do [ -s "$serveaddr" ] && break; sleep 0.1; done
@@ -80,3 +85,20 @@ go run ./cmd/helix-load -addr "http://$(cat "$serveaddr")" \
 kill -TERM "$servepid"
 wait "$servepid"
 go run ./scripts/slocheck -budgets perf/serve_slo_budgets.json "$servereport"
+
+# Multi-machine smoke: two workers with DISJOINT caches (no -cachedir,
+# so each child gets its own scratch directory) share only a
+# helix-serve blob backend — recordings cross HTTP, claims live in the
+# daemon's table, and the merged figure must still hash-match the
+# checked-in solo reference with zero duplicate recordings. The budget
+# gate then fails the run if the remote tier stopped engaging and both
+# workers went cold.
+./.check-helix-serve -addr 127.0.0.1:0 -addrfile "$remoteaddr" -blobdir "$remoteblobs" -quiet &
+remotepid=$!
+for _ in $(seq 1 50); do [ -s "$remoteaddr" ] && break; sleep 0.1; done
+[ -s "$remoteaddr" ] || { echo "helix-serve never wrote $remoteaddr" >&2; exit 1; }
+go run ./cmd/helix-bench -workers 2 -only fig9 -quiet -remote "http://$(cat "$remoteaddr")" \
+  -verify BENCH_2026-08-05.json -jsonfile "$remotereport" >/dev/null
+kill -TERM "$remotepid"
+wait "$remotepid"
+go run ./scripts -enforce -budgets perf/remote_budgets.json "$remotereport"
